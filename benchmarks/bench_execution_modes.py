@@ -1,0 +1,100 @@
+"""Extension bench — the framework-design alternatives the paper rejects.
+
+§II/§IV lay out the design space this library's default mode sits in:
+
+* **memory-buffered BSP** (Pregel.NET, GPS): fastest, but message buffering
+  creates the memory pressure the swath heuristics manage;
+* **disk-buffered BSP** (Giraph/Hama of the era): no message memory
+  pressure, but "uniformly adds a multiplicative overhead that is
+  comparable to the disk-based communication of Hadoop" (§IV);
+* **MapReduce-style iteration** (Hadoop-layered frameworks, §II-A): no
+  resident state at all — every superstep re-communicates the graph
+  structure, "the overhead associated with communicating the graph
+  structure to Map or Reduce tasks at each iteration".
+
+This bench runs the same BC workload in all three modes, plus the paper's
+answer to the memory-pressure problem (memory mode + swath heuristics),
+quantifying the §IV design rationale: heuristics beat disk buffering, which
+beats thrashing, and MR-style iteration trails everything.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import RunConfig, run_traversal, tables
+from repro.cloud.costmodel import SCALED_PERF_MODEL
+from repro.scheduling import AdaptiveSizer, StaticSizer
+
+from helpers import banner, fmt_seconds, run_once
+
+#: Disk bandwidth scaled like the other data-plane coefficients (the scaled
+#: regime multiplies per-op costs ~1000x, so bytes/s divides accordingly).
+DISK_BW = 50e3
+
+
+def run_modes(sc):
+    roots = sc.roots[: sc.base_swath]
+    cap = sc.capacity_bytes
+    out = {}
+
+    mem_model = SCALED_PERF_MODEL
+    disk_model = replace(SCALED_PERF_MODEL, disk_buffering=True, disk_bandwidth=DISK_BW)
+    mr_model = replace(
+        SCALED_PERF_MODEL, mapreduce_iteration=True, disk_bandwidth=DISK_BW
+    )
+
+    def cfg(model):
+        return RunConfig(num_workers=8, perf_model=model).with_memory(cap)
+
+    out["memory BSP (thrashing baseline)"] = run_traversal(
+        sc.graph, cfg(mem_model), roots, kind="bc", sizer=StaticSizer(sc.base_swath)
+    )
+    out["memory BSP + swath heuristics"] = run_traversal(
+        sc.graph, cfg(mem_model), roots, kind="bc",
+        sizer=AdaptiveSizer(sc.target_bytes),
+    )
+    out["disk-buffered BSP (Giraph-style)"] = run_traversal(
+        sc.graph, cfg(disk_model), roots, kind="bc",
+        sizer=StaticSizer(sc.base_swath),
+    )
+    out["MapReduce-style iteration"] = run_traversal(
+        sc.graph, cfg(mr_model), roots, kind="bc", sizer=StaticSizer(sc.base_swath)
+    )
+    return out
+
+
+def test_execution_modes(benchmark, wg_scenario):
+    sc = wg_scenario
+    runs = run_once(benchmark, run_modes, sc)
+
+    banner("Extension: framework execution modes (BC on WG, 8 workers)")
+    rows = []
+    for name, run in runs.items():
+        trace = run.result.trace
+        rows.append([
+            name,
+            fmt_seconds(run.total_time),
+            f"{trace.peak_memory / sc.capacity_bytes:.2f}",
+            "yes" if trace.peak_memory > sc.capacity_bytes else "no",
+            run.result.supersteps,
+        ])
+    print(tables.table(
+        ["mode", "sim. time", "peak mem/physical", "spills?", "supersteps"],
+        rows,
+    ))
+    print("\n§IV's design rationale, quantified: disk buffering removes the "
+          "memory pressure but pays uniform I/O on every message; the swath "
+          "heuristics keep memory-speed messaging AND avoid the spill — "
+          "which is why the paper builds heuristics instead of falling back "
+          "to disk.  MR-style iteration re-ships the graph each superstep "
+          "and trails everything (§II-A's motivation for Pregel).")
+
+    t = {k: v.total_time for k, v in runs.items()}
+    mem_peak = runs["disk-buffered BSP (Giraph-style)"].result.trace.peak_memory
+    # Disk buffering eliminates message memory pressure entirely...
+    assert mem_peak < sc.capacity_bytes
+    # ...and beats the thrashing baseline on this memory-starved setup...
+    assert t["disk-buffered BSP (Giraph-style)"] < t["memory BSP (thrashing baseline)"]
+    # ...but the paper's heuristics beat disk buffering...
+    assert t["memory BSP + swath heuristics"] < 0.8 * t["disk-buffered BSP (Giraph-style)"]
+    # ...and MR-style iteration is the slowest of all modes.
+    assert t["MapReduce-style iteration"] == max(t.values())

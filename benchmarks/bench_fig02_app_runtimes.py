@@ -1,0 +1,75 @@
+"""Figure 2 — total time (log scale) for PageRank, BC and APSP.
+
+Paper: on 8 workers, BC and APSP take ~4 orders of magnitude longer than
+PageRank on the same graphs (WG, CP); LJ is shown for PageRank only (it did
+not fit worker memory for BC/APSP).  BC/APSP totals are extrapolated from a
+root subset, the paper's own §V methodology.
+
+The absolute gap scales with |V| (the extrapolation factor n/roots); at our
+~1000x-smaller analogues the expected gap is ~1.5-2.5 orders of magnitude.
+We report the measured ratios and assert the ordering PR << APSP < BC.
+"""
+
+import math
+
+from repro.analysis import (
+    bc_scenario,
+    extrapolate_runtime,
+    run_pagerank,
+    run_traversal,
+    tables,
+)
+
+from helpers import banner, fmt_seconds, run_once
+
+ROOTS = 20
+
+
+def run_apps(scenarios):
+    out = {}
+    for ds, sc in scenarios.items():
+        cfg = sc.unconstrained_config()
+        n = sc.graph.num_vertices
+        out[(ds, "PageRank")] = run_pagerank(sc.graph, cfg, iterations=30).total_time
+        for kind, label in (("bc", "BC"), ("apsp", "APSP")):
+            t = run_traversal(sc.graph, cfg, range(ROOTS), kind=kind).total_time
+            out[(ds, label)] = extrapolate_runtime(t, ROOTS, n).projected_seconds
+    # LJ appears in Fig. 2 for PageRank only — it "would not fit within the
+    # available physical memory of the workers for BC and APSP".
+    from repro.analysis import RunConfig
+    from repro.cloud.costmodel import SCALED_PERF_MODEL
+    from repro.graph import datasets
+
+    lj = datasets.load("LJ", scale=0.3)
+    lj_cfg = RunConfig(num_workers=8, perf_model=SCALED_PERF_MODEL).with_memory(1 << 62)
+    out[("LJ", "PageRank")] = run_pagerank(lj, lj_cfg, iterations=30).total_time
+    return out
+
+
+def test_fig02_application_runtimes(benchmark, wg_scenario, cp_scenario):
+    times = run_once(
+        benchmark, run_apps, {"WG": wg_scenario, "CP": cp_scenario}
+    )
+
+    banner("Figure 2: total runtime, PageRank vs BC vs APSP (8 workers)")
+    rows = []
+    for ds in ("WG", "CP"):
+        pr = times[(ds, "PageRank")]
+        for app in ("PageRank", "APSP", "BC"):
+            t = times[(ds, app)]
+            rows.append(
+                [ds, app, fmt_seconds(t),
+                 f"10^{math.log10(t / pr):.1f} x PR" if app != "PageRank" else "-"]
+            )
+    rows.append(["LJ", "PageRank", fmt_seconds(times[("LJ", "PageRank")]),
+                 "- (BC/APSP don't fit, as in the paper)"])
+    print(tables.table(["graph", "app", "sim. time", "vs PageRank"], rows))
+    print(
+        "\nPaper: BC/APSP ~4 orders of magnitude over PageRank at SNAP scale;"
+        "\nthe gap scales with |V| — at analogue scale ~1.5-2.5 orders is the"
+        "\nexpected shape (superlinear O(|V||E|) vs O(iters*|E|))."
+    )
+
+    for ds in ("WG", "CP"):
+        assert times[(ds, "BC")] > times[(ds, "APSP")] > 5 * times[(ds, "PageRank")]
+        assert times[(ds, "BC")] > 25 * times[(ds, "PageRank")]

@@ -1,0 +1,54 @@
+"""Figure 3 — messages transferred per worker across supersteps.
+
+Paper (WG graph, 8 workers): PageRank is a flat line (~637k messages per
+worker per superstep for 30 supersteps); BC and APSP show a *triangle
+waveform* peaking mid-traversal (4.7M and 3M peak messages for a single
+swath of 7 roots) — the non-uniform profile that motivates swath scheduling.
+"""
+
+import numpy as np
+
+from repro.analysis import run_pagerank, run_traversal, tables
+
+from helpers import banner, run_once
+
+SWATH = 7  # the paper's Fig. 3 swath size
+
+
+def collect_profiles(sc):
+    cfg = sc.unconstrained_config()
+    pr = run_pagerank(sc.graph, cfg, iterations=30)
+    bc = run_traversal(sc.graph, cfg, range(SWATH), kind="bc")
+    apsp = run_traversal(sc.graph, cfg, range(SWATH), kind="apsp")
+    workers = cfg.num_workers
+    return {
+        "PageRank": pr.trace.series_messages() / workers,
+        "BC": bc.result.trace.series_messages() / workers,
+        "APSP": apsp.result.trace.series_messages() / workers,
+    }
+
+
+def test_fig03_message_profiles(benchmark, wg_scenario):
+    series = run_once(benchmark, collect_profiles, wg_scenario)
+
+    banner(f"Figure 3: avg messages/worker per superstep (WG, swath of {SWATH})")
+    for name in ("PageRank", "BC", "APSP"):
+        s = series[name]
+        print(
+            f"{name:<9s} peak={s.max():>8.0f} steps={len(s):>3d} "
+            f"{tables.sparkline(s, width=50)}"
+        )
+    print("\nPaper shape: PageRank flat; BC/APSP triangle waveform, BC peak "
+          "above APSP's (4.7M vs 3M at SNAP scale).")
+
+    pr, bc, apsp = series["PageRank"], series["BC"], series["APSP"]
+    # PageRank: constant across steady-state supersteps.
+    steady = pr[1:-1]
+    assert steady.std() / steady.mean() < 0.01
+    # BC/APSP: interior peak with ramp-up and drain-down.
+    for s in (bc, apsp):
+        peak = int(np.argmax(s))
+        assert 0 < peak < len(s) - 1
+        assert s.max() > 5 * max(s[0], s[-1], 1)
+    # BC's backward phase lifts its peak above APSP's.
+    assert bc.max() > apsp.max()

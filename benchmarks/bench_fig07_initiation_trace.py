@@ -1,0 +1,70 @@
+"""Figure 7 — message transfers over time for each initiation heuristic.
+
+Paper (BC on WG): sequential initiation shows message traffic repeatedly
+peaking and falling to zero (poor utilization); Static-6 maintains a higher
+sustained message rate; Dynamic is slightly more conservative but automated.
+"Flatter is better."
+"""
+
+import numpy as np
+
+from repro.analysis import run_traversal, tables
+from repro.scheduling import (
+    DynamicPeakDetect,
+    SequentialInitiation,
+    StaticEveryN,
+    StaticSizer,
+)
+
+from helpers import banner, run_once
+
+
+def collect_traces(sc):
+    cfg = sc.config()
+    roots = sc.roots[: sc.base_swath]
+    size = max(2, sc.base_swath // 4)
+    out = {}
+    for name, policy in (
+        ("Sequential", SequentialInitiation()),
+        ("Static-6", StaticEveryN(6)),
+        ("Dynamic", DynamicPeakDetect()),
+    ):
+        run = run_traversal(
+            sc.graph, cfg, roots, kind="bc",
+            sizer=StaticSizer(size), initiation=policy,
+        )
+        out[name] = run.result.trace.series_messages().astype(float)
+    return out
+
+
+def flatness(series: np.ndarray) -> float:
+    """Sustained-utilization score: mean / peak (1.0 = perfectly flat)."""
+    return float(series.mean() / series.max()) if series.max() else 0.0
+
+
+def idle_fraction(series: np.ndarray) -> float:
+    """Fraction of supersteps with near-zero traffic (<5% of peak)."""
+    if not series.max():
+        return 1.0
+    return float(np.count_nonzero(series < 0.05 * series.max()) / len(series))
+
+
+def test_fig07_message_transfer_traces(benchmark, wg_scenario):
+    traces = run_once(benchmark, collect_traces, wg_scenario)
+
+    banner("Figure 7: message transfers over time per initiation policy (WG)")
+    for name, s in traces.items():
+        print(
+            f"{name:<11s} steps={len(s):>3d} flatness={flatness(s):4.2f} "
+            f"idle={idle_fraction(s):4.2f}  {tables.sparkline(s, width=50)}"
+        )
+    print("\nPaper: sequential repeatedly drains to zero; Static-6 sustains "
+          "the highest rate; Dynamic close behind, fully automated.")
+
+    seq, st6, dyn = traces["Sequential"], traces["Static-6"], traces["Dynamic"]
+    # Overlap policies are flatter than sequential...
+    assert flatness(st6) > flatness(seq)
+    assert flatness(dyn) > flatness(seq)
+    # ...and waste fewer near-idle supersteps.
+    assert idle_fraction(st6) <= idle_fraction(seq)
+    assert idle_fraction(dyn) <= idle_fraction(seq)

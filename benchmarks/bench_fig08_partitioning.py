@@ -1,0 +1,129 @@
+"""Figure 8 — relative runtime under METIS / Streaming vs Hash partitioning.
+
+Paper (8 workers, PageRank/BC/APSP on WG and CP; remote-edge fractions
+Hash/METIS/Streaming = 87%/18%/35% on WG, 86%/17%/65% on CP):
+
+* WG improves ~42-50% with METIS and 24-35% with Streaming — partitioning
+  pays off;
+* CP shows no marked improvement for the traversal algorithms despite the
+  similar edge-cut gap — superstep load imbalance cancels it — and hashing
+  is *faster* than METIS for APSP on CP;
+* §VII also reports a best case of ~5x for METIS on WG BC with the swath
+  heuristics turned on (vs hashing, same heuristics).
+"""
+
+from repro.analysis import (
+    RunConfig,
+    paper_partitioners,
+    run_pagerank,
+    run_traversal,
+    tables,
+)
+from repro.cloud.costmodel import SCALED_PERF_MODEL
+from repro.partition import remote_edge_fraction
+from repro.scheduling import AdaptiveSizer, DynamicPeakDetect, StaticSizer
+
+from helpers import banner, run_once
+
+ROOTS = {"WG": 30, "CP": 25}
+
+
+def run_fig8(scenarios):
+    times = {}
+    remote = {}
+    for ds, sc in scenarios.items():
+        for name, part in paper_partitioners().items():
+            cfg = RunConfig(
+                num_workers=8, partitioner=part, perf_model=SCALED_PERF_MODEL
+            ).with_memory(1 << 62)
+            p = part.partition(sc.graph, 8)
+            remote[(ds, name)] = remote_edge_fraction(sc.graph, p)
+            times[(ds, "PageRank", name)] = run_pagerank(
+                sc.graph, cfg, iterations=30
+            ).total_time
+            for kind, label in (("bc", "BC"), ("apsp", "APSP")):
+                times[(ds, label, name)] = run_traversal(
+                    sc.graph, cfg, range(ROOTS[ds]), kind=kind,
+                    sizer=StaticSizer(10),
+                ).total_time
+    return times, remote
+
+
+PAPER_REMOTE = {
+    ("WG", "Hash"): 0.87, ("WG", "METIS"): 0.18, ("WG", "Streaming"): 0.35,
+    ("CP", "Hash"): 0.86, ("CP", "METIS"): 0.17, ("CP", "Streaming"): 0.65,
+}
+
+
+def test_fig08_partitioning_relative_time(benchmark, wg_scenario, cp_scenario):
+    times, remote = run_once(
+        benchmark, run_fig8, {"WG": wg_scenario, "CP": cp_scenario}
+    )
+
+    banner("Figure 8: runtime normalized to Hash partitioning (8 workers)")
+    rows = []
+    for ds in ("WG", "CP"):
+        for app in ("PageRank", "BC", "APSP"):
+            hash_t = times[(ds, app, "Hash")]
+            rows.append(
+                [
+                    f"{app} ({ds})",
+                    "1.00",
+                    f"{times[(ds, app, 'METIS')] / hash_t:.2f}",
+                    f"{times[(ds, app, 'Streaming')] / hash_t:.2f}",
+                ]
+            )
+    print(tables.table(["app (graph)", "Hash", "METIS", "Streaming"], rows))
+
+    print()
+    rows = [
+        [ds, name, f"{PAPER_REMOTE[(ds, name)]:.0%}", f"{remote[(ds, name)]:.0%}"]
+        for ds in ("WG", "CP")
+        for name in ("Hash", "METIS", "Streaming")
+    ]
+    print(
+        tables.table(
+            ["graph", "strategy", "remote edges (paper)", "remote edges (ours)"],
+            rows,
+        )
+    )
+    print("\nPaper shape: WG gains 42-50% (METIS) / 24-35% (Streaming); CP's "
+          "superstep load imbalance cancels the benefit — Hash beats METIS "
+          "for APSP on CP.")
+
+    # WG: clear improvement from better partitioning.
+    for app in ("PageRank", "BC", "APSP"):
+        ratio = times[("WG", app, "METIS")] / times[("WG", app, "Hash")]
+        assert ratio < 0.85, f"WG {app} METIS ratio {ratio:.2f}"
+    # CP: traversal benefit collapses; APSP prefers hashing outright.
+    assert times[("CP", "BC", "METIS")] / times[("CP", "BC", "Hash")] > 0.9
+    assert times[("CP", "APSP", "METIS")] > times[("CP", "APSP", "Hash")]
+    # Remote-edge ordering matches the paper on both graphs.
+    for ds in ("WG", "CP"):
+        assert (
+            remote[(ds, "METIS")]
+            < remote[(ds, "Streaming")]
+            < remote[(ds, "Hash")]
+        )
+
+
+def run_with_heuristics(sc):
+    """§VII text: METIS's best case ~5x over hashing with heuristics on."""
+    out = {}
+    for name, part in paper_partitioners().items():
+        cfg = RunConfig(
+            num_workers=8, partitioner=part, perf_model=SCALED_PERF_MODEL
+        ).with_memory(sc.capacity_bytes)
+        out[name] = run_traversal(
+            sc.graph, cfg, sc.roots[: sc.base_swath], kind="bc",
+            sizer=AdaptiveSizer(sc.target_bytes), initiation=DynamicPeakDetect(),
+        ).total_time
+    return out
+
+
+def test_fig08_with_heuristics_on(benchmark, wg_scenario):
+    times = run_once(benchmark, run_with_heuristics, wg_scenario)
+    ratio = times["METIS"] / times["Hash"]
+    banner("§VII: METIS vs Hash on WG BC with swath heuristics ON")
+    print(f"METIS/Hash = {ratio:.2f} (paper: best case ~0.2, i.e. 5x)")
+    assert ratio < 0.8

@@ -1,0 +1,79 @@
+"""Figures 9 & 12 — BC runtime split into compute+I/O vs barrier wait,
+plus VM utilization %, for each partitioning strategy.
+
+Paper: on both WG (Fig. 9) and CP (Fig. 12), *hashing* shows the highest
+VM utilization (balanced work; little barrier waiting) yet the highest
+total time (many remote messages); METIS shows the inverse — lower total
+time but lower utilization because message skew leaves workers idling at
+the barrier.  Utilization = (compute + I/O time) / total time.
+"""
+
+from repro.analysis import RunConfig, paper_partitioners, run_traversal, tables
+from repro.cloud.costmodel import SCALED_PERF_MODEL
+from repro.scheduling import StaticSizer
+
+from helpers import banner, fmt_seconds, run_once
+
+ROOTS = {"WG": 30, "CP": 25}
+
+
+def run_breakdowns(scenarios):
+    out = {}
+    for ds, sc in scenarios.items():
+        for name, part in paper_partitioners().items():
+            cfg = RunConfig(
+                num_workers=8, partitioner=part, perf_model=SCALED_PERF_MODEL
+            ).with_memory(1 << 62)
+            run = run_traversal(
+                sc.graph, cfg, range(ROOTS[ds]), kind="bc", sizer=StaticSizer(10)
+            )
+            out[(ds, name)] = run.result.trace.breakdown()
+    return out
+
+
+def report(ds, breakdowns):
+    rows = []
+    for name in ("Hash", "METIS", "Streaming"):
+        b = breakdowns[(ds, name)]
+        rows.append(
+            [
+                name,
+                fmt_seconds(b["compute_io"]),
+                fmt_seconds(b["barrier_wait"]),
+                fmt_seconds(b["total"]),
+                f"{b['utilization']:.0%}",
+            ]
+        )
+    print(
+        tables.table(
+            ["strategy", "compute+I/O", "barrier wait", "total", "utilization"],
+            rows, title=f"-- BC on {ds}",
+        )
+    )
+
+
+def test_fig09_fig12_utilization(benchmark, wg_scenario, cp_scenario):
+    breakdowns = run_once(
+        benchmark, run_breakdowns, {"WG": wg_scenario, "CP": cp_scenario}
+    )
+
+    banner("Figures 9 & 12: compute+I/O vs barrier-wait split and utilization")
+    for ds in ("WG", "CP"):
+        report(ds, breakdowns)
+    print("\nPaper: hashing = highest utilization AND highest total time; "
+          "METIS = the inverse (idle workers at the barrier).")
+
+    for ds in ("WG", "CP"):
+        hash_b = breakdowns[(ds, "Hash")]
+        metis_b = breakdowns[(ds, "METIS")]
+        # Hash: higher utilization...
+        assert hash_b["utilization"] > metis_b["utilization"]
+        # ...and the barrier-wait share is larger under METIS.
+        assert (
+            metis_b["barrier_wait"] / metis_b["total"]
+            > hash_b["barrier_wait"] / hash_b["total"]
+        )
+    # WG: METIS's lower total time despite lower utilization.
+    assert (
+        breakdowns[("WG", "METIS")]["total"] < breakdowns[("WG", "Hash")]["total"]
+    )

@@ -1,0 +1,130 @@
+"""Figure 16 — elastic scaling: projected runtime and cost vs 4 workers.
+
+Paper: using the 50%-active-vertices threshold to switch between 4 and 8
+workers at superstep boundaries, the dynamic policy achieves nearly the
+fixed-8 deployment's runtime (better on WG, comparable on CP) at a cost
+comparable to (CP) or cheaper than (WG) the fixed-4 deployment; the
+"oracle" (per-superstep minimum) bounds the achievable benefit and the
+dynamic heuristic lands close to it.  The paper's projections ignore
+scaling overheads; we report both that variant and one with provisioning /
+drain delays charged.
+"""
+
+from repro.analysis import run_traversal
+from repro.cloud.costmodel import SCALED_PERF_MODEL
+from repro.elastic import (
+    ActiveFractionPolicy,
+    AlignedTraces,
+    ElasticityModel,
+    FixedWorkers,
+    OraclePolicy,
+    normalize_outcomes,
+    render_fig16,
+)
+from repro.scheduling import SequentialInitiation, StaticSizer
+
+from helpers import banner, run_once
+
+POLICIES = [
+    FixedWorkers(4),
+    FixedWorkers(8),
+    ActiveFractionPolicy(0.5),
+    OraclePolicy(),
+]
+
+
+def run_fig16(sc, include_overheads=False):
+    runs = {}
+    for w in (4, 8):
+        runs[w] = run_traversal(
+            sc.graph, sc.config(num_workers=w), sc.roots[: sc.base_swath],
+            kind="bc", sizer=StaticSizer(sc.elastic_swath),
+            initiation=SequentialInitiation(),
+        )
+    traces = AlignedTraces.from_traces(
+        runs[4].result.trace, runs[8].result.trace, 4, 8, sc.graph.num_vertices
+    )
+    model = ElasticityModel(
+        traces,
+        perf_model=SCALED_PERF_MODEL,
+        include_scaling_overheads=include_overheads,
+    )
+    return normalize_outcomes(model.evaluate_all(POLICIES), "Fixed-4")
+
+
+def check(rows):
+    by = {r.label: r for r in rows}
+    dyn = by["Dynamic(50% of peak)"]
+    f8 = by["Fixed-8"]
+    oracle = by["Oracle"]
+    # Dynamic approaches (or beats) fixed-8 runtime...
+    assert dyn.norm_time <= 1.1 * f8.norm_time
+    # ...at a cost comparable to or below the 4-worker deployment
+    # (paper: "comparable (CP) or cheaper (WG) than a 4 worker scenario").
+    assert dyn.norm_cost <= 1.1
+    # Oracle bounds every policy's runtime; dynamic lands close to it.
+    assert oracle.norm_time <= min(r.norm_time for r in rows) + 1e-9
+    assert dyn.norm_time <= 1.15 * oracle.norm_time
+
+
+def test_fig16_wg(benchmark, wg_scenario):
+    rows = run_once(benchmark, run_fig16, wg_scenario)
+    banner("Figure 16(A): elastic scaling on WG (normalized to 4 workers)")
+    print(render_fig16(rows))
+    check(rows)
+
+
+def test_fig16_cp(benchmark, cp_scenario):
+    rows = run_once(benchmark, run_fig16, cp_scenario)
+    banner("Figure 16(B): elastic scaling on CP (normalized to 4 workers)")
+    print(render_fig16(rows))
+    check(rows)
+
+
+def run_overhead_sweep(sc):
+    """Beyond the paper: how much scaling overhead the win can absorb.
+
+    The paper's projections 'do not yet consider the overheads of scaling'.
+    We sweep the per-event provisioning delay (drain delay = 1/9 of it, the
+    paper-default ratio) and report the dynamic policy's normalized runtime
+    at each, locating the break-even point against the fixed-4 baseline.
+    """
+    from dataclasses import replace
+
+    runs = {}
+    for w in (4, 8):
+        runs[w] = run_traversal(
+            sc.graph, sc.config(num_workers=w), sc.roots[: sc.base_swath],
+            kind="bc", sizer=StaticSizer(sc.elastic_swath),
+            initiation=SequentialInitiation(),
+        )
+    traces = AlignedTraces.from_traces(
+        runs[4].result.trace, runs[8].result.trace, 4, 8, sc.graph.num_vertices
+    )
+    sweep = {}
+    for delay in (0.0, 0.5, 2.0, 5.0, 10.0, 30.0):
+        pm = replace(
+            SCALED_PERF_MODEL, provision_delay=delay, release_delay=delay / 9
+        )
+        model = ElasticityModel(
+            traces, perf_model=pm, include_scaling_overheads=delay > 0
+        )
+        rows = normalize_outcomes(model.evaluate_all(POLICIES), "Fixed-4")
+        sweep[delay] = {r.label: r for r in rows}
+    return sweep
+
+
+def test_fig16_overhead_breakeven(benchmark, wg_scenario):
+    sweep = run_once(benchmark, run_overhead_sweep, wg_scenario)
+    banner("Fig. 16 extension: scaling-overhead break-even sweep (WG)")
+    print(f"{'provision delay':>16s} {'dynamic time':>13s} {'dynamic cost':>13s}")
+    for delay, by in sweep.items():
+        dyn = by["Dynamic(50% of peak)"]
+        print(f"{delay:>14.1f}s {dyn.norm_time:>12.3f}x {dyn.norm_cost:>12.3f}x")
+    print("\nIdealized (0s) matches the paper; the win erodes linearly in "
+          "per-event overhead and inverts once delays rival superstep times.")
+
+    assert sweep[0.0]["Dynamic(50% of peak)"].norm_time < 0.75  # paper regime
+    times = [by["Dynamic(50% of peak)"].norm_time for by in sweep.values()]
+    assert all(a <= b + 1e-12 for a, b in zip(times, times[1:]))  # monotone
+    assert times[-1] > times[0]  # overheads genuinely erode the win

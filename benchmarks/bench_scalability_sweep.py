@@ -1,0 +1,88 @@
+"""Extension bench — §IX: "larger graphs and more numbers of VMs".
+
+Sweeps fleet size x graph scale for BC and PageRank and reports the
+strong-scaling curves the paper defers to future work.  The shapes BSP
+theory predicts (and the cost model reproduces):
+
+* PageRank (uniform profile): adding workers helps until the per-superstep
+  barrier/connection overheads rival the shrinking compute slice — a
+  classic strong-scaling knee;
+* BC with a fixed modest swath: the same knee, but the *memory relief* of
+  more workers also removes spill, so speedup can exceed the core count
+  before the knee (the Fig. 15 superlinear effect in aggregate);
+* larger graphs push the knee right (more work per barrier).
+"""
+
+from repro.analysis import RunConfig, run_traversal, run_pagerank, tables
+from repro.analysis.sweeps import sweep
+from repro.cloud.costmodel import SCALED_PERF_MODEL
+from repro.graph import datasets
+from repro.scheduling import StaticSizer
+
+from helpers import banner, run_once
+
+WORKER_GRID = [1, 2, 4, 8, 16]
+
+
+def run_scaling():
+    graphs = {s: datasets.load("SD", scale=s) for s in (0.25, 0.5)}
+
+    def cell(workers, scale, app):
+        g = graphs[scale]
+        cfg = RunConfig(
+            num_workers=workers, perf_model=SCALED_PERF_MODEL
+        ).with_memory(1 << 62)
+        if app == "pagerank":
+            t = run_pagerank(g, cfg, iterations=20).total_time
+        else:
+            t = run_traversal(
+                g, cfg, range(10), kind="bc", sizer=StaticSizer(5)
+            ).total_time
+        return {"time": t}
+
+    return sweep(
+        {"workers": WORKER_GRID, "scale": [0.25, 0.5], "app": ["pagerank", "bc"]},
+        cell,
+    )
+
+
+def test_scalability_sweep(benchmark):
+    result = run_once(benchmark, run_scaling)
+
+    banner("Extension (§IX): strong scaling over fleet size and graph scale")
+    for app in ("pagerank", "bc"):
+        rows = []
+        for scale in (0.25, 0.5):
+            series = result.series("workers", "time", app=app, scale=scale)
+            t1 = dict(series)[1]
+            rows.append(
+                [f"scale={scale}"]
+                + [f"{t1 / t:.2f}x" for _, t in series]
+            )
+        print(tables.table(
+            [app] + [f"{w}w" for w in WORKER_GRID], rows,
+        ))
+        print()
+    print("Speedup vs 1 worker.  Two honest findings: (1) PageRank at this "
+          "scale *loses* from scale-out — a single 4-core VM keeps every "
+          "message in memory, while any fleet pays serialization on 50-88% "
+          "of them (the §I cloud-overhead caveat, sharpened); (2) BC gains "
+          "(memory relief + more cores beat the comm tax) and gains more "
+          "on the larger graph — the knee moves right with graph size, the "
+          "paper's 'medium graphs fit medium fleets' sweet spot.")
+
+    for scale in (0.25, 0.5):
+        pr = dict(result.series("workers", "time", app="pagerank", scale=scale))
+        bc = dict(result.series("workers", "time", app="bc", scale=scale))
+        # PageRank: communication-bound — scale-out never beats one VM here.
+        assert min(pr[w] for w in WORKER_GRID[1:]) > pr[1]
+        # BC: scale-out wins by 8 workers.
+        assert bc[8] < bc[1]
+    # Larger graph -> better relative efficiency at 16 workers, both apps.
+    for app in ("pagerank", "bc"):
+        eff = {
+            s: (dict(result.series("workers", "time", app=app, scale=s))[1]
+                / dict(result.series("workers", "time", app=app, scale=s))[16])
+            for s in (0.25, 0.5)
+        }
+        assert eff[0.5] >= eff[0.25] * 0.95

@@ -1,0 +1,94 @@
+"""Extension bench — BSP on preemptible (spot) VMs.
+
+Beyond the paper's on-demand cost analysis: spot capacity is ~70% cheaper
+but evicts workers; Pregel-style checkpoint/rollback turns evictions into
+recoverable failures at the price of checkpoint I/O and replay.  This bench
+runs PageRank on spot fleets across eviction rates and reports the cost and
+runtime against on-demand, locating the break-even.
+
+Evictions are sampled from the failure-free trace (slight underestimate of
+spot pain: replayed supersteps are not re-sampled) with one victim per
+superstep at most; prices are pro-rata, as everywhere in the paper.
+"""
+
+from repro.algorithms import PageRankProgram
+from repro.analysis import tables
+from repro.bsp import BSPEngine, JobSpec
+from repro.cloud import scaled_large, spot_failure_schedule, spot_price
+from repro.cloud.costmodel import SCALED_PERF_MODEL
+from repro.graph import datasets
+
+from helpers import banner, fmt_seconds, run_once
+
+DISCOUNT = 0.3  # pay 30% of on-demand
+WORKERS = 8
+#: Checkpoint cadence and a restart cost scaled to the regime's seconds.
+PERF = SCALED_PERF_MODEL.without(restart_time=3.0, checkpoint_bandwidth=2e6)
+
+
+def run_spot_study():
+    g = datasets.load("SD", scale=0.5)
+    vm = scaled_large(1 << 62)
+
+    def job(**kw):
+        return JobSpec(
+            program=PageRankProgram(iterations=30), graph=g,
+            num_workers=WORKERS, vm_spec=kw.pop("vm_spec", vm),
+            perf_model=PERF, **kw,
+        )
+
+    on_demand = BSPEngine(job()).run()
+    rows = {"on-demand": (on_demand, 0)}
+    for rate in (5.0, 20.0, 60.0):  # evictions per VM-hour (simulated time)
+        schedule = spot_failure_schedule(
+            on_demand.trace, WORKERS, evictions_per_hour=rate, seed=7
+        )
+        res = BSPEngine(
+            job(
+                vm_spec=spot_price(vm, DISCOUNT),
+                checkpoint_interval=5,
+                failure_schedule=schedule,
+            )
+        ).run()
+        rows[f"spot @{rate:g}/h"] = (res, len(schedule))
+    return rows
+
+
+def test_spot_market(benchmark):
+    rows = run_once(benchmark, run_spot_study)
+
+    banner("Extension: BSP on preemptible VMs (PageRank on SD, 8 workers)")
+    base_res, _ = rows["on-demand"]
+    out = []
+    for name, (res, evictions) in rows.items():
+        out.append([
+            name,
+            fmt_seconds(res.total_time),
+            f"{res.total_time / base_res.total_time:.2f}x",
+            f"${res.total_cost:.4f}",
+            f"{res.total_cost / base_res.total_cost:.2f}x",
+            len(res.recoveries),
+        ])
+    print(tables.table(
+        ["fleet", "sim. time", "norm. time", "cost", "norm. cost", "recoveries"],
+        out,
+    ))
+    print(f"\nSpot pays {DISCOUNT:.0%} of the on-demand rate; checkpoints "
+          "every 5 supersteps; each eviction triggers a coordinated "
+          "rollback.  Low eviction rates are nearly pure savings; high "
+          "rates burn the discount in replay time.")
+
+    results = {k: v[0] for k, v in rows.items()}
+    base = results["on-demand"]
+    calm = results["spot @5/h"]
+    stormy = results["spot @60/h"]
+    # Calm spot is much cheaper at modest slowdown.
+    assert calm.total_cost < 0.6 * base.total_cost
+    assert calm.total_time < 1.6 * base.total_time
+    # Heavier eviction rates cost progressively more time.
+    assert stormy.total_time > calm.total_time
+    # Every spot run still produces the correct PageRank (determinism).
+    import numpy as np
+
+    for name, res in results.items():
+        assert np.allclose(res.values_array(), base.values_array(), atol=1e-9)

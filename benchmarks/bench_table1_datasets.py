@@ -1,0 +1,101 @@
+"""Table 1 — evaluation datasets and their properties.
+
+Paper: SD 82k/948k/4.7, WG 876k/5.1M/8.1, CP 3.8M/16.5M/9.4, LJ 4.8M/69M/6.5.
+We report the synthetic analogues' measured properties next to the paper's
+and assert both orderings (vertex counts, effective diameters) hold.
+"""
+
+from repro.analysis import tables
+from repro.graph import datasets, summarize
+
+from helpers import banner, run_once
+
+
+def build_and_summarize():
+    rows = {}
+    for key in ("SD", "WG", "CP", "LJ"):
+        g = datasets.load(key)
+        rows[key] = summarize(g, sample=48)
+    return rows
+
+
+def test_table1_dataset_properties(benchmark):
+    rows = run_once(benchmark, build_and_summarize)
+
+    banner("Table 1: datasets (paper SNAP graphs vs synthetic analogues)")
+    out = []
+    for key in ("SD", "WG", "CP", "LJ"):
+        p = datasets.PAPER_TABLE1[key]
+        s = rows[key]
+        out.append(
+            [
+                key,
+                f"{p['vertices']:,}",
+                f"{s.num_vertices:,}",
+                f"{p['edges']:,}",
+                f"{s.num_edges:,}",
+                f"{p['eff_diameter']:.1f}",
+                f"{s.effective_diameter_90:.1f}",
+            ]
+        )
+    print(
+        tables.table(
+            ["graph", "|V| paper", "|V| ours", "|E| paper", "|E| ours",
+             "90%diam paper", "90%diam ours"],
+            out,
+        )
+    )
+    print(
+        "\nNote: analogues are ~1000x scaled down; orderings (sizes, "
+        "diameters) match the paper — see DESIGN.md §2."
+    )
+
+    sizes = {k: rows[k].num_vertices for k in rows}
+    assert sizes["SD"] < sizes["WG"] < sizes["CP"] < sizes["LJ"]
+    diams = {k: rows[k].effective_diameter_90 for k in rows}
+    assert diams["SD"] < diams["LJ"] < diams["WG"] < diams["CP"]
+
+
+def estimate_diameters_on_engine():
+    """Measure each analogue's diameter *with the BSP engine itself*."""
+    import numpy as np
+
+    from repro.algorithms import DiameterEstimationProgram
+    from repro.bsp import JobSpec, run_job
+    from repro.graph.properties import distance_profile
+
+    out = {}
+    for key in ("SD", "WG", "CP", "LJ"):
+        g = datasets.load(key)
+        rng = np.random.default_rng(0)
+        sources = rng.choice(g.num_vertices, size=48, replace=False)
+        prog = DiameterEstimationProgram(sources)
+        run_job(JobSpec(program=prog, graph=g, num_workers=4))
+        # Offline reference over the SAME sources: must match bit-exactly.
+        ref_hist = distance_profile(g, sources=sources)
+        ours = np.zeros(len(ref_hist), dtype=np.int64)
+        for d, c in prog.histogram.items():
+            ours[d] = c
+        out[key] = (prog.effective_diameter(), np.array_equal(ours, ref_hist))
+    return out
+
+
+def test_table1_diameters_via_bsp_engine(benchmark):
+    """Dogfooding: the engine's own multi-source BFS reproduces Table 1."""
+    results = run_once(benchmark, estimate_diameters_on_engine)
+
+    banner("Table 1 (cross-check): 90% diameters measured BY the BSP engine")
+    rows = [
+        [key, f"{datasets.PAPER_TABLE1[key]['eff_diameter']:.1f}",
+         f"{diam:.1f}", "yes" if exact else "NO"]
+        for key, (diam, exact) in results.items()
+    ]
+    print(tables.table(
+        ["graph", "paper", "engine-measured", "histogram == offline BFS"],
+        rows,
+    ))
+
+    for key, (_, exact) in results.items():
+        assert exact, f"{key}: engine histogram diverged from offline BFS"
+    diams = {k: d for k, (d, _) in results.items()}
+    assert diams["SD"] < diams["LJ"] < diams["WG"] < diams["CP"]

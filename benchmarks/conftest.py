@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one table or figure of the paper at
+``BENCH_SCALE`` (see ``repro.analysis.scenarios``), prints a
+paper-vs-measured comparison, and times the underlying experiment run via
+pytest-benchmark (single round — the experiments are deterministic
+simulations, so repetition only measures interpreter noise).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import bc_scenario
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def wg_scenario():
+    return bc_scenario("WG")
+
+
+@pytest.fixture(scope="session")
+def cp_scenario():
+    return bc_scenario("CP")
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness (see conftest.py for fixtures)."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round and return its result.
+
+    The experiments are deterministic simulations; repeated rounds would
+    only measure interpreter noise while multiplying wall time.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def fmt_seconds(s: float) -> str:
+    """Human-scale rendering of simulated seconds."""
+    if s >= 3600:
+        return f"{s / 3600:.1f} h"
+    if s >= 60:
+        return f"{s / 60:.1f} min"
+    return f"{s:.1f} s"

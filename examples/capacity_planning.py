@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Cost-performance capacity planning for an eScience tenant.
+
+The paper's closing pitch: the evaluation "offers help to eScience users to
+make framework selection and cost-performance-scalability trade-offs".
+This example is that user's workflow: given a betweenness-centrality job
+and a pay-as-you-go budget, sweep the worker count, apply the partitioning
+advisor and the swath heuristics, and print the cost/time frontier —
+including the paper's headline option of *fewer workers + better
+heuristics* beating naive over-provisioning.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis import bc_scenario, run_traversal, tables
+from repro.partition import PartitioningAdvisor
+from repro.scheduling import (
+    AdaptiveSizer,
+    DynamicPeakDetect,
+    SequentialInitiation,
+    StaticSizer,
+)
+
+
+def main() -> None:
+    sc = bc_scenario("WG", scale=0.25)
+    roots = sc.roots[: sc.base_swath]
+    print(f"job: betweenness centrality over {len(roots)} roots on {sc.graph}")
+
+    # Step 1: should this tenant pay for a partitioning pass at all?
+    advice = PartitioningAdvisor(seed=0).advise(sc.graph, 8)
+    print(f"\npartitioning advisor: {advice.summary()}\n")
+
+    # Step 2: sweep fleet size x scheduling sophistication.
+    rows = []
+    frontier = []
+    for workers in (2, 4, 8, 12):
+        for label, sizer_fn, initiation_fn in (
+            ("naive (one swath)", lambda: StaticSizer(sc.base_swath),
+             SequentialInitiation),
+            ("heuristics on", lambda: AdaptiveSizer(sc.target_bytes),
+             DynamicPeakDetect),
+        ):
+            run = run_traversal(
+                sc.graph, sc.config(num_workers=workers), roots, kind="bc",
+                sizer=sizer_fn(), initiation=initiation_fn(),
+            )
+            time_s = run.total_time
+            cost = run.result.total_cost
+            spilled = run.result.trace.peak_memory > sc.capacity_bytes
+            rows.append([
+                workers, label, f"{time_s:.1f}s", f"${cost:.4f}",
+                "yes" if spilled else "no",
+            ])
+            frontier.append((time_s, cost, workers, label))
+
+    print(tables.table(
+        ["workers", "scheduling", "sim. time", "cost", "spills?"], rows,
+    ))
+
+    # Step 3: the Pareto frontier (no config both faster and cheaper).
+    pareto = [
+        (t, c, w, l)
+        for (t, c, w, l) in frontier
+        if not any(t2 < t and c2 < c for (t2, c2, _, _) in frontier)
+    ]
+    print("\nPareto-efficient configurations:")
+    for t, c, w, label in sorted(pareto):
+        print(f"  {w:>2d} workers, {label:<18s} {t:7.1f}s  ${c:.4f}")
+
+    naive8 = next(t for (t, c, w, l) in frontier
+                  if w == 8 and l.startswith("naive"))
+    smart4 = next((t, c) for (t, c, w, l) in frontier
+                  if w == 4 and l == "heuristics on")
+    print(
+        f"\nThe paper's §VI-B headline, priced: 4 workers with heuristics "
+        f"run in {smart4[0]:.1f}s for ${smart4[1]:.4f} — faster than the "
+        f"naive 8-worker deployment's {naive8:.1f}s at half the fleet."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Writing your own vertex program — the library-user tutorial.
+
+Implements "degrees of Kevin Bacon" from scratch: given a set of celebrity
+vertices, every vertex computes its distance to the *nearest* celebrity and
+which celebrity that is, plus a global histogram via aggregators.  Shows
+the full API surface a program author touches:
+
+* ``init_state`` / ``compute`` / ``vote_to_halt`` — the Pregel core;
+* a ``MinCombiner`` folding concurrent relaxations;
+* an aggregator + ``master_compute`` that stops the job once 95% of
+  vertices are within a target distance (no fixed iteration count);
+* resource hooks (``payload_nbytes``/``state_nbytes``) so the simulated
+  cloud accounts your program's memory honestly.
+
+Run:  python examples/custom_program.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.bsp import (
+    JobSpec,
+    MinCombiner,
+    SumAggregator,
+    VertexProgram,
+    run_job,
+)
+from repro.graph import datasets
+
+
+class NearestCelebrity(VertexProgram):
+    """Multi-source BFS tracking (distance, celebrity) per vertex."""
+
+    combiner = MinCombiner()  # payloads are (distance, celebrity) tuples
+
+    def __init__(self, celebrities, coverage_target=0.95):
+        self.celebrities = set(int(c) for c in celebrities)
+        self.coverage_target = coverage_target
+
+    def aggregators(self):
+        return {"reached": SumAggregator()}
+
+    def init_state(self, vertex_id, graph):
+        self._n = graph.num_vertices
+        return (math.inf, -1)  # (distance to nearest celebrity, which one)
+
+    def state_nbytes(self, state):
+        return 16
+
+    def payload_nbytes(self, payload):
+        return 16
+
+    def compute(self, ctx, state, messages):
+        best = min(messages) if messages else (math.inf, -1)
+        if ctx.superstep == 0 and ctx.vertex_id in self.celebrities:
+            best = (0, ctx.vertex_id)
+        if best < state:
+            state = best
+            ctx.aggregate("reached", 1)
+            dist, celeb = state
+            ctx.send_to_neighbors((dist + 1, celeb))
+        ctx.vote_to_halt()
+        return state
+
+    def master_compute(self, master):
+        # Stop early once enough of the graph knows its nearest celebrity.
+        if not hasattr(self, "_covered"):
+            self._covered = 0
+        self._covered += master.aggregated("reached")
+        if self._covered >= self.coverage_target * self._n:
+            master.halt_job()
+
+
+def main() -> None:
+    graph = datasets.load("SD", scale=0.5)  # the social graph analogue
+    # The three highest-degree vertices play the celebrities.
+    degrees = graph.out_degrees()
+    celebrities = np.argsort(degrees)[-3:]
+    print(f"graph: {graph}; celebrities: {celebrities.tolist()}")
+
+    program = NearestCelebrity(celebrities)
+    result = run_job(JobSpec(program=program, graph=graph, num_workers=4))
+
+    dists = np.array([
+        result.values[v][0] for v in range(graph.num_vertices)
+    ])
+    finite = dists[np.isfinite(dists)]
+    print(f"\ncompleted in {result.supersteps} supersteps "
+          f"({result.total_time:.1f} simulated seconds, "
+          f"${result.total_cost:.4f})")
+    print(f"coverage: {len(finite) / graph.num_vertices:.0%} of vertices")
+    print("degrees-of-separation histogram:")
+    for d in range(int(finite.max()) + 1):
+        count = int((finite == d).sum())
+        print(f"  {d}: {'#' * (count // 5)} {count}")
+    mean_sep = finite.mean()
+    print(f"\nmean separation {mean_sep:.2f} — the 'six degrees' small-world "
+          f"signature the paper's §IV analysis leans on")
+
+
+if __name__ == "__main__":
+    main()

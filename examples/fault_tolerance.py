@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Checkpointing and failure recovery — the Pregel extension in practice.
+
+Public-cloud VMs get preempted and the paper observed the Azure fabric
+restarting unresponsive workers.  This example runs PageRank with periodic
+checkpoints to (simulated) blob storage, injects a worker failure mid-job,
+and shows the coordinated rollback producing bit-identical results at a
+quantified time/cost overhead.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.algorithms import PageRankProgram
+from repro.bsp import JobSpec, run_job
+from repro.cloud.costmodel import SCALED_PERF_MODEL
+from repro.graph import datasets
+
+
+def main() -> None:
+    graph = datasets.load("SD", scale=0.5)
+    print(f"graph: {graph}\n")
+
+    # Scaled cost regime (see DESIGN.md): supersteps cost whole simulated
+    # seconds, so replay-vs-checkpoint trade-offs are visible; the fabric
+    # restart itself is quick relative to the job.
+    perf = replace(SCALED_PERF_MODEL, restart_time=5.0, checkpoint_bandwidth=2e6)
+    base_spec = dict(
+        program=PageRankProgram(iterations=30), graph=graph, num_workers=4,
+        perf_model=perf,
+    )
+
+    plain = run_job(JobSpec(**base_spec))
+    print(f"no checkpointing:       {plain.total_time:7.1f}s  "
+          f"${plain.total_cost:.4f}")
+
+    ckpt = run_job(JobSpec(**base_spec, checkpoint_interval=5))
+    print(f"checkpoint every 5:     {ckpt.total_time:7.1f}s  "
+          f"${ckpt.total_cost:.4f}  "
+          f"(+{ckpt.total_time / plain.total_time - 1:.1%} time)")
+
+    failed = run_job(
+        JobSpec(**base_spec, checkpoint_interval=5, failure_schedule={17: 2})
+    )
+    ev = failed.recoveries[0]
+    print(f"worker 2 dies at step {ev.failed_superstep}: "
+          f"{failed.total_time:7.1f}s  ${failed.total_cost:.4f}  "
+          f"(rolled back to superstep {ev.resumed_from}, "
+          f"recovery {ev.recovery_seconds:.0f}s)")
+
+    assert np.allclose(plain.values_array(), ckpt.values_array())
+    assert np.allclose(plain.values_array(), failed.values_array())
+    print("\nall three runs produce identical PageRank vectors — recovery "
+          "replays deterministically from the last checkpoint")
+
+    # Sweep the checkpoint interval: the classic recovery-time vs overhead
+    # trade-off, priced in simulated dollars.
+    print("\ncheckpoint-interval trade-off (one failure at superstep 17):")
+    print(f"{'interval':>9s} {'time':>9s} {'cost':>9s}")
+    for interval in (2, 5, 10, 15):
+        res = run_job(
+            JobSpec(**base_spec, checkpoint_interval=interval,
+                    failure_schedule={17: 2})
+        )
+        print(f"{interval:>9d} {res.total_time:>8.1f}s ${res.total_cost:>7.4f}")
+    print("\nshort intervals pay steady checkpoint I/O; long intervals pay "
+          "more recomputation after the failure")
+
+
+if __name__ == "__main__":
+    main()

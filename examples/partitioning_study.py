@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Partitioning under BSP barriers — reproduces the paper's §VII analysis.
+
+Runs betweenness centrality over two structurally different graphs with
+three partitioning strategies and shows why a low edge cut does not always
+translate into lower runtime: under bulk-synchronous execution the slowest
+worker sets each superstep's duration, so per-superstep load *balance*
+matters as much as total communication.
+
+Run:  python examples/partitioning_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import RunConfig, paper_partitioners, run_traversal, tables
+from repro.cloud.costmodel import SCALED_PERF_MODEL
+from repro.graph import datasets
+from repro.partition import evaluate
+from repro.scheduling import StaticSizer
+
+
+def study(graph, roots):
+    rows = []
+    times = {}
+    for name, partitioner in paper_partitioners().items():
+        partition = partitioner.partition(graph, 8)
+        quality = evaluate(graph, partition, name)
+        cfg = RunConfig(
+            num_workers=8, partitioner=partitioner, perf_model=SCALED_PERF_MODEL
+        ).with_memory(1 << 62)
+        run = run_traversal(graph, cfg, roots, kind="bc", sizer=StaticSizer(10))
+        trace = run.result.trace
+        msgs = trace.series_messages()
+        peak_steps = [s for s in trace if s.total_messages > 0.25 * msgs.max()]
+        imbalance = float(np.mean([s.message_imbalance for s in peak_steps]))
+        times[name] = run.total_time
+        rows.append([
+            name,
+            f"{quality.remote_fraction:.0%}",
+            f"{run.total_time:.1f}s",
+            f"{trace.utilization():.0%}",
+            f"{imbalance:.2f}",
+        ])
+    for row in rows:
+        row.append(f"{times[row[0]] / times['Hash']:.2f}")
+    return rows
+
+
+def main() -> None:
+    for key, nroots in (("WG", 30), ("CP", 25)):
+        graph = datasets.load(key, scale=0.3)
+        print(f"\n=== {graph} ===")
+        rows = study(graph, range(nroots))
+        print(tables.table(
+            ["strategy", "remote edges", "BC time", "utilization",
+             "peak-step imbalance (max/mean)", "vs Hash"],
+            rows,
+        ))
+
+    print(
+        "\nTakeaway (the paper's §VII): on the web graph the low edge cut"
+        "\nwins; on the community-chain citation graph METIS's partitions"
+        "\nalign with communities, the BFS wave concentrates in one worker"
+        "\nat a time, and the barrier turns that skew into lost time —"
+        "\nhashing's even spread becomes competitive despite ~88% remote"
+        "\nedges."
+    )
+
+
+if __name__ == "__main__":
+    main()

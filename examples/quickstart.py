@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: run PageRank and betweenness centrality on the BSP engine.
+
+Builds a small web-graph analogue, partitions it across 4 simulated cloud
+workers, runs two vertex programs, and prints results plus the simulated
+time/cost the cloud substrate accounted for.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.algorithms import BCProgram, PageRankProgram
+from repro.algorithms import bc as bc_messages
+from repro.bsp import JobSpec, run_job
+from repro.graph import datasets
+
+def main() -> None:
+    # 1. A graph: synthetic analogue of the paper's web-Google dataset.
+    graph = datasets.load("WG", scale=0.2)
+    print(f"graph: {graph}")
+
+    # 2. PageRank — every vertex starts active, 30 supersteps, flat profile.
+    job = JobSpec(program=PageRankProgram(iterations=30), graph=graph, num_workers=4)
+    result = run_job(job)
+    ranks = result.values_array()
+    top = np.argsort(ranks)[-5:][::-1]
+    print("\nPageRank (30 iterations):")
+    for v in top:
+        print(f"  vertex {v:>5d}  rank {ranks[v]:.5f}")
+    print(f"  simulated time {result.total_time:.1f}s, cost ${result.total_cost:.4f}, "
+          f"{result.supersteps} supersteps")
+
+    # 3. Betweenness centrality — message-driven; start traversals from a
+    #    subset of roots (the paper's methodology) and extrapolate.
+    roots = range(25)
+    job = JobSpec(
+        program=BCProgram(),
+        graph=graph,
+        num_workers=4,
+        initially_active=False,
+        initial_messages=bc_messages.start_messages(roots),
+    )
+    result = run_job(job)
+    scores = result.values_array()
+    top = np.argsort(scores)[-5:][::-1]
+    print(f"\nBetweenness centrality ({len(list(roots))} roots):")
+    for v in top:
+        print(f"  vertex {v:>5d}  score {scores[v]:.1f}")
+    print(f"  simulated time {result.total_time:.1f}s, "
+          f"peak worker memory {result.trace.peak_memory / 1e6:.2f} MB")
+
+    # 4. The engine's trace powers all of the paper's figures.
+    msgs = result.trace.series_messages()
+    print(f"\nmessages per superstep (triangle waveform): "
+          f"peak {msgs.max():,} at step {int(msgs.argmax())} of {len(msgs)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Swath scheduling in action — the paper's §IV heuristics end to end.
+
+Scenario: a cloud tenant must run betweenness centrality on a web graph,
+but the classic Pregel approach (start every traversal at once) overflows
+worker memory and thrashes virtual memory.  This example shows the
+escalation path the paper proposes:
+
+1. baseline — the largest single swath that completes (spills, slow);
+2. sampling sizer — probe swaths, extrapolate, commit to a static size;
+3. adaptive sizer + dynamic initiation — fully automated, overlapping
+   swaths that hug the memory target.
+
+Run:  python examples/swath_scheduling.py
+"""
+
+from repro.analysis import bc_scenario, run_traversal, tables
+from repro.scheduling import (
+    AdaptiveSizer,
+    DynamicPeakDetect,
+    SamplingSizer,
+    SequentialInitiation,
+    StaticSizer,
+)
+
+
+def main() -> None:
+    # A calibrated scenario: worker memory chosen so the paper-baseline
+    # swath of 40 roots overflows physical memory by ~35%.
+    sc = bc_scenario("WG", scale=0.25)
+    roots = sc.roots[: sc.base_swath]
+    cfg = sc.config()
+    print(f"graph: {sc.graph}")
+    print(f"worker memory: {sc.capacity_bytes / 1e6:.2f} MB physical, "
+          f"{sc.target_bytes / 1e6:.2f} MB heuristic target\n")
+
+    configs = [
+        ("baseline (one big swath)", StaticSizer(sc.base_swath), SequentialInitiation()),
+        ("sampling sizer", SamplingSizer(sc.target_bytes), SequentialInitiation()),
+        ("adaptive sizer", AdaptiveSizer(sc.target_bytes), SequentialInitiation()),
+        ("adaptive + dynamic initiation", AdaptiveSizer(sc.target_bytes), DynamicPeakDetect()),
+    ]
+
+    rows = []
+    base_time = None
+    for name, sizer, initiation in configs:
+        run = run_traversal(
+            sc.graph, cfg, roots, kind="bc", sizer=sizer, initiation=initiation
+        )
+        t = run.total_time
+        if base_time is None:
+            base_time = t
+        trace = run.result.trace
+        rows.append([
+            name,
+            f"{t:.1f}s",
+            f"{base_time / t:.2f}x",
+            run.num_swaths,
+            run.result.supersteps,
+            f"{trace.peak_memory / sc.capacity_bytes:.2f}",
+            "yes" if trace.peak_memory > sc.capacity_bytes else "no",
+        ])
+        # Show what the controller actually scheduled.
+        sizes = [e.size for e in run.controller.events]
+        print(f"{name}: swath sizes {sizes}")
+
+    print()
+    print(tables.table(
+        ["configuration", "sim. time", "speedup", "swaths", "supersteps",
+         "peak mem / physical", "spilled?"],
+        rows,
+    ))
+    print("\nThe baseline pays the virtual-memory penalty at its traversal "
+          "peak; the heuristics keep buffered messages inside physical "
+          "memory and (with dynamic initiation) overlap swath tails with "
+          "the next swath's ramp-up.")
+
+
+if __name__ == "__main__":
+    main()

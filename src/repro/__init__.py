@@ -1,0 +1,52 @@
+"""repro — reproduction of *Optimizations and Analysis of BSP Graph
+Processing Models on Public Clouds* (Redekopp, Simmhan, Prasanna; IPDPS
+2013).
+
+A Pregel-style BSP graph-processing engine (the paper's Pregel.NET
+analogue) running on a deterministic simulated public cloud, plus the
+paper's contributions built on top of it:
+
+* :mod:`repro.scheduling` — swath sizing & initiation heuristics (§IV);
+* :mod:`repro.partition` — hash / METIS-style multilevel / streaming
+  partitioners and the §VII load-imbalance analysis;
+* :mod:`repro.elastic` — elastic worker-scaling policies and the §VIII
+  extrapolation model;
+* :mod:`repro.algorithms` — betweenness centrality (Brandes), APSP,
+  PageRank, SSSP, connected components;
+* :mod:`repro.graph` — CSR graph substrate, generators, and synthetic
+  analogues of the paper's SNAP datasets;
+* :mod:`repro.cloud` — the simulated Azure-like substrate (VM specs,
+  cost model, network/memory/billing, elastic provisioning);
+* :mod:`repro.analysis` — experiment harness regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.graph import datasets
+    from repro.analysis import RunConfig, run_traversal
+    from repro.scheduling import AdaptiveSizer, DynamicPeakDetect
+
+    g = datasets.load("WG", scale=0.2)
+    run = run_traversal(
+        g, RunConfig(num_workers=8), roots=range(40), kind="bc",
+        sizer=AdaptiveSizer(target_bytes=2**20),
+        initiation=DynamicPeakDetect(),
+    )
+    print(run.total_time, run.result.values[0])
+"""
+
+from . import algorithms, analysis, bsp, cloud, elastic, graph, partition, scheduling
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algorithms",
+    "analysis",
+    "bsp",
+    "cloud",
+    "elastic",
+    "graph",
+    "partition",
+    "scheduling",
+    "__version__",
+]

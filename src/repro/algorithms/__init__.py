@@ -1,0 +1,48 @@
+"""Vertex programs (PageRank, BC, APSP, SSSP, CC) and sequential references."""
+
+from .pagerank import PageRankProgram
+from .pagerank_convergent import ConvergentPageRankProgram
+from .bc import BCProgram, BCState
+from .apsp import APSPProgram, APSPState
+from .sssp import SSSPProgram
+from .cc import ConnectedComponentsProgram
+from .kcore import KCoreProgram
+from .triangles import TriangleCountProgram
+from .semiclustering import SemiClusteringProgram, cluster_score
+from .matching import BipartiteMatchingProgram
+from .lpa import LabelPropagationProgram
+from .diameter import DiameterEstimationProgram
+from . import bc, apsp, reference
+from .reference import (
+    apsp_reference,
+    dijkstra_reference,
+    betweenness_reference,
+    pagerank_reference,
+    sssp_reference,
+)
+
+__all__ = [
+    "PageRankProgram",
+    "ConvergentPageRankProgram",
+    "KCoreProgram",
+    "TriangleCountProgram",
+    "SemiClusteringProgram",
+    "cluster_score",
+    "BipartiteMatchingProgram",
+    "LabelPropagationProgram",
+    "DiameterEstimationProgram",
+    "BCProgram",
+    "BCState",
+    "APSPProgram",
+    "APSPState",
+    "SSSPProgram",
+    "ConnectedComponentsProgram",
+    "bc",
+    "apsp",
+    "reference",
+    "apsp_reference",
+    "dijkstra_reference",
+    "betweenness_reference",
+    "pagerank_reference",
+    "sssp_reference",
+]

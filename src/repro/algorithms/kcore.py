@@ -1,0 +1,61 @@
+"""k-core decomposition via Pregel topology mutation.
+
+Demonstrates the engine's edge-mutation API (a Pregel feature the paper's
+framework omits): vertices below the degree threshold delete their own
+out-edges and notify neighbors, who prune their reciprocal edges and may
+cascade — classic iterative k-core peeling, expressed entirely with
+self-scoped mutations and messages.
+
+A vertex's final state is ``True`` iff it belongs to the k-core (validated
+against ``networkx.k_core`` in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bsp.api import VertexContext, VertexProgram
+
+__all__ = ["KCoreProgram"]
+
+_DROPPED = 0  # (tag, src): src left the core; remove your edge to it
+
+
+class KCoreProgram(VertexProgram):
+    """Iterative peeling to the k-core of an undirected graph."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def init_state(self, vertex_id: int, graph) -> bool:
+        return True  # everyone starts in the candidate core
+
+    def state_nbytes(self, state: Any) -> int:
+        return 1
+
+    def payload_nbytes(self, payload: Any) -> int:
+        return 16
+
+    def compute(self, ctx: VertexContext, state: bool, messages) -> bool:
+        if not state:
+            # Already peeled; late notifications need no action.
+            ctx.vote_to_halt()
+            return state
+        # Prune edges to neighbors that dropped out last superstep.
+        for msg in messages:
+            if msg[0] == _DROPPED:
+                ctx.remove_out_edge(msg[1])
+        # Effective degree after this superstep's pruning requests: current
+        # degree minus the prunes just queued (mutations apply next step).
+        pruned = sum(1 for m in messages if m[0] == _DROPPED)
+        degree = ctx.out_degree - pruned
+        if degree < self.k:
+            # Leave the core: notify remaining neighbors, drop all edges.
+            for u in ctx.out_neighbors:
+                ctx.send(int(u), (_DROPPED, ctx.vertex_id))
+                ctx.remove_out_edge(int(u))
+            state = False
+        ctx.vote_to_halt()
+        return state

@@ -1,0 +1,74 @@
+"""Label-propagation community detection (§II-B's "CD" workload class).
+
+The paper names community detection among the high-complexity analyses
+beyond PageRank; label propagation is its standard vertex-centric form:
+every vertex repeatedly adopts the most frequent label among its neighbors
+(ties to the smallest label, for determinism), until no label changes or a
+round bound hits.  Communities = final label groups.
+
+Implementation notes:
+
+* every vertex re-broadcasts its label each round so receivers always see
+  their *full* neighborhood (a changed-only protocol would tally partial
+  views and corrupt the majority vote);
+* global convergence is detected by the *master* via a ``changes``
+  aggregator and :meth:`~repro.bsp.api.VertexProgram.master_compute` —
+  vertices never vote to halt themselves;
+* synchronous LPA can two-color oscillate on bipartite structures; the
+  round bound keeps such runs finite, and the deterministic tie-break keeps
+  them reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from ..bsp.aggregators import SumAggregator
+from ..bsp.api import MasterContext, VertexContext, VertexProgram
+
+__all__ = ["LabelPropagationProgram"]
+
+
+class LabelPropagationProgram(VertexProgram):
+    """Synchronous LPA with master-detected convergence."""
+
+    def __init__(self, max_rounds: int = 20) -> None:
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        self.max_rounds = max_rounds
+        self.converged_at: int | None = None
+
+    def aggregators(self):
+        return {"changes": SumAggregator()}
+
+    def init_state(self, vertex_id: int, graph) -> int:
+        return vertex_id
+
+    def state_nbytes(self, state: Any) -> int:
+        return 8
+
+    def payload_nbytes(self, payload: Any) -> int:
+        return 8
+
+    def compute(self, ctx: VertexContext, state: int, messages) -> int:
+        if ctx.superstep > 0 and messages:
+            counts = Counter(messages)
+            # Include the own label (self-loop weighting): the standard LPA
+            # damping that breaks two-coloring oscillation on bipartite
+            # structures like paths and stars.
+            counts[state] += 1
+            best = max(counts.values())
+            new_label = min(l for l, c in counts.items() if c == best)
+            if new_label != state:
+                ctx.aggregate("changes", 1)
+                state = new_label
+        ctx.send_to_neighbors(state)
+        return state  # the master ends the job; vertices stay active
+
+    def master_compute(self, master: MasterContext) -> None:
+        if master.superstep >= 1 and master.aggregated("changes") == 0:
+            self.converged_at = master.superstep
+            master.halt_job()
+        elif master.superstep + 1 >= self.max_rounds:
+            master.halt_job()

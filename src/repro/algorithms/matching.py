@@ -1,0 +1,126 @@
+"""Randomized maximal bipartite matching — another Pregel-paper workload.
+
+The four-phase handshake from Malewicz et al., run on a bipartite graph
+whose vertices are tagged left/right by a predicate:
+
+* phase 0 — unmatched left vertices send match *requests* to neighbors not
+  known to be taken;
+* phase 1 — unmatched right vertices *grant* one request (lowest sender id:
+  deterministic stand-in for Pregel's "randomly chosen") and deny the rest;
+  already-matched right vertices deny *permanently*;
+* phase 2 — left vertices *accept* one grant and notify the chosen right
+  vertex; permanent denials mark that neighbor as exhausted;
+* phase 3 — right vertices record the accepted match.
+
+Rounds repeat until every left vertex is matched or has exhausted its
+neighborhood.  The result is a maximal (not maximum) matching; tests verify
+matched pairs are real edges, each vertex is matched at most once, and
+maximality (no unmatched adjacent left/right pair remains).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..bsp.api import VertexContext, VertexProgram
+
+__all__ = ["BipartiteMatchingProgram"]
+
+_REQUEST = 0
+_GRANT = 1
+_DENY = 2  # lost a tie this round; retry later
+_DENY_PERM = 3  # the right vertex is matched; never retry
+_ACCEPT = 4
+
+
+class _LeftState:
+    __slots__ = ("match", "dead")
+
+    def __init__(self) -> None:
+        self.match = -1
+        self.dead: set[int] = set()
+
+
+class BipartiteMatchingProgram(VertexProgram):
+    """Maximal matching on a bipartite graph (left/right by predicate)."""
+
+    def __init__(self, is_left: Callable[[int], bool]) -> None:
+        self.is_left = is_left
+
+    def init_state(self, vertex_id: int, graph) -> Any:
+        return _LeftState() if self.is_left(vertex_id) else -1
+
+    def state_nbytes(self, state: Any) -> int:
+        if isinstance(state, _LeftState):
+            return 24 + 8 * len(state.dead)
+        return 8
+
+    def payload_nbytes(self, payload: Any) -> int:
+        return 16
+
+    def extract(self, vertex_id: int, state: Any) -> int:
+        return state.match if isinstance(state, _LeftState) else state
+
+    # ------------------------------------------------------------------
+    def compute(self, ctx: VertexContext, state: Any, messages) -> Any:
+        phase = ctx.superstep % 4
+        v = ctx.vertex_id
+        if isinstance(state, _LeftState):
+            self._compute_left(ctx, state, messages, phase, v)
+        else:
+            state = self._compute_right(ctx, state, messages, phase, v)
+        return state
+
+    def _compute_left(self, ctx, state: _LeftState, messages, phase, v) -> None:
+        # Robustness on non-bipartite input: a request reaching a *left*
+        # vertex means the edge joins two same-side vertices; such an edge
+        # can never be matched — deny it permanently instead of ignoring it
+        # (ignoring would livelock the requester).
+        for tag, sender in messages:
+            if tag == _REQUEST:
+                ctx.send(sender, (_DENY_PERM, v))
+        if state.match >= 0:
+            ctx.vote_to_halt()
+            return
+        if phase == 0:
+            targets = [
+                int(u) for u in ctx.out_neighbors if int(u) not in state.dead
+            ]
+            if not targets:
+                ctx.vote_to_halt()  # neighborhood exhausted: stays unmatched
+                return
+            for u in targets:
+                ctx.send(u, (_REQUEST, v))
+        elif phase == 2:
+            grants = []
+            for tag, sender in messages:
+                if tag == _GRANT:
+                    grants.append(sender)
+                elif tag == _DENY_PERM:
+                    state.dead.add(sender)
+            if grants:
+                state.match = min(grants)
+                ctx.send(state.match, (_ACCEPT, v))
+                ctx.vote_to_halt()
+        # Phases 1 and 3: stay awake awaiting the handshake's next phase.
+
+    def _compute_right(self, ctx, state: int, messages, phase, v) -> int:
+        if phase == 1:
+            requests = sorted(m[1] for m in messages if m[0] == _REQUEST)
+            if state >= 0:
+                for r in requests:
+                    ctx.send(r, (_DENY_PERM, v))
+                ctx.vote_to_halt()
+            elif requests:
+                ctx.send(requests[0], (_GRANT, v))
+                for r in requests[1:]:
+                    ctx.send(r, (_DENY, v))
+            else:
+                ctx.vote_to_halt()
+        elif phase == 3:
+            accepts = [m[1] for m in messages if m[0] == _ACCEPT]
+            if accepts:
+                # We granted exactly one request, so at most one accept.
+                state = accepts[0]
+            ctx.vote_to_halt()
+        return state

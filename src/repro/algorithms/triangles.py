@@ -1,0 +1,81 @@
+"""Triangle counting on Pregel/BSP (neighborhood-intersection pattern).
+
+A different communication shape from the traversal workloads: one heavy
+superstep where every vertex ships its (pruned) adjacency list to selected
+neighbors, then local set intersection.  Uses the standard degree-ordering
+trick — vertex ``u`` only announces neighbors ranked above it, and only to
+neighbors ranked above it — so each triangle is counted exactly once and
+total message volume is O(sum of min-degree per edge) instead of O(Σd²).
+
+Validates against ``networkx.triangles`` in tests; the per-vertex result is
+the number of triangles through that vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bsp.api import VertexContext, VertexProgram
+
+__all__ = ["TriangleCountProgram"]
+
+
+def _rank(v: int, deg: int) -> tuple[int, int]:
+    """Degree-then-id total order (the standard tie-broken degree order)."""
+    return (deg, v)
+
+
+class TriangleCountProgram(VertexProgram):
+    """Counts triangles through each vertex of an undirected graph."""
+
+    def init_state(self, vertex_id: int, graph) -> int:
+        self._graph = graph
+        return 0
+
+    def state_nbytes(self, state: Any) -> int:
+        return 8
+
+    def payload_nbytes(self, payload: Any) -> int:
+        if len(payload) == 2 and isinstance(payload[1], tuple):
+            return 8 * (1 + len(payload[1]))  # (src, candidate ids)
+        return 8  # credit token
+
+    def compute(self, ctx: VertexContext, state: int, messages):
+        g = self._graph
+        my_rank = _rank(ctx.vertex_id, ctx.out_degree)
+
+        if ctx.superstep == 0:
+            # Send my higher-ranked neighbor set to each higher neighbor.
+            higher = tuple(
+                int(u)
+                for u in ctx.out_neighbors
+                if _rank(int(u), g.out_degree(int(u))) > my_rank
+            )
+            for u in higher:
+                others = tuple(x for x in higher if x != u)
+                if others:
+                    ctx.send(u, (ctx.vertex_id, others))
+            ctx.vote_to_halt()
+            return state
+
+        if ctx.superstep == 1:
+            # Intersect announced candidate sets with my adjacency.  Keeping
+            # only candidates ranked above me makes me the *middle* corner
+            # (src < me < other), so each triangle closes exactly once.
+            nbrs = set(int(x) for x in ctx.out_neighbors)
+            for src, candidates in messages:
+                for other in candidates:
+                    if other in nbrs and _rank(other, g.out_degree(other)) > my_rank:
+                        state += 1
+                        # Credit the other two corners.
+                        ctx.send(src, ("credit",))
+                        ctx.send(other, ("credit",))
+            ctx.vote_to_halt()
+            return state
+
+        # Superstep 2: collect credits for triangles closed elsewhere.
+        for msg in messages:
+            if msg[0] == "credit":
+                state += 1
+        ctx.vote_to_halt()
+        return state

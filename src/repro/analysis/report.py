@@ -1,0 +1,230 @@
+"""One-shot reproduction report: every headline experiment, one markdown file.
+
+``python -m repro report --out report.md`` (or :func:`generate_report`)
+re-runs the paper's headline experiments at a configurable scale and writes
+a self-contained markdown report with paper-vs-measured tables — the
+programmatic sibling of the benchmark suite, for users who want a single
+artifact rather than pytest output.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from ..cloud.costmodel import SCALED_PERF_MODEL
+from ..elastic import (
+    ActiveFractionPolicy,
+    AlignedTraces,
+    ElasticityModel,
+    FixedWorkers,
+    OraclePolicy,
+    normalize_outcomes,
+)
+from ..graph import datasets, summarize
+from ..partition import PartitioningAdvisor, remote_edge_fraction
+from ..scheduling import (
+    AdaptiveSizer,
+    DynamicPeakDetect,
+    SamplingSizer,
+    SequentialInitiation,
+    StaticSizer,
+)
+from .extrapolate import extrapolate_runtime
+from .runner import RunConfig, run_pagerank, run_traversal
+from .scenarios import bc_scenario, paper_partitioners
+from . import tables
+
+__all__ = ["ReportConfig", "generate_report"]
+
+
+@dataclass(frozen=True)
+class ReportConfig:
+    """Knobs for the report run (defaults keep it under ~2 minutes)."""
+
+    scale: float = 0.2
+    workers: int = 8
+    roots: int = 20
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.workers < 2:
+            raise ValueError("workers must be >= 2")
+        if self.roots < 2:
+            raise ValueError("roots must be >= 2")
+
+
+def _md_table(headers, rows) -> str:
+    out = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    out.append("|" + "---|" * len(headers))
+    for r in rows:
+        out.append("| " + " | ".join(str(c) for c in r) + " |")
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Sections
+# ---------------------------------------------------------------------------
+def _section_datasets(cfg: ReportConfig, w: io.StringIO) -> None:
+    w.write("## Table 1 — dataset analogues\n\n")
+    rows = []
+    for key in ("SD", "WG", "CP", "LJ"):
+        g = datasets.load(key, scale=cfg.scale)
+        s = summarize(g, sample=32)
+        p = datasets.PAPER_TABLE1[key]
+        rows.append([
+            key, f"{p['vertices']:,}", f"{s.num_vertices:,}",
+            f"{p['eff_diameter']:.1f}", f"{s.effective_diameter_90:.1f}",
+        ])
+    w.write(_md_table(
+        ["graph", "paper |V|", "analogue |V|", "paper 90%-diam", "measured"],
+        rows,
+    ))
+    w.write("\n\n")
+
+
+def _section_complexity(cfg: ReportConfig, w: io.StringIO) -> None:
+    w.write("## Figure 2 — application complexity gap\n\n")
+    sc = bc_scenario("WG", scale=cfg.scale, num_workers=cfg.workers)
+    run_cfg = sc.unconstrained_config()
+    n = sc.graph.num_vertices
+    pr = run_pagerank(sc.graph, run_cfg, iterations=30).total_time
+    rows = [["PageRank", f"{pr:.1f}s", "1x"]]
+    for kind, label in (("apsp", "APSP"), ("bc", "BC")):
+        t = run_traversal(sc.graph, run_cfg, range(cfg.roots), kind=kind).total_time
+        proj = extrapolate_runtime(t, cfg.roots, n).projected_seconds
+        rows.append([label, f"{proj:.1f}s", f"{proj / pr:.0f}x"])
+    w.write(_md_table(["app (WG)", "sim. time (extrapolated)", "vs PageRank"], rows))
+    w.write("\n\nPaper: ~4 orders of magnitude at SNAP scale; the gap scales "
+            "with |V|.\n\n")
+
+
+def _section_swaths(cfg: ReportConfig, w: io.StringIO) -> None:
+    w.write("## Figures 4–6 — swath scheduling heuristics\n\n")
+    sc = bc_scenario("WG", scale=cfg.scale, num_workers=cfg.workers)
+    roots = sc.roots[: sc.base_swath]
+    run_cfg = sc.config()
+    base = run_traversal(
+        sc.graph, run_cfg, roots, kind="bc", sizer=StaticSizer(sc.base_swath)
+    )
+    rows = [["baseline (one swath)", f"{base.total_time:.1f}s", "1.00x",
+             f"{base.result.trace.peak_memory / sc.capacity_bytes:.2f}"]]
+    for name, sizer in (
+        ("sampling", SamplingSizer(sc.target_bytes)),
+        ("adaptive", AdaptiveSizer(sc.target_bytes)),
+    ):
+        r = run_traversal(sc.graph, run_cfg, roots, kind="bc", sizer=sizer)
+        rows.append([
+            name, f"{r.total_time:.1f}s",
+            f"{base.total_time / r.total_time:.2f}x",
+            f"{r.result.trace.peak_memory / sc.capacity_bytes:.2f}",
+        ])
+    seq = run_traversal(
+        sc.graph, run_cfg, roots, kind="bc",
+        sizer=StaticSizer(max(2, sc.base_swath // 4)),
+        initiation=SequentialInitiation(),
+    )
+    dyn = run_traversal(
+        sc.graph, run_cfg, roots, kind="bc",
+        sizer=StaticSizer(max(2, sc.base_swath // 4)),
+        initiation=DynamicPeakDetect(),
+    )
+    rows.append([
+        "dynamic initiation (vs sequential)", f"{dyn.total_time:.1f}s",
+        f"{seq.total_time / dyn.total_time:.2f}x", "-",
+    ])
+    w.write(_md_table(
+        ["config (BC on WG)", "sim. time", "speedup", "peak/physical"], rows
+    ))
+    w.write("\n\nPaper: sampling ~2.5–3x, adaptive ≤3.5x (Fig. 4); dynamic "
+            "initiation ≤1.24x (Fig. 6).\n\n")
+
+
+def _section_partitioning(cfg: ReportConfig, w: io.StringIO) -> None:
+    w.write("## Figure 8 — partitioning under BSP barriers\n\n")
+    rows = []
+    for ds in ("WG", "CP"):
+        g = datasets.load(ds, scale=cfg.scale)
+        times = {}
+        for name, part in paper_partitioners().items():
+            run_cfg = RunConfig(
+                num_workers=cfg.workers, partitioner=part,
+                perf_model=SCALED_PERF_MODEL,
+            ).with_memory(1 << 62)
+            p = part.partition(g, cfg.workers)
+            r = run_traversal(
+                g, run_cfg, range(cfg.roots), kind="bc", sizer=StaticSizer(10)
+            )
+            times[name] = (r.total_time, remote_edge_fraction(g, p))
+        base = times["Hash"][0]
+        for name, (t, rf) in times.items():
+            rows.append([ds, name, f"{rf:.0%}", f"{t / base:.2f}"])
+    w.write(_md_table(
+        ["graph", "strategy", "remote edges", "BC time vs Hash"], rows
+    ))
+    advisor = PartitioningAdvisor(seed=0)
+    w.write("\n\nAdvisor (§IX future work): ")
+    verdicts = []
+    for ds in ("WG", "CP"):
+        adv = advisor.advise(datasets.load(ds, scale=cfg.scale), cfg.workers)
+        verdicts.append(f"{ds} → {adv.recommendation} "
+                        f"(predicted ratio {adv.predicted_ratio:.2f})")
+    w.write("; ".join(verdicts))
+    w.write("\n\n")
+
+
+def _section_elastic(cfg: ReportConfig, w: io.StringIO) -> None:
+    w.write("## Figures 15–16 — elastic scaling\n\n")
+    sc = bc_scenario("WG", scale=cfg.scale, num_workers=cfg.workers)
+    runs = {}
+    for workers in (4, 8):
+        runs[workers] = run_traversal(
+            sc.graph, sc.config(num_workers=workers), sc.roots[: sc.base_swath],
+            kind="bc", sizer=StaticSizer(sc.base_swath // 2),
+            initiation=SequentialInitiation(),
+        )
+    traces = AlignedTraces.from_traces(
+        runs[4].result.trace, runs[8].result.trace, 4, 8, sc.graph.num_vertices
+    )
+    model = ElasticityModel(traces)
+    sp = model.speedup_series()
+    w.write(f"Per-superstep speedup of 8 vs 4 workers: "
+            f"{sp.min():.2f}x–{sp.max():.2f}x over {len(sp)} supersteps "
+            f"({int((sp > 2).sum())} superlinear, {int((sp < 1).sum())} "
+            f"below 1x).\n\n")
+    rows = [
+        [r.label, f"{r.norm_time:.3f}x", f"{r.norm_cost:.3f}x"]
+        for r in normalize_outcomes(
+            model.evaluate_all(
+                [FixedWorkers(4), FixedWorkers(8),
+                 ActiveFractionPolicy(0.5), OraclePolicy()]
+            ),
+            "Fixed-4",
+        )
+    ]
+    w.write(_md_table(["policy", "norm. time", "norm. cost"], rows))
+    w.write("\n\nPaper: dynamic ≈ 8-worker performance at ≤4-worker cost; "
+            "oracle-tight.\n\n")
+
+
+def generate_report(cfg: ReportConfig | None = None) -> str:
+    """Run the headline experiments and return the markdown report."""
+    cfg = cfg or ReportConfig()
+    w = io.StringIO()
+    w.write("# Reproduction report\n\n")
+    w.write(
+        "Auto-generated by `repro.analysis.report` — Redekopp, Simmhan & "
+        "Prasanna, *Optimizations and Analysis of BSP Graph Processing "
+        f"Models on Public Clouds* (IPDPS 2013).  Scale={cfg.scale}, "
+        f"{cfg.workers} workers, {cfg.roots} traversal roots; all times are "
+        "simulated seconds (see DESIGN.md).\n\n"
+    )
+    _section_datasets(cfg, w)
+    _section_complexity(cfg, w)
+    _section_swaths(cfg, w)
+    _section_partitioning(cfg, w)
+    _section_elastic(cfg, w)
+    w.write("---\nFull per-figure benches: `pytest benchmarks/ "
+            "--benchmark-only -s`.\n")
+    return w.getvalue()

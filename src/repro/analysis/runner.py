@@ -1,0 +1,145 @@
+"""High-level experiment runners shared by benchmarks, examples and tests.
+
+Wraps the engine with the paper's standard experimental procedure:
+PageRank runs to its fixed iteration count over all vertices; BC/APSP run
+message-driven over a *subset of roots* (the paper uses 50-75), optionally
+under a swath controller, and totals are extrapolated to all |V| roots
+pro-rata (§V — "empirically verified" by the authors; our tests verify it
+for the simulated engine too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..algorithms import apsp as apsp_mod
+from ..algorithms import bc as bc_mod
+from ..algorithms.apsp import APSPProgram
+from ..algorithms.bc import BCProgram
+from ..algorithms.pagerank import PageRankProgram
+from ..bsp.engine import BSPEngine
+from ..bsp.job import JobResult, JobSpec
+from ..cloud.costmodel import DEFAULT_PERF_MODEL, PerfModel
+from ..cloud.specs import LARGE_VM, VMSpec, scaled_large
+from ..graph.csr import CSRGraph
+from ..partition.base import Partitioner
+from ..partition.hashing import HashPartitioner
+from ..scheduling.controller import SwathController
+from ..scheduling.initiation import InitiationPolicy, SequentialInitiation
+from ..scheduling.sizing import StaticSizer, SwathSizer
+
+__all__ = ["RunConfig", "TraversalRun", "run_pagerank", "run_traversal", "calibrate_worker_memory"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Cluster + cost-model configuration for one experiment run."""
+
+    num_workers: int = 8
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+    vm_spec: VMSpec = LARGE_VM
+    perf_model: PerfModel = DEFAULT_PERF_MODEL
+    max_supersteps: int = 100_000
+
+    def with_memory(self, memory_bytes: int) -> "RunConfig":
+        """Same config with the worker VM memory replaced (scaled regime)."""
+        return replace(self, vm_spec=scaled_large(int(memory_bytes)))
+
+    def job(self, program, graph: CSRGraph, **kwargs) -> JobSpec:
+        return JobSpec(
+            program=program,
+            graph=graph,
+            num_workers=self.num_workers,
+            partitioner=self.partitioner,
+            vm_spec=self.vm_spec,
+            perf_model=self.perf_model,
+            max_supersteps=self.max_supersteps,
+            **kwargs,
+        )
+
+
+@dataclass
+class TraversalRun:
+    """Result of a BC/APSP run plus its swath log."""
+
+    result: JobResult
+    controller: SwathController
+
+    @property
+    def total_time(self) -> float:
+        return self.result.total_time
+
+    @property
+    def num_swaths(self) -> int:
+        return self.controller.num_swaths
+
+
+def run_pagerank(
+    graph: CSRGraph, cfg: RunConfig, iterations: int = 30, use_combiner: bool = True
+) -> JobResult:
+    """PageRank over all vertices for a fixed iteration count (paper: 30)."""
+    program = PageRankProgram(iterations=iterations, use_combiner=use_combiner)
+    return BSPEngine(cfg.job(program, graph)).run()
+
+
+def _traversal_pieces(kind: str):
+    if kind == "bc":
+        return BCProgram(), bc_mod.start_messages
+    if kind == "apsp":
+        return APSPProgram(), apsp_mod.start_messages
+    raise ValueError(f"unknown traversal kind {kind!r}; use 'bc' or 'apsp'")
+
+
+def run_traversal(
+    graph: CSRGraph,
+    cfg: RunConfig,
+    roots,
+    kind: str = "bc",
+    sizer: SwathSizer | None = None,
+    initiation: InitiationPolicy | None = None,
+) -> TraversalRun:
+    """Run BC or APSP over ``roots`` under a swath controller.
+
+    Defaults reproduce the paper's baseline: one swath holding every root
+    (``StaticSizer(len(roots))``) with sequential initiation.
+    """
+    roots = [int(r) for r in roots]
+    program, start_factory = _traversal_pieces(kind)
+    controller = SwathController(
+        roots=roots,
+        start_factory=start_factory,
+        sizer=sizer if sizer is not None else StaticSizer(max(1, len(roots))),
+        initiation=initiation if initiation is not None else SequentialInitiation(),
+    )
+    job = cfg.job(program, graph, initially_active=False, observers=[controller])
+    result = BSPEngine(job).run()
+    if not controller.completed_all:
+        raise RuntimeError(
+            "traversal ended with pending roots "
+            f"({len(controller._pending)} left) — raise max_supersteps"
+        )
+    return TraversalRun(result=result, controller=controller)
+
+
+def calibrate_worker_memory(
+    graph: CSRGraph,
+    cfg: RunConfig,
+    roots,
+    kind: str = "bc",
+    headroom: float = 1.25,
+) -> int:
+    """Choose a worker memory capacity for the scaled regime.
+
+    Runs the given swath once on effectively unlimited memory, measures the
+    cluster's peak per-worker footprint, and returns
+    ``peak / headroom`` — i.e. a capacity that the measured swath would
+    *overflow* by ``headroom``x.  Scenarios use this to map the paper's
+    "7 GB physical / 6 GB target / baseline spills" regime onto analogue
+    graphs of any size.
+    """
+    if headroom <= 0:
+        raise ValueError("headroom must be positive")
+    big = cfg.with_memory(1 << 62)
+    probe = run_traversal(graph, big, roots, kind=kind)
+    peak = probe.result.trace.peak_memory
+    return max(1, int(peak / headroom))

@@ -1,0 +1,96 @@
+"""Parameter-sweep utility: grids of experiment configurations, tidy results.
+
+The paper's §IX suggests repeating the evaluation over "larger graphs and
+more numbers of VMs"; this module provides the loop. A sweep is a cartesian
+grid of named parameter values; each cell runs a user callable and collects
+its scalar metrics into flat :class:`SweepRecord` rows that render as a
+table or pivot into series — the tidy-data shape every plotting tool eats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Mapping, Sequence
+
+from . import tables
+
+__all__ = ["SweepRecord", "SweepResult", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One grid cell: the parameter assignment and its measured metrics."""
+
+    params: Mapping[str, Any]
+    metrics: Mapping[str, float]
+
+    def __getitem__(self, key: str):
+        if key in self.params:
+            return self.params[key]
+        return self.metrics[key]
+
+
+@dataclass
+class SweepResult:
+    """All records of a sweep, with convenience selectors."""
+
+    param_names: Sequence[str]
+    metric_names: Sequence[str]
+    records: list[SweepRecord] = field(default_factory=list)
+
+    def where(self, **conditions) -> "SweepResult":
+        """Records matching all given parameter values."""
+        kept = [
+            r for r in self.records
+            if all(r.params.get(k) == v for k, v in conditions.items())
+        ]
+        return SweepResult(self.param_names, self.metric_names, kept)
+
+    def series(self, x: str, y: str, **conditions) -> list[tuple]:
+        """(x, y) pairs sorted by x, filtered by ``conditions``."""
+        rows = self.where(**conditions).records
+        return sorted((r[x], r[y]) for r in rows)
+
+    def column(self, name: str) -> list:
+        return [r[name] for r in self.records]
+
+    def render(self, title: str = "") -> str:
+        headers = list(self.param_names) + list(self.metric_names)
+        rows = [
+            [r.params[p] for p in self.param_names]
+            + [r.metrics[m] for m in self.metric_names]
+            for r in self.records
+        ]
+        return tables.table(headers, rows, title=title)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def sweep(
+    grid: Mapping[str, Sequence[Any]],
+    run: Callable[..., Mapping[str, float]],
+) -> SweepResult:
+    """Run ``run(**params)`` for every cell of the cartesian ``grid``.
+
+    ``run`` returns a flat dict of scalar metrics; all cells must return
+    the same metric keys (enforced).
+    """
+    if not grid:
+        raise ValueError("grid must name at least one parameter")
+    names = list(grid)
+    result: SweepResult | None = None
+    for values in product(*(grid[n] for n in names)):
+        params = dict(zip(names, values))
+        metrics = dict(run(**params))
+        if result is None:
+            result = SweepResult(names, list(metrics))
+        elif set(metrics) != set(result.metric_names):
+            raise ValueError(
+                f"inconsistent metrics at {params}: "
+                f"{sorted(metrics)} vs {sorted(result.metric_names)}"
+            )
+        result.records.append(SweepRecord(params=params, metrics=metrics))
+    assert result is not None
+    return result

@@ -1,0 +1,82 @@
+"""Plain-text rendering helpers for paper-style tables and series.
+
+Benchmarks print their reproduced rows through these so every bench's
+output looks uniform and diff-able against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["table", "series", "bar", "sparkline", "paper_vs_measured"]
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Fixed-width text table; column widths fit the content."""
+    rows = [[_fmt(c) for c in r] for r in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def series(values, label: str = "", width: int = 60) -> str:
+    """One labelled numeric series as a compact row of values."""
+    vals = np.asarray(list(values), dtype=float)
+    body = " ".join(f"{v:.3g}" for v in vals)
+    return f"{label:<16s} {body}" if label else body
+
+
+def bar(value: float, vmax: float, width: int = 40, fill: str = "#") -> str:
+    """A single horizontal text bar scaled to ``vmax``."""
+    if vmax <= 0:
+        return ""
+    n = int(round(width * max(0.0, min(value / vmax, 1.0))))
+    return fill * n
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Unicode block sparkline of a series (downsampled to ``width``)."""
+    vals = np.asarray(list(values), dtype=float)
+    if len(vals) == 0:
+        return ""
+    if len(vals) > width:
+        # Downsample by max within buckets (peaks matter in our plots).
+        edges = np.linspace(0, len(vals), width + 1).astype(int)
+        vals = np.array(
+            [vals[a:b].max() if b > a else 0.0 for a, b in zip(edges, edges[1:])]
+        )
+    blocks = "▁▂▃▄▅▆▇█"
+    vmax = vals.max()
+    if vmax <= 0:
+        return blocks[0] * len(vals)
+    idx = np.minimum((vals / vmax * (len(blocks) - 1)).round().astype(int), len(blocks) - 1)
+    return "".join(blocks[i] for i in idx)
+
+
+def paper_vs_measured(
+    rows: Iterable[tuple[str, str, str]], title: str = ""
+) -> str:
+    """Three-column 'quantity | paper | measured' comparison table."""
+    return table(["quantity", "paper", "measured"], rows, title=title)

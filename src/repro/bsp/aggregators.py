@@ -1,0 +1,97 @@
+"""Global aggregators (Pregel extension).
+
+Vertices contribute values during superstep *s*; the reduced result is
+visible to every vertex during superstep *s+1* via
+:meth:`~repro.bsp.api.VertexContext.aggregated`.  The job manager performs
+the reduction at the barrier — a natural fit for Pregel.NET's barrier-queue
+check-in (§III), where each worker's check-in message would carry its
+partial aggregate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+__all__ = [
+    "Aggregator",
+    "SumAggregator",
+    "MinAggregator",
+    "MaxAggregator",
+    "AndAggregator",
+    "OrAggregator",
+    "CountAggregator",
+]
+
+
+class Aggregator(ABC):
+    """Commutative/associative reduction with an identity element."""
+
+    @abstractmethod
+    def identity(self) -> Any:
+        """Value of an empty reduction (also the start-of-superstep value)."""
+
+    @abstractmethod
+    def reduce(self, acc: Any, value: Any) -> Any:
+        """Fold one contribution into the accumulator."""
+
+    def merge(self, acc: Any, partial: Any) -> Any:
+        """Fold one *worker partial* into the global accumulator.
+
+        Defaults to :meth:`reduce`; aggregators whose reduce is not simply
+        value-combining (e.g. :class:`CountAggregator`) must override.
+        """
+        return self.reduce(acc, partial)
+
+
+class SumAggregator(Aggregator):
+    def identity(self):
+        return 0
+
+    def reduce(self, acc, value):
+        return acc + value
+
+
+class MinAggregator(Aggregator):
+    def identity(self):
+        return float("inf")
+
+    def reduce(self, acc, value):
+        return acc if acc <= value else value
+
+
+class MaxAggregator(Aggregator):
+    def identity(self):
+        return float("-inf")
+
+    def reduce(self, acc, value):
+        return acc if acc >= value else value
+
+
+class AndAggregator(Aggregator):
+    def identity(self):
+        return True
+
+    def reduce(self, acc, value):
+        return bool(acc and value)
+
+
+class OrAggregator(Aggregator):
+    def identity(self):
+        return False
+
+    def reduce(self, acc, value):
+        return bool(acc or value)
+
+
+class CountAggregator(Aggregator):
+    """Counts contributions (the value itself is ignored)."""
+
+    def identity(self):
+        return 0
+
+    def reduce(self, acc, value):
+        return acc + 1
+
+    def merge(self, acc, partial):
+        return acc + partial

@@ -1,0 +1,170 @@
+"""Debugging aids for vertex-program authors.
+
+* :class:`TracingProgram` — wrap any program to record every ``compute()``
+  invocation and every message send (src, dst, payload, superstep) without
+  touching the program's logic; query the log afterwards.
+* :class:`InvariantChecker` — a :class:`~repro.bsp.engine.SuperstepObserver`
+  asserting cross-superstep engine invariants while a job runs (message
+  conservation, non-negative accounting, barrier monotonicity); violations
+  are collected rather than raised so a failing run can still be inspected.
+
+Both are plain library features with no engine hooks beyond the public
+observer API — the same extension surface the swath controller uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .api import VertexContext, VertexProgram
+from .engine import BSPEngine, SuperstepObserver
+from .superstep import SuperstepStats
+
+__all__ = ["MessageRecord", "TracingProgram", "InvariantChecker"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One recorded send."""
+
+    superstep: int
+    src: int
+    dst: int
+    payload: Any
+
+
+class _TracingContext:
+    """Context proxy that records sends before forwarding them."""
+
+    def __init__(self, log: list[MessageRecord]) -> None:
+        self._inner: VertexContext | None = None
+        self._log = log
+
+    def _bind_inner(self, ctx: VertexContext) -> None:
+        self._inner = ctx
+
+    # Recorded operations -------------------------------------------------
+    def send(self, dst: int, payload: Any) -> None:
+        self._log.append(
+            MessageRecord(self._inner.superstep, self._inner.vertex_id,
+                          int(dst), payload)
+        )
+        self._inner.send(dst, payload)
+
+    def send_to_neighbors(self, payload: Any) -> None:
+        for u in self._inner.out_neighbors:
+            self.send(int(u), payload)
+
+    # Everything else passes through.
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+class TracingProgram(VertexProgram):
+    """Transparent wrapper recording computes and sends of ``inner``.
+
+    The wrapped program's results are unchanged; the trace is available as
+    :attr:`messages` and :attr:`computes` after the run.  Payloads are held
+    by reference — treat them as read-only.
+    """
+
+    def __init__(self, inner: VertexProgram) -> None:
+        self.inner = inner
+        self.combiner = inner.combiner
+        self.messages: list[MessageRecord] = []
+        self.computes: list[tuple[int, int, int]] = []  # (superstep, vertex, n_msgs)
+        self._proxy = _TracingContext(self.messages)
+
+    # Delegation ----------------------------------------------------------
+    def init_state(self, vertex_id, graph):
+        return self.inner.init_state(vertex_id, graph)
+
+    def aggregators(self):
+        return self.inner.aggregators()
+
+    def master_compute(self, master):
+        return self.inner.master_compute(master)
+
+    def payload_nbytes(self, payload):
+        return self.inner.payload_nbytes(payload)
+
+    def state_nbytes(self, state):
+        return self.inner.state_nbytes(state)
+
+    def extract(self, vertex_id, state):
+        return self.inner.extract(vertex_id, state)
+
+    def compute(self, ctx, state, messages):
+        self.computes.append((ctx.superstep, ctx.vertex_id, len(messages)))
+        self._proxy._bind_inner(ctx)
+        return self.inner.compute(self._proxy, state, messages)
+
+    # Query helpers ---------------------------------------------------------
+    def sends_from(self, vertex: int) -> list[MessageRecord]:
+        return [m for m in self.messages if m.src == vertex]
+
+    def sends_to(self, vertex: int) -> list[MessageRecord]:
+        return [m for m in self.messages if m.dst == vertex]
+
+    def messages_in_superstep(self, superstep: int) -> list[MessageRecord]:
+        return [m for m in self.messages if m.superstep == superstep]
+
+
+@dataclass
+class InvariantChecker(SuperstepObserver):
+    """Collects violations of engine invariants during a run."""
+
+    violations: list[str] = field(default_factory=list)
+    _last_buffered: int = 0
+
+    def _check(self, cond: bool, msg: str) -> None:
+        if not cond:
+            self.violations.append(msg)
+
+    def on_superstep_end(self, engine: BSPEngine, stats: SuperstepStats) -> None:
+        s = stats.index
+        # Conservation: messages drained this superstep equal the messages
+        # buffered at the end of the previous one.  With a combiner the
+        # receiver folds batches from different senders, so drained may be
+        # smaller — but never larger.
+        drained = sum(w.msgs_in for w in stats.workers)
+        expected = self._last_buffered + stats.injected
+        if engine.job.program.combiner is None:
+            self._check(
+                drained == expected,
+                f"superstep {s}: drained {drained} != buffered+injected "
+                f"{expected}",
+            )
+        else:
+            self._check(
+                drained <= expected,
+                f"superstep {s}: drained {drained} > buffered+injected "
+                f"{expected}",
+            )
+        self._last_buffered = sum(w.msgs_out for w in stats.workers)
+        # Cluster-wide remote bytes out == remote bytes in.
+        bytes_out = sum(w.bytes_out for w in stats.workers)
+        bytes_in = sum(w.bytes_in for w in stats.workers)
+        self._check(
+            abs(bytes_out - bytes_in) < 1e-6,
+            f"superstep {s}: bytes out {bytes_out} != in {bytes_in}",
+        )
+        # Accounting sanity.
+        for w in stats.workers:
+            self._check(
+                w.busy_time >= 0 and w.memory_bytes >= 0 and w.mem_slowdown >= 1,
+                f"superstep {s} worker {w.worker}: negative accounting",
+            )
+        self._check(
+            stats.elapsed >= stats.barrier_time,
+            f"superstep {s}: elapsed below barrier time",
+        )
+        self._check(
+            0 <= stats.active_end <= engine.graph.num_vertices,
+            f"superstep {s}: active count out of range",
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations

@@ -1,0 +1,393 @@
+"""The BSP engine: job manager + superstep loop over partition workers.
+
+Plays Pregel.NET's job-manager role (§III): it builds the worker fleet from
+the job's partition, drives supersteps through the control-plane queues,
+moves bulk message buffers between workers at superstep boundaries, merges
+aggregators at the barrier, detects the halting condition (all vertices
+voted to halt and no messages in flight), and accounts simulated time and
+cost for every superstep via the cloud models.
+
+Observers (e.g. the swath controller, elastic policies' probes) are invoked
+at every superstep boundary with the fresh :class:`SuperstepStats`; they may
+inject control-plane activation messages and keep the job alive via
+``has_pending_work()`` even when all vertices are momentarily halted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..cloud.billing import BillingMeter
+from ..cloud.memorymodel import MemoryModel
+from ..cloud.network import NetworkModel, TrafficSummary
+from ..cloud.services import QueueService
+from .api import MasterContext
+from .job import JobResult, JobSpec, RecoveryEvent
+from .superstep import JobTrace, SuperstepStats
+from .worker import PartitionWorker
+
+__all__ = ["BSPEngine", "SuperstepObserver", "run_job"]
+
+
+class SuperstepObserver:
+    """Hook interface invoked at every superstep boundary."""
+
+    def on_job_start(self, engine: "BSPEngine") -> None:
+        """Called once before superstep 0."""
+
+    def on_superstep_end(self, engine: "BSPEngine", stats: SuperstepStats) -> None:
+        """Called after each superstep's stats are final; may inject
+        messages via :meth:`BSPEngine.inject_messages`."""
+
+    def has_pending_work(self) -> bool:
+        """True while the observer still plans to inject work."""
+        return False
+
+
+class BSPEngine:
+    """Executes one :class:`~repro.bsp.job.JobSpec` to completion."""
+
+    def __init__(self, job: JobSpec) -> None:
+        self.job = job
+        self.graph = job.graph
+        self.model = job.perf_model
+        self.vm_spec = job.vm_spec
+        self.partition = job.resolve_partition()
+        self.num_workers = job.num_workers
+        self.network = NetworkModel(self.vm_spec, self.model)
+        self.memory = MemoryModel(self.vm_spec, self.model)
+        self.queues = QueueService()  # control plane: step + barrier queues
+        self.meter = BillingMeter()
+        self.trace = JobTrace()
+        self.superstep = 0
+        self.sim_time = 0.0
+        self.recoveries: list[RecoveryEvent] = []
+        self._failure_schedule = dict(job.failure_schedule)
+        self._agg_values: dict[str, Any] = {}
+        self._aggregators = job.program.aggregators()
+        self._master_halt = False
+        self._injected_count = 0
+        # Multi-tenant noise: per-(worker, superstep) busy-time wobble,
+        # deterministic for a given jitter_seed (off by default).
+        self._jitter_rng = (
+            np.random.default_rng(self.model.jitter_seed)
+            if self.model.jitter > 0
+            else None
+        )
+        self._observers: list[SuperstepObserver] = list(job.observers)
+
+        active_ids = job.initial_active_ids()
+        assignment = self.partition.assignment
+        self.workers: list[PartitionWorker] = []
+        for w in range(self.num_workers):
+            vids = self.partition.vertices_of(w)
+            worker = PartitionWorker(
+                worker_id=w,
+                graph=self.graph,
+                vertex_ids=vids,
+                program=job.program,
+                model=self.model,
+                assignment=assignment,
+                initially_active=active_ids is None,
+            )
+            self.workers.append(worker)
+        if active_ids is not None and len(active_ids):
+            for v in active_ids:
+                self.workers[int(assignment[v])].halted[int(v)] = False
+
+        for dst, payload in job.initial_messages:
+            self.inject_message(int(dst), payload)
+
+        self._checkpoint: dict | None = None
+
+    # ------------------------------------------------------------------
+    # Control-plane message injection (job-manager originated)
+    # ------------------------------------------------------------------
+    def inject_message(self, dst: int, payload: Any) -> None:
+        """Queue an activation message for ``dst`` (delivered next superstep)."""
+        if not 0 <= dst < self.graph.num_vertices:
+            raise ValueError(f"inject to unknown vertex {dst}")
+        w = int(self.partition.assignment[dst])
+        self.workers[w].inject(dst, payload)
+        self._injected_count += 1
+
+    def inject_messages(self, pairs) -> None:
+        for dst, payload in pairs:
+            self.inject_message(int(dst), payload)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_vertices(self) -> int:
+        return sum(w.active_count for w in self.workers)
+
+    @property
+    def buffered_messages(self) -> bool:
+        return any(w.has_buffered_messages for w in self.workers)
+
+    def aggregated(self, name: str) -> Any:
+        """Current (last barrier's) value of a named aggregator."""
+        if name not in self._aggregators:
+            raise KeyError(f"unknown aggregator {name!r}")
+        return self._agg_values.get(name, self._aggregators[name].identity())
+
+    # ------------------------------------------------------------------
+    def run(self) -> JobResult:
+        """Drive supersteps until the halting condition or the step cap."""
+        job = self.job
+        step_queue = self.queues.queue("step")
+        barrier_queue = self.queues.queue("barrier")
+
+        for obs in self._observers:
+            obs.on_job_start(self)
+
+        if job.checkpoint_interval > 0:
+            # Initial checkpoint so a failure before the first periodic one
+            # can still roll back (Pregel checkpoints before superstep 0).
+            self._checkpoint = {
+                "superstep": 0,
+                "agg_values": dict(self._agg_values),
+                "workers": [w.snapshot() for w in self.workers],
+            }
+
+        halted = False
+        while self.superstep < job.max_supersteps:
+            if not self.buffered_messages and self.active_vertices == 0:
+                if not any(o.has_pending_work() for o in self._observers):
+                    halted = True
+                    break
+                # Observers still hold work but injected nothing runnable:
+                # give them a boundary callback on an empty step.
+            step_queue.put(("superstep", self.superstep))
+            stats = self._run_one_superstep()
+            step_queue.try_get()
+            barrier_queue.put(("checkin", self.superstep, stats.active_end))
+            barrier_queue.try_get()
+
+            self._maybe_checkpoint(stats)
+            failed = self._maybe_fail(stats)
+            for obs in self._observers:
+                obs.on_superstep_end(self, stats)
+            if self._master_halt and not failed:
+                halted = True
+                self.superstep += 1
+                break
+            if not failed:
+                self._post_superstep(stats)
+                self.superstep += 1
+        else:
+            halted = False
+
+        values = {}
+        for w in self.workers:
+            for v, st in w.states.items():
+                values[v] = job.program.extract(v, st)
+        return JobResult(
+            values=values,
+            trace=self.trace,
+            meter=self.meter,
+            supersteps=len(self.trace),
+            halted=halted,
+            aggregates=dict(self._agg_values),
+            recoveries=list(self.recoveries),
+        )
+
+    # ------------------------------------------------------------------
+    def _run_one_superstep(self) -> SuperstepStats:
+        model = self.model
+        stats = SuperstepStats(
+            index=self.superstep,
+            num_workers=self.num_workers,
+            active_begin=self.active_vertices,
+            injected=self._injected_count,
+        )
+        self._injected_count = 0
+
+        # Compute phase: every worker drains its input buffer.
+        for w in self.workers:
+            w.begin_superstep(self.superstep, self._agg_values)
+        self._compute_phase()
+
+        # Flush phase: move bulk remote buffers between workers.
+        recv_msgs = np.zeros(self.num_workers, dtype=np.int64)
+        recv_bytes = np.zeros(self.num_workers)
+        peers_in = [set() for _ in range(self.num_workers)]
+        for w in self.workers:
+            w.stats.peers_out = len(w.out_remote)
+            for dst_worker, per_vertex in sorted(w.out_remote.items()):
+                target = self.workers[dst_worker]
+                for dst_v, payloads in per_vertex.items():
+                    wire = target.deliver_remote(dst_v, payloads)
+                    recv_bytes[dst_worker] += wire
+                    recv_msgs[dst_worker] += len(payloads)
+                peers_in[dst_worker].add(w.worker_id)
+            w.stats.bytes_out = w.out_remote_wire_bytes
+
+        # Aggregator merge at the barrier.
+        new_aggs: dict[str, Any] = {}
+        for name, agg in self._aggregators.items():
+            acc = agg.identity()
+            for w in self.workers:
+                if name in w._agg_partials:
+                    acc = agg.merge(acc, w._agg_partials[name])
+            new_aggs[name] = acc
+        self._agg_values = new_aggs
+
+        # GPS-style global computation at the barrier.
+        master_ctx = MasterContext(self)
+        self.job.program.master_compute(master_ctx)
+        if master_ctx._halt:
+            self._master_halt = True
+
+        # Timing phase: convert true counts into simulated seconds.
+        eff = model.effective_cores(self.vm_spec.cores)
+        restart_total = 0.0
+        for w in self.workers:
+            ws = w.stats
+            ws.bytes_in = float(recv_bytes[w.worker_id])
+            ws.peers_in = len(peers_in[w.worker_id])
+            ws.compute_time = (
+                ws.compute_calls * model.t_compute_vertex
+                + ws.msgs_in * model.t_msg_in
+                + (ws.msgs_out_local + ws.msgs_out_remote) * model.t_msg_out
+            ) / eff
+            ws.serialize_time = (
+                (ws.msgs_out_remote + int(recv_msgs[w.worker_id]))
+                * model.t_serialize
+                / eff
+            )
+            ws.network_time = self.network.transfer_time(
+                TrafficSummary(
+                    bytes_out=ws.bytes_out,
+                    bytes_in=ws.bytes_in,
+                    peers_out=ws.peers_out,
+                    peers_in=ws.peers_in,
+                ),
+                superstep=self.superstep,
+            )
+            if model.disk_buffering or model.mapreduce_iteration:
+                # Giraph/Hama-style disk buffering: every buffered message is
+                # written now and read back next superstep (charged together
+                # as sequential I/O); MR-style iteration additionally reloads
+                # the partition + state from the DFS every superstep.
+                traffic = 2.0 * w.buffered_message_bytes()
+                if model.mapreduce_iteration:
+                    traffic += w.graph_bytes + 2.0 * w.total_state_bytes
+                ws.disk_time = traffic / model.disk_bandwidth
+            ws.memory_bytes = w.memory_footprint()
+            ws.mem_slowdown = self.memory.slowdown(ws.memory_bytes)
+            if self._jitter_rng is not None:
+                ws.jitter_factor = 1.0 + self.model.jitter * float(
+                    self._jitter_rng.uniform(-1.0, 1.0)
+                )
+            if self.memory.restart_triggered(ws.memory_bytes):
+                ws.restarted = True
+                restart_total += model.restart_time
+            stats.workers.append(ws)
+
+        stats.barrier_time = model.barrier_time(self.num_workers)
+        stats.restart_time = restart_total
+        slowest = max((ws.elapsed for ws in stats.workers), default=0.0)
+        stats.elapsed = slowest + stats.barrier_time + restart_total
+        stats.active_end = self.active_vertices
+        self.sim_time += stats.elapsed
+        stats.sim_time_end = self.sim_time
+        self.trace.append(stats)
+
+        # Pay-as-you-go: every allocated VM bills for the whole superstep.
+        self.meter.charge(
+            self.vm_spec,
+            self.num_workers,
+            stats.elapsed,
+            label=f"superstep-{stats.index}",
+        )
+        self.meter.charge(
+            self.job.manager_vm, 1, stats.elapsed, label=f"manager-{stats.index}"
+        )
+        return stats
+
+    def _compute_phase(self) -> None:
+        """Run every worker's compute loop (sequential by default).
+
+        :class:`~repro.bsp.parallel.ThreadedBSPEngine` overrides this with a
+        thread pool — safe because workers only touch their own buffers
+        during compute.
+        """
+        for w in self.workers:
+            w.run_compute()
+
+    def _post_superstep(self, stats: SuperstepStats) -> None:
+        """Hook for subclasses, called after observers at each boundary.
+
+        :class:`~repro.elastic.live.LiveElasticEngine` overrides this to
+        resize the worker fleet between supersteps.
+        """
+
+    # ------------------------------------------------------------------
+    # Checkpointing and failure recovery (Pregel-style coordinated rollback)
+    # ------------------------------------------------------------------
+    def _state_bytes_total(self) -> float:
+        return sum(
+            w.graph_bytes + w.total_state_bytes + w.in_next_payload_bytes
+            for w in self.workers
+        )
+
+    def _maybe_checkpoint(self, stats: SuperstepStats) -> None:
+        interval = self.job.checkpoint_interval
+        if interval <= 0 or (self.superstep + 1) % interval != 0:
+            return
+        snap = {
+            "superstep": self.superstep + 1,
+            "agg_values": dict(self._agg_values),
+            "workers": [w.snapshot() for w in self.workers],
+        }
+        self._checkpoint = snap
+        # Writing states + buffered messages to blob storage takes time.
+        write_time = self._state_bytes_total() / self.model.checkpoint_bandwidth
+        self.sim_time += write_time
+        stats.elapsed += write_time
+        stats.sim_time_end = self.sim_time
+        self.meter.charge(
+            self.vm_spec, self.num_workers, write_time, label="checkpoint"
+        )
+
+    def _maybe_fail(self, stats: SuperstepStats) -> bool:
+        worker_id = self._failure_schedule.pop(self.superstep, None)
+        if worker_id is None:
+            return False
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"failure_schedule names unknown worker {worker_id}")
+        # Coordinated rollback: every worker reloads the last checkpoint
+        # (or the initial state when none was taken yet).
+        assert self._checkpoint is not None  # taken at job start
+        resume_from = self._checkpoint["superstep"]
+        for w, snap in zip(self.workers, self._checkpoint["workers"]):
+            w.restore(snap)
+        self._agg_values = dict(self._checkpoint["agg_values"])
+        self._master_halt = False  # a halt decided in the lost epoch is void
+        restore_time = (
+            self.model.restart_time
+            + self._state_bytes_total() / self.model.checkpoint_bandwidth
+        )
+        self.sim_time += restore_time
+        stats.elapsed += restore_time
+        stats.sim_time_end = self.sim_time
+        self.meter.charge(
+            self.vm_spec, self.num_workers, restore_time, label="recovery"
+        )
+        self.recoveries.append(
+            RecoveryEvent(
+                failed_superstep=self.superstep,
+                failed_worker=worker_id,
+                resumed_from=resume_from,
+                recovery_seconds=restore_time,
+            )
+        )
+        self.superstep = resume_from
+        return True
+
+
+def run_job(job: JobSpec) -> JobResult:
+    """Convenience: build an engine and run the job."""
+    return BSPEngine(job).run()

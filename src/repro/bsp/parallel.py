@@ -1,0 +1,58 @@
+"""Threaded execution of the compute phase (real concurrency).
+
+The simulated engine executes workers sequentially and *models* parallel
+time.  For credibility (and as the seed of a real deployment), this module
+provides :class:`ThreadedBSPEngine`, which runs each superstep's per-worker
+``compute()`` loops on a thread pool.  The BSP structure makes this safe
+with zero locks:
+
+* during the compute phase a worker touches only its own state, its own
+  ``in_cur``/``in_next`` buffers, and its own per-destination ``out_remote``
+  buckets (the shared graph/assignment arrays are read-only);
+* all cross-worker movement (the flush phase) stays single-threaded at the
+  barrier, exactly like the model's bulk transfer.
+
+Results are bit-identical to the sequential engine: within a worker the
+vertex order is unchanged, and the flush phase iterates workers in id
+order, so message delivery order is deterministic (tests assert equality).
+CPython's GIL limits the wall-clock win for pure-Python compute, but any
+NumPy-heavy ``compute()`` releases the GIL and genuinely scales.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from .engine import BSPEngine
+from .job import JobSpec
+
+__all__ = ["ThreadedBSPEngine", "run_job_threaded"]
+
+
+class ThreadedBSPEngine(BSPEngine):
+    """BSPEngine whose compute phases run on a thread pool."""
+
+    def __init__(self, job: JobSpec, max_threads: int | None = None) -> None:
+        super().__init__(job)
+        if max_threads is not None and max_threads < 1:
+            raise ValueError("max_threads must be >= 1")
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_threads or min(8, self.num_workers),
+            thread_name_prefix="bsp-worker",
+        )
+
+    def _compute_phase(self) -> None:
+        futures = [self._pool.submit(w.run_compute) for w in self.workers]
+        for f in futures:
+            f.result()  # propagate worker exceptions
+
+    def run(self):
+        try:
+            return super().run()
+        finally:
+            self._pool.shutdown(wait=True)
+
+
+def run_job_threaded(job: JobSpec, max_threads: int | None = None):
+    """Convenience mirror of :func:`repro.bsp.engine.run_job`."""
+    return ThreadedBSPEngine(job, max_threads=max_threads).run()

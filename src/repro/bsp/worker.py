@@ -1,0 +1,382 @@
+"""Partition worker: owns a share of vertices and runs their compute().
+
+Mirrors Pregel.NET's partition-worker role (§III): it loads the vertices of
+its partition, calls the user ``compute()`` on each active vertex per
+superstep, delivers local messages through in-memory buffers, and batches
+remote messages per destination worker for bulk transfer.  The engine plays
+the job-manager role and moves the batched buffers between workers at the
+end of each superstep.
+
+All resource accounting (operation counts, buffered bytes) happens here with
+*true* counts; converting them to simulated seconds is the engine's job.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..cloud.costmodel import PerfModel
+from ..graph.csr import CSRGraph
+from .api import VertexContext, VertexProgram
+from .superstep import WorkerStepStats
+
+__all__ = ["PartitionWorker"]
+
+
+class PartitionWorker:
+    """One simulated worker VM's slice of the BSP computation."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        graph: CSRGraph,
+        vertex_ids: np.ndarray,
+        program: VertexProgram,
+        model: PerfModel,
+        assignment: np.ndarray,
+        initially_active: bool = True,
+    ) -> None:
+        self.worker_id = worker_id
+        self.graph = graph
+        self.program = program
+        self.model = model
+        self.assignment = assignment  # vertex -> worker map (shared, read-only)
+        self.vertex_ids = np.sort(np.asarray(vertex_ids, dtype=np.int64))
+
+        # Per-vertex program state and accounting.
+        self.states: dict[int, Any] = {}
+        self._state_bytes: dict[int, int] = {}
+        self.total_state_bytes = 0
+        for v in self.vertex_ids:
+            vi = int(v)
+            st = program.init_state(vi, graph)
+            self.states[vi] = st
+            nb = int(program.state_nbytes(st))
+            self._state_bytes[vi] = nb
+            self.total_state_bytes += nb
+
+        self.halted: dict[int, bool] = {
+            int(v): not initially_active for v in self.vertex_ids
+        }
+
+        # Message buffers: current superstep's input and next superstep's.
+        self.in_cur: dict[int, list] = {}
+        self.in_next: dict[int, list] = {}
+        self.in_next_payload_bytes = 0.0
+
+        # Remote out buffers for the running superstep:
+        # dst_worker -> dst_vertex -> list (or combined single payload).
+        self.out_remote: dict[int, dict[int, list]] = {}
+        self.out_remote_wire_bytes = 0.0
+
+        # Fixed footprint of the hosted partition: CSR share + bookkeeping.
+        arcs_hosted = int(np.diff(graph.indptr)[self.vertex_ids].sum()) if len(
+            self.vertex_ids
+        ) else 0
+        self.graph_bytes = (
+            arcs_hosted * 6 + len(self.vertex_ids) * model.vertex_overhead_bytes
+        )
+
+        # Aggregator plumbing (wired by the engine each superstep).
+        self._agg_partials: dict[str, Any] = {}
+        self._agg_previous: dict[str, Any] = {}
+        self._aggregators = program.aggregators()
+
+        # Topology-mutation overlay (Pregel's edge mutations, self-scope):
+        # vertices with mutated out-edges get an explicit neighbor list here;
+        # mutations requested during superstep s become visible in s+1.
+        self._overlay: dict[int, list[int]] = {}
+        self._pending_mutations: list[tuple[int, str, int]] = []
+        self.overlay_bytes = 0
+
+        self._ctx = VertexContext()
+        self.stats = WorkerStepStats(worker=worker_id)
+
+    # ------------------------------------------------------------------
+    # Superstep lifecycle
+    # ------------------------------------------------------------------
+    def begin_superstep(self, superstep: int, agg_previous: dict[str, Any]) -> None:
+        """Rotate message buffers and reset per-step accounting."""
+        self._apply_mutations()
+        self.in_cur = self.in_next
+        self.in_next = {}
+        self.in_next_payload_bytes = 0.0
+        self.out_remote = {}
+        self.out_remote_wire_bytes = 0.0
+        self._agg_previous = agg_previous
+        self._agg_partials = {
+            name: agg.identity() for name, agg in self._aggregators.items()
+        }
+        self.stats = WorkerStepStats(worker=self.worker_id)
+        self._superstep = superstep
+
+    def compute_set(self) -> list[int]:
+        """Vertices that must run compute() this superstep (sorted)."""
+        pending = set(self.in_cur)
+        pending.update(v for v, h in self.halted.items() if not h)
+        return sorted(pending)
+
+    def run_compute(self) -> None:
+        """Run compute() for every active/messaged vertex of the partition."""
+        program = self.program
+        ctx = self._ctx
+        superstep = self._superstep
+        for v in self.compute_set():
+            msgs = self.in_cur.pop(v, ())
+            ctx._bind(self, v, superstep)
+            new_state = program.compute(ctx, self.states[v], msgs)
+            self.states[v] = new_state
+            nb = int(program.state_nbytes(new_state))
+            self.total_state_bytes += nb - self._state_bytes[v]
+            self._state_bytes[v] = nb
+            self.halted[v] = ctx._halted_flag
+            self.stats.compute_calls += 1
+            self.stats.msgs_in += len(msgs)
+        self.in_cur = {}
+
+    # ------------------------------------------------------------------
+    # Topology mutation (Pregel edge mutations, self-scope)
+    # ------------------------------------------------------------------
+    def effective_neighbors(self, v: int):
+        """Out-neighbors of ``v`` including applied mutations."""
+        if v in self._overlay:
+            return np.asarray(self._overlay[v], dtype=np.int64)
+        return self.graph.neighbors(v)
+
+    def effective_out_degree(self, v: int) -> int:
+        if v in self._overlay:
+            return len(self._overlay[v])
+        return self.graph.out_degree(v)
+
+    def effective_neighbor_weights(self, v: int):
+        """Out-edge weights aligned with :meth:`effective_neighbors`.
+
+        Mutated vertices report unit weights (edge mutations carry no
+        weight; a weighted-mutation API is out of scope).
+        """
+        if v in self._overlay:
+            return np.ones(len(self._overlay[v]))
+        return self.graph.neighbor_weights(v)
+
+    def request_mutation(self, v: int, op: str, dst: int) -> None:
+        """Queue an out-edge mutation for ``v`` (applied next superstep)."""
+        if op not in ("add", "remove"):
+            raise ValueError(f"unknown mutation op {op!r}")
+        if not 0 <= dst < self.graph.num_vertices:
+            raise ValueError(f"mutation targets unknown vertex {dst}")
+        self._pending_mutations.append((v, op, dst))
+
+    def _apply_mutations(self) -> None:
+        if not self._pending_mutations:
+            return
+        for v, op, dst in self._pending_mutations:
+            lst = self._overlay.get(v)
+            if lst is None:
+                lst = list(int(u) for u in self.graph.neighbors(v))
+                self._overlay[v] = lst
+                self.overlay_bytes += 16 + 8 * len(lst)
+            if op == "add":
+                lst.append(dst)
+                self.overlay_bytes += 8
+            else:
+                try:
+                    lst.remove(dst)
+                    self.overlay_bytes -= 8
+                except ValueError:
+                    pass  # removing a non-existent edge is a no-op (Pregel)
+        self._pending_mutations = []
+
+    # ------------------------------------------------------------------
+    # Message routing (called from VertexContext.send)
+    # ------------------------------------------------------------------
+    def emit(self, src: int, dst: int, payload: Any) -> None:
+        if not 0 <= dst < self.graph.num_vertices:
+            raise ValueError(f"message to unknown vertex {dst}")
+        dst_worker = int(self.assignment[dst])
+        combiner = self.program.combiner
+        # Counters track *post-combine* messages — what is actually buffered
+        # and transferred, the quantity the paper plots; combining folds an
+        # emit into an existing buffered message at no extra cost.
+        if dst_worker == self.worker_id:
+            box = self.in_next.setdefault(dst, [])
+            if combiner is not None and box:
+                box[0] = combiner.combine(box[0], payload)
+            else:
+                box.append(payload)
+                self.in_next_payload_bytes += self.program.payload_nbytes(payload)
+                self.stats.msgs_out_local += 1
+        else:
+            bucket = self.out_remote.setdefault(dst_worker, {})
+            box = bucket.setdefault(dst, [])
+            if combiner is not None and box:
+                box[0] = combiner.combine(box[0], payload)
+            else:
+                box.append(payload)
+                self.out_remote_wire_bytes += self.model.message_wire_bytes(
+                    self.program.payload_nbytes(payload)
+                )
+                self.stats.msgs_out_remote += 1
+
+    def deliver_remote(self, dst: int, payloads: list) -> float:
+        """Accept a batch of remote messages for local vertex ``dst``.
+
+        Returns the wire bytes received (for the engine's traffic matrix).
+        With a combiner, arriving payloads fold into the buffered one.
+        """
+        combiner = self.program.combiner
+        box = self.in_next.setdefault(dst, [])
+        wire = 0.0
+        for p in payloads:
+            wire += self.model.message_wire_bytes(self.program.payload_nbytes(p))
+            if combiner is not None and box:
+                box[0] = combiner.combine(box[0], p)
+            else:
+                box.append(p)
+                self.in_next_payload_bytes += self.program.payload_nbytes(p)
+        return wire
+
+    def inject(self, dst: int, payload: Any) -> None:
+        """Control-plane activation message (job-manager originated).
+
+        Wakes ``dst`` next superstep; carries no data-plane cost (the paper's
+        manager uses the cheap Azure queues for control traffic).
+        """
+        self.in_next.setdefault(dst, []).append(payload)
+
+    # ------------------------------------------------------------------
+    # Aggregators
+    # ------------------------------------------------------------------
+    def aggregate(self, name: str, value: Any) -> None:
+        if name not in self._aggregators:
+            raise KeyError(f"unknown aggregator {name!r}")
+        agg = self._aggregators[name]
+        self._agg_partials[name] = agg.reduce(self._agg_partials[name], value)
+
+    def aggregated(self, name: str) -> Any:
+        if name not in self._aggregators:
+            raise KeyError(f"unknown aggregator {name!r}")
+        return self._agg_previous.get(name, self._aggregators[name].identity())
+
+    # ------------------------------------------------------------------
+    # Introspection used by the engine
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        """Vertices that have not voted to halt."""
+        return sum(1 for h in self.halted.values() if not h)
+
+    @property
+    def has_buffered_messages(self) -> bool:
+        return bool(self.in_next)
+
+    def buffered_message_bytes(self) -> float:
+        """Wire-equivalent bytes of messages buffered for the next superstep."""
+        m = self.model
+        count = sum(len(box) for box in self.in_next.values())
+        return self.in_next_payload_bytes + count * m.msg_header_bytes
+
+    def memory_footprint(self) -> float:
+        """Peak resident bytes attributed to this superstep.
+
+        Partition share + vertex state + buffered incoming messages for the
+        next superstep (expansion-adjusted) + the transient sender-side
+        remote buffers.  Under disk buffering (Giraph/Hama-style, §II) the
+        buffered messages live on disk, not in memory.
+        """
+        m = self.model
+        if m.disk_buffering or m.mapreduce_iteration:
+            buffered = 0.0
+        else:
+            buffered = self.buffered_message_bytes() * m.msg_memory_expansion
+        return (
+            self.graph_bytes
+            + self.total_state_bytes
+            + buffered
+            + self.out_remote_wire_bytes
+            + self.overlay_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # Vertex migration (live elastic scaling support)
+    # ------------------------------------------------------------------
+    def export_vertex(self, v: int) -> tuple:
+        """Detach a vertex's live data for migration to another worker."""
+        if v not in self.states:
+            raise KeyError(f"vertex {v} not hosted by worker {self.worker_id}")
+        state = self.states.pop(v)
+        nb = self._state_bytes.pop(v)
+        self.total_state_bytes -= nb
+        halted = self.halted.pop(v)
+        pending = self.in_next.pop(v, [])
+        for p in pending:
+            self.in_next_payload_bytes -= self.program.payload_nbytes(p)
+        overlay = self._overlay.pop(v, None)
+        if overlay is not None:
+            self.overlay_bytes -= 16 + 8 * len(overlay)
+        return state, halted, pending, overlay
+
+    def refresh_partition_footprint(self) -> None:
+        """Recompute the hosted-partition memory share after migrations."""
+        hosted = np.array(sorted(self.states.keys()), dtype=np.int64)
+        arcs_hosted = (
+            int(np.diff(self.graph.indptr)[hosted].sum()) if len(hosted) else 0
+        )
+        self.graph_bytes = (
+            arcs_hosted * 6 + len(hosted) * self.model.vertex_overhead_bytes
+        )
+
+    def import_vertex(
+        self, v: int, state, halted: bool, pending: list, overlay=None
+    ) -> None:
+        """Adopt a migrated vertex (replacing any freshly-initialized state)."""
+        if v in self.states:
+            self.total_state_bytes -= self._state_bytes[v]
+        self.states[v] = state
+        nb = int(self.program.state_nbytes(state))
+        self._state_bytes[v] = nb
+        self.total_state_bytes += nb
+        self.halted[v] = halted
+        if pending:
+            box = self.in_next.setdefault(v, [])
+            box.extend(pending)
+            for p in pending:
+                self.in_next_payload_bytes += self.program.payload_nbytes(p)
+        if overlay is not None:
+            self._overlay[v] = overlay
+            self.overlay_bytes += 16 + 8 * len(overlay)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (checkpointing support)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        import copy
+
+        return {
+            "states": copy.deepcopy(self.states),
+            "state_bytes": dict(self._state_bytes),
+            "total_state_bytes": self.total_state_bytes,
+            "halted": dict(self.halted),
+            "in_next": copy.deepcopy(self.in_next),
+            "in_next_payload_bytes": self.in_next_payload_bytes,
+            "overlay": copy.deepcopy(self._overlay),
+            "overlay_bytes": self.overlay_bytes,
+            "pending_mutations": list(self._pending_mutations),
+        }
+
+    def restore(self, snap: dict) -> None:
+        import copy
+
+        self.states = copy.deepcopy(snap["states"])
+        self._state_bytes = dict(snap["state_bytes"])
+        self.total_state_bytes = snap["total_state_bytes"]
+        self.halted = dict(snap["halted"])
+        self.in_next = copy.deepcopy(snap["in_next"])
+        self.in_next_payload_bytes = snap["in_next_payload_bytes"]
+        self._overlay = copy.deepcopy(snap["overlay"])
+        self.overlay_bytes = snap["overlay_bytes"]
+        self._pending_mutations = list(snap["pending_mutations"])
+        self.in_cur = {}
+        self.out_remote = {}
+        self.out_remote_wire_bytes = 0.0

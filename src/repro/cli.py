@@ -1,0 +1,241 @@
+"""Command-line interface for quick experiments.
+
+Mirrors the Pregel.NET web role's job-submission surface (§III: graph file
+location, application, worker count, partitioning scheme) as a CLI::
+
+    python -m repro info --dataset WG --scale 0.3
+    python -m repro generate --dataset CP --scale 0.2 --out cp.txt
+    python -m repro partition --graph cp.txt --workers 8 --strategy metis
+    python -m repro advise --graph cp.txt --workers 8
+    python -m repro run --graph cp.txt --app pagerank --workers 8
+    python -m repro run --dataset WG --app bc --roots 20 --workers 8 \\
+        --sizer adaptive --initiation dynamic --trace-out trace.json
+
+``run`` prints the simulated runtime/cost summary and optionally dumps the
+per-superstep trace (JSON) for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import RunConfig, run_pagerank, run_traversal
+from .analysis.traces import write_json
+from .cloud.costmodel import SCALED_PERF_MODEL
+from .graph import datasets, io as graph_io, summarize
+from .partition import (
+    HashPartitioner,
+    MultilevelPartitioner,
+    PartitioningAdvisor,
+    StreamingGreedy,
+    evaluate,
+)
+from .scheduling import (
+    AdaptiveSizer,
+    DynamicPeakDetect,
+    SamplingSizer,
+    SequentialInitiation,
+    StaticEveryN,
+    StaticSizer,
+)
+
+__all__ = ["main", "build_parser"]
+
+_STRATEGIES = {
+    "hash": lambda seed: HashPartitioner(),
+    "metis": lambda seed: MultilevelPartitioner(
+        seed=seed, imbalance=1.15, refine_passes=12
+    ),
+    "streaming": lambda seed: StreamingGreedy(order="random", seed=seed),
+}
+
+
+def _load_graph(args) -> "object":
+    if args.graph:
+        return graph_io.read_edge_list(args.graph)
+    if args.dataset:
+        return datasets.load(args.dataset, scale=args.scale)
+    raise SystemExit("one of --graph or --dataset is required")
+
+
+def _add_graph_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--graph", help="edge-list file to load")
+    p.add_argument(
+        "--dataset", choices=sorted(datasets.DATASETS),
+        help="synthetic dataset analogue (SD/WG/CP/LJ)",
+    )
+    p.add_argument("--scale", type=float, default=0.3, help="dataset scale knob")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BSP graph processing on a simulated cloud"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="print a graph's Table-1-style summary")
+    _add_graph_args(p)
+
+    p = sub.add_parser("generate", help="write a dataset analogue to a file")
+    _add_graph_args(p)
+    p.add_argument("--out", required=True, help="output edge-list path")
+
+    p = sub.add_parser("partition", help="partition a graph and report quality")
+    _add_graph_args(p)
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument("--strategy", choices=sorted(_STRATEGIES), default="hash")
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("advise", help="recommend hash vs min-cut partitioning")
+    _add_graph_args(p)
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("run", help="run an application on the simulated cloud")
+    _add_graph_args(p)
+    p.add_argument("--app", choices=["pagerank", "bc", "apsp"], default="pagerank")
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument("--strategy", choices=sorted(_STRATEGIES), default="hash")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--iterations", type=int, default=30, help="pagerank rounds")
+    p.add_argument("--roots", type=int, default=20, help="bc/apsp traversal roots")
+    p.add_argument(
+        "--sizer", choices=["all", "static", "sampling", "adaptive"], default="all",
+        help="swath-size heuristic (bc/apsp)",
+    )
+    p.add_argument("--swath", type=int, default=10, help="static swath size")
+    p.add_argument(
+        "--initiation", choices=["sequential", "static", "dynamic"],
+        default="sequential",
+    )
+    p.add_argument("--every", type=int, default=4, help="static initiation N")
+    p.add_argument(
+        "--memory-mb", type=float, default=None,
+        help="worker memory cap in MB (default: unconstrained)",
+    )
+    p.add_argument("--trace-out", help="write per-superstep trace JSON here")
+
+    p = sub.add_parser(
+        "report", help="regenerate the headline experiments as markdown"
+    )
+    p.add_argument("--out", required=True, help="output markdown path")
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument("--roots", type=int, default=20)
+    return parser
+
+
+def _cmd_info(args) -> int:
+    g = _load_graph(args)
+    print(summarize(g, sample=48).row())
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if not args.dataset:
+        raise SystemExit("generate requires --dataset")
+    g = datasets.load(args.dataset, scale=args.scale)
+    graph_io.write_edge_list(g, args.out)
+    print(f"wrote {g} to {args.out}")
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    g = _load_graph(args)
+    part = _STRATEGIES[args.strategy](args.seed)
+    p = part.partition(g, args.workers)
+    print(evaluate(g, p, part.name).row())
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    g = _load_graph(args)
+    advice = PartitioningAdvisor(seed=args.seed).advise(g, args.workers)
+    print(advice.summary())
+    return 0
+
+
+def _make_sizer(args, roots: int):
+    target = int(args.memory_mb * 1e6 * 6 / 7) if args.memory_mb else 1 << 40
+    if args.sizer == "all":
+        return StaticSizer(max(1, roots))
+    if args.sizer == "static":
+        return StaticSizer(args.swath)
+    if args.sizer == "sampling":
+        return SamplingSizer(target)
+    return AdaptiveSizer(target)
+
+
+def _make_initiation(args):
+    if args.initiation == "sequential":
+        return SequentialInitiation()
+    if args.initiation == "static":
+        return StaticEveryN(args.every)
+    return DynamicPeakDetect()
+
+
+def _cmd_run(args) -> int:
+    g = _load_graph(args)
+    cfg = RunConfig(
+        num_workers=args.workers,
+        partitioner=_STRATEGIES[args.strategy](args.seed),
+        perf_model=SCALED_PERF_MODEL,
+    )
+    cfg = cfg.with_memory(
+        int(args.memory_mb * 1e6) if args.memory_mb else (1 << 62)
+    )
+    if args.app == "pagerank":
+        res = run_pagerank(g, cfg, iterations=args.iterations)
+        trace = res.trace
+        print(f"pagerank: {res.supersteps} supersteps")
+    else:
+        run = run_traversal(
+            g, cfg, range(min(args.roots, g.num_vertices)), kind=args.app,
+            sizer=_make_sizer(args, args.roots),
+            initiation=_make_initiation(args),
+        )
+        res = run.result
+        trace = res.trace
+        print(f"{args.app}: {res.supersteps} supersteps, {run.num_swaths} swaths")
+    print(
+        f"simulated time {trace.total_time:.2f}s | cost ${res.total_cost:.4f} | "
+        f"messages {trace.total_messages:,} | peak worker memory "
+        f"{trace.peak_memory / 1e6:.2f} MB"
+    )
+    if args.trace_out:
+        write_json(trace, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from .analysis.report import ReportConfig, generate_report
+
+    text = generate_report(
+        ReportConfig(scale=args.scale, workers=args.workers, roots=args.roots)
+    )
+    Path(args.out).write_text(text)
+    print(f"wrote reproduction report to {args.out} ({len(text)} chars)")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "generate": _cmd_generate,
+    "partition": _cmd_partition,
+    "advise": _cmd_advise,
+    "run": _cmd_run,
+    "report": _cmd_report,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests/CLI
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Simulated public-cloud substrate (Azure stand-in).
+
+Deterministic models for everything the paper's evaluation depends on:
+VM flavors and pricing (:mod:`specs`), the time/memory coefficient set
+(:mod:`costmodel`), data-plane transfer timing (:mod:`network`), physical
+memory + virtual-memory spill (:mod:`memorymodel`), pro-rata billing
+(:mod:`billing`), elastic provisioning (:mod:`provisioner`), and the blob /
+queue platform services Pregel.NET's control plane uses (:mod:`services`).
+"""
+
+from .specs import GB, LARGE_VM, MBPS, SMALL_VM, VMSpec, scaled_large
+from .costmodel import DEFAULT_PERF_MODEL, PerfModel
+from .network import NetworkModel, TrafficSummary
+from .memorymodel import MemoryModel, MemoryUsage
+from .billing import BillingMeter, ChargeLine
+from .provisioner import ElasticProvisioner, ScaleEvent
+from .services import BlobStore, CloudQueue, QueueService
+from .spot import expected_evictions, spot_failure_schedule, spot_price
+
+__all__ = [
+    "GB",
+    "MBPS",
+    "LARGE_VM",
+    "SMALL_VM",
+    "VMSpec",
+    "scaled_large",
+    "DEFAULT_PERF_MODEL",
+    "PerfModel",
+    "NetworkModel",
+    "TrafficSummary",
+    "MemoryModel",
+    "MemoryUsage",
+    "BillingMeter",
+    "ChargeLine",
+    "ElasticProvisioner",
+    "ScaleEvent",
+    "BlobStore",
+    "CloudQueue",
+    "QueueService",
+    "expected_evictions",
+    "spot_failure_schedule",
+    "spot_price",
+]

@@ -1,0 +1,74 @@
+"""Pay-as-you-go billing meter.
+
+§VIII compares policies by "pro-rata normalized cost per VM-second": every
+second a VM is allocated is billed at its hourly price / 3600, whether busy
+or idle at a barrier.  The meter accumulates (spec, seconds) charges and can
+render totals in dollars or normalized to a baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .specs import VMSpec
+
+__all__ = ["BillingMeter", "ChargeLine"]
+
+
+@dataclass(frozen=True)
+class ChargeLine:
+    """One accrual: ``count`` VMs of ``spec`` held for ``seconds``."""
+
+    spec: VMSpec
+    count: int
+    seconds: float
+    label: str = ""
+
+    @property
+    def vm_seconds(self) -> float:
+        return self.count * self.seconds
+
+    @property
+    def cost(self) -> float:
+        return self.vm_seconds * self.spec.price_per_second
+
+
+@dataclass
+class BillingMeter:
+    """Accumulates VM-time charges over a job run."""
+
+    lines: list[ChargeLine] = field(default_factory=list)
+
+    def charge(
+        self, spec: VMSpec, count: int, seconds: float, label: str = ""
+    ) -> ChargeLine:
+        """Accrue ``count`` VMs for ``seconds`` of wall time."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        line = ChargeLine(spec=spec, count=count, seconds=seconds, label=label)
+        self.lines.append(line)
+        return line
+
+    @property
+    def total_vm_seconds(self) -> float:
+        return sum(line.vm_seconds for line in self.lines)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(line.cost for line in self.lines)
+
+    def cost_normalized_to(self, baseline: "BillingMeter") -> float:
+        """This meter's cost as a multiple of ``baseline``'s (Fig. 16 axis)."""
+        base = baseline.total_cost
+        if base <= 0:
+            raise ValueError("baseline has zero cost")
+        return self.total_cost / base
+
+    def merged(self) -> dict[str, float]:
+        """Cost per spec name (for reports)."""
+        out: dict[str, float] = {}
+        for line in self.lines:
+            out[line.spec.name] = out.get(line.spec.name, 0.0) + line.cost
+        return out

@@ -1,0 +1,65 @@
+"""Worker memory accounting and the virtual-memory spill penalty.
+
+§IV: buffered messages "can easily overwhelm the physical memory and
+punitively spill over to virtual memory on disk", whose random-access
+patterns are *worse* than sequential disk buffering; §VI-B adds that badly
+overflowing workers "seem unresponsive and the cloud fabric [restarts] the
+VM".  Both effects are modeled here:
+
+* :meth:`MemoryModel.slowdown` — multiplicative penalty growing linearly in
+  the overflow ratio (1.0 while within physical memory).
+* :meth:`MemoryModel.restart_triggered` — true when overflow exceeds the
+  fabric's tolerance; the engine then charges
+  :attr:`~repro.cloud.costmodel.PerfModel.restart_time` and records the
+  event in the superstep trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costmodel import PerfModel
+from .specs import VMSpec
+
+__all__ = ["MemoryModel", "MemoryUsage"]
+
+
+@dataclass(frozen=True)
+class MemoryUsage:
+    """A worker's resident footprint at a superstep boundary (bytes)."""
+
+    graph_bytes: float
+    state_bytes: float
+    buffered_message_bytes: float
+
+    def __post_init__(self) -> None:
+        if min(self.graph_bytes, self.state_bytes, self.buffered_message_bytes) < 0:
+            raise ValueError("memory components must be non-negative")
+
+    @property
+    def total(self) -> float:
+        return self.graph_bytes + self.state_bytes + self.buffered_message_bytes
+
+
+class MemoryModel:
+    """Maps a worker's footprint to spill slowdown / restart events."""
+
+    def __init__(self, spec: VMSpec, model: PerfModel) -> None:
+        self.spec = spec
+        self.model = model
+
+    def overflow_ratio(self, used_bytes: float) -> float:
+        """How far past physical memory the worker is (0.0 when within)."""
+        cap = self.spec.memory_bytes
+        return max(0.0, used_bytes / cap - 1.0)
+
+    def slowdown(self, used_bytes: float) -> float:
+        """Multiplier on the worker's superstep time (>= 1.0)."""
+        over = self.overflow_ratio(used_bytes)
+        if over <= 0.0:
+            return 1.0
+        return 1.0 + self.model.spill_penalty * over
+
+    def restart_triggered(self, used_bytes: float) -> bool:
+        """True when the fabric would consider the VM unresponsive."""
+        return self.overflow_ratio(used_bytes) > self.model.restart_overflow_ratio

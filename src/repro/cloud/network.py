@@ -1,0 +1,66 @@
+"""Worker-to-worker data-plane timing model.
+
+Pregel.NET opens a TCP endpoint between every pair of workers, re-established
+each superstep to dodge socket timeouts, and ships *bulk* buffers of
+serialized messages on background threads (§III).  This module turns a
+worker's per-superstep traffic matrix row into seconds:
+
+``transfer = max(bytes_out, bytes_in) / nic  +  peers * (latency + setup)``
+
+The max() reflects full-duplex NICs with send/receive overlapped by the
+background threads; per-peer terms reflect connection setup and the first
+byte's latency per flow.  Optional deterministic jitter models multi-tenant
+bandwidth variability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .costmodel import PerfModel
+from .specs import VMSpec
+
+__all__ = ["NetworkModel", "TrafficSummary"]
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """One worker's data-plane activity in one superstep."""
+
+    bytes_out: float
+    bytes_in: float
+    peers_out: int
+    peers_in: int
+
+    def __post_init__(self) -> None:
+        if min(self.bytes_out, self.bytes_in) < 0:
+            raise ValueError("byte counts must be non-negative")
+        if min(self.peers_out, self.peers_in) < 0:
+            raise ValueError("peer counts must be non-negative")
+
+
+class NetworkModel:
+    """Computes data-plane seconds for a worker's superstep traffic."""
+
+    def __init__(self, spec: VMSpec, model: PerfModel) -> None:
+        self.spec = spec
+        self.model = model
+        self._rng = (
+            np.random.default_rng(model.jitter_seed) if model.jitter > 0 else None
+        )
+
+    def transfer_time(self, traffic: TrafficSummary, superstep: int = 0) -> float:
+        """Seconds spent moving this worker's bytes for one superstep."""
+        m = self.model
+        nic = self.spec.network_bytes_per_s
+        if self._rng is not None:
+            # Deterministic multi-tenant jitter: the effective NIC share
+            # wobbles within [1-jitter, 1+jitter].
+            wobble = 1.0 + m.jitter * float(self._rng.uniform(-1.0, 1.0))
+            nic = nic * max(wobble, 1e-3)
+        volume = max(traffic.bytes_out, traffic.bytes_in) / nic
+        peers = max(traffic.peers_out, traffic.peers_in)
+        overhead = peers * (m.latency_per_peer + m.conn_setup_per_peer)
+        return volume + overhead

@@ -1,0 +1,95 @@
+"""Azure-like platform services: blob storage and reliable queues.
+
+Pregel.NET (§III) wires its control plane through exactly these services:
+the web role submits jobs via a queue, workers read the graph file from blob
+storage, the manager drives supersteps with a *step* queue and collects
+worker check-ins from a *barrier* queue.  The stand-ins here are in-memory
+but keep the same semantics (FIFO queues with visibility of message counts,
+named blob containers with byte payloads), so the engine's control flow is
+structured like the paper's deployment and is unit-testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["BlobStore", "CloudQueue", "QueueService"]
+
+
+class BlobStore:
+    """Named byte blobs grouped in containers (Azure blob storage stand-in)."""
+
+    def __init__(self) -> None:
+        self._containers: dict[str, dict[str, bytes]] = {}
+
+    def put(self, container: str, name: str, data: bytes) -> None:
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError("blob data must be bytes")
+        self._containers.setdefault(container, {})[name] = bytes(data)
+
+    def get(self, container: str, name: str) -> bytes:
+        try:
+            return self._containers[container][name]
+        except KeyError:
+            raise KeyError(f"blob {container}/{name} not found") from None
+
+    def exists(self, container: str, name: str) -> bool:
+        return name in self._containers.get(container, {})
+
+    def delete(self, container: str, name: str) -> None:
+        try:
+            del self._containers[container][name]
+        except KeyError:
+            raise KeyError(f"blob {container}/{name} not found") from None
+
+    def list(self, container: str) -> list[str]:
+        return sorted(self._containers.get(container, {}))
+
+    def total_bytes(self) -> int:
+        return sum(
+            len(b) for c in self._containers.values() for b in c.values()
+        )
+
+
+@dataclass
+class CloudQueue:
+    """FIFO message queue with at-least-once get/delete semantics folded to
+    simple pop (our simulated workers never crash mid-dequeue)."""
+
+    name: str
+    _items: deque = field(default_factory=deque)
+
+    def put(self, message: Any) -> None:
+        self._items.append(message)
+
+    def get(self) -> Any:
+        if not self._items:
+            raise IndexError(f"queue {self.name!r} is empty")
+        return self._items.popleft()
+
+    def try_get(self) -> Any | None:
+        return self._items.popleft() if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+
+class QueueService:
+    """Named queues, created on first use (Azure queue service stand-in)."""
+
+    def __init__(self) -> None:
+        self._queues: dict[str, CloudQueue] = {}
+
+    def queue(self, name: str) -> CloudQueue:
+        if name not in self._queues:
+            self._queues[name] = CloudQueue(name)
+        return self._queues[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._queues)

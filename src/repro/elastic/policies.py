@@ -1,0 +1,119 @@
+"""Worker-scaling policies for §VIII's elasticity analysis.
+
+The paper scales between two fleet sizes (4 and 8 workers) at superstep
+boundaries.  A policy sees one superstep's context (active vertices, and —
+for the oracle — the measured per-superstep times at both sizes) and picks
+the fleet size for that superstep.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = [
+    "ScalingContext",
+    "ScalingPolicy",
+    "FixedWorkers",
+    "ActiveFractionPolicy",
+    "OraclePolicy",
+]
+
+
+@dataclass(frozen=True)
+class ScalingContext:
+    """Per-superstep information available to a scaling decision."""
+
+    step: int
+    active_vertices: int
+    max_active: int  # peak active count over the trace (normalization)
+    num_graph_vertices: int
+    time_low: float  # measured superstep time with the small fleet
+    time_high: float  # measured superstep time with the large fleet
+    low: int
+    high: int
+
+    @property
+    def active_fraction_of_peak(self) -> float:
+        return self.active_vertices / self.max_active if self.max_active else 0.0
+
+    @property
+    def active_fraction_of_graph(self) -> float:
+        return (
+            self.active_vertices / self.num_graph_vertices
+            if self.num_graph_vertices
+            else 0.0
+        )
+
+
+class ScalingPolicy(ABC):
+    """Chooses a fleet size (low or high) for each superstep."""
+
+    @abstractmethod
+    def choose(self, ctx: ScalingContext) -> int: ...
+
+    @property
+    def label(self) -> str:
+        return type(self).__name__
+
+
+class FixedWorkers(ScalingPolicy):
+    """Static provisioning at a constant fleet size."""
+
+    def __init__(self, workers: int) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+
+    def choose(self, ctx: ScalingContext) -> int:
+        if self.workers not in (ctx.low, ctx.high):
+            raise ValueError(
+                f"FixedWorkers({self.workers}) outside the measured sizes "
+                f"({ctx.low}, {ctx.high})"
+            )
+        return self.workers
+
+    @property
+    def label(self) -> str:
+        return f"Fixed-{self.workers}"
+
+
+class ActiveFractionPolicy(ScalingPolicy):
+    """The paper's dynamic heuristic: scale out when >= ``threshold`` of
+    vertices are active (default 50%), scale in otherwise.
+
+    ``reference`` selects the denominator: ``"peak"`` (fraction of the
+    trace's peak active count — robust across swath sizes, our default) or
+    ``"graph"`` (fraction of |V|).
+    """
+
+    def __init__(self, threshold: float = 0.5, reference: str = "peak") -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if reference not in ("peak", "graph"):
+            raise ValueError("reference must be 'peak' or 'graph'")
+        self.threshold = threshold
+        self.reference = reference
+
+    def choose(self, ctx: ScalingContext) -> int:
+        frac = (
+            ctx.active_fraction_of_peak
+            if self.reference == "peak"
+            else ctx.active_fraction_of_graph
+        )
+        return ctx.high if frac >= self.threshold else ctx.low
+
+    @property
+    def label(self) -> str:
+        return f"Dynamic({self.threshold:.0%} of {self.reference})"
+
+
+class OraclePolicy(ScalingPolicy):
+    """Ideal scaling: per superstep, whichever size was measured faster."""
+
+    def choose(self, ctx: ScalingContext) -> int:
+        return ctx.high if ctx.time_high < ctx.time_low else ctx.low
+
+    @property
+    def label(self) -> str:
+        return "Oracle"

@@ -1,0 +1,37 @@
+"""Graph substrate: CSR storage, generators, dataset analogues, statistics."""
+
+from .csr import CSRGraph
+from .builder import GraphBuilder, from_edges
+from . import generators, datasets, io, properties
+from .properties import (
+    GraphSummary,
+    average_shortest_path,
+    bfs_levels,
+    clustering_coefficient,
+    connected_components,
+    degree_stats,
+    distance_profile,
+    effective_diameter,
+    largest_component,
+    summarize,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edges",
+    "generators",
+    "datasets",
+    "io",
+    "properties",
+    "GraphSummary",
+    "average_shortest_path",
+    "bfs_levels",
+    "clustering_coefficient",
+    "connected_components",
+    "degree_stats",
+    "distance_profile",
+    "effective_diameter",
+    "largest_component",
+    "summarize",
+]

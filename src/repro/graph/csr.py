@@ -1,0 +1,278 @@
+"""Compressed-sparse-row graph storage.
+
+The whole library stores graphs in a :class:`CSRGraph`: two numpy arrays per
+direction (``indptr``/``indices``) plus optional cached reverse adjacency.
+Vertices are dense integer ids ``0..n-1``.  This mirrors the in-memory layout
+a production BSP worker would use: contiguous neighbor slices, O(1) degree
+lookup, no per-vertex Python objects.
+
+Undirected graphs are represented as symmetric directed graphs (each
+undirected edge stored in both directions); :attr:`CSRGraph.undirected`
+records the intent so algorithms and statistics can divide by two where
+appropriate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+def _validate_csr(n: int, indptr: np.ndarray, indices: np.ndarray) -> None:
+    if indptr.ndim != 1 or indices.ndim != 1:
+        raise ValueError("indptr and indices must be 1-D arrays")
+    if len(indptr) != n + 1:
+        raise ValueError(f"indptr must have length n+1={n + 1}, got {len(indptr)}")
+    if n > 0 and indptr[0] != 0:
+        raise ValueError("indptr[0] must be 0")
+    if np.any(np.diff(indptr) < 0):
+        raise ValueError("indptr must be non-decreasing")
+    if len(indices) != (indptr[-1] if n > 0 else 0):
+        raise ValueError("indices length must equal indptr[-1]")
+    if len(indices) and (indices.min() < 0 or indices.max() >= n):
+        raise ValueError("indices contain out-of-range vertex ids")
+
+
+@dataclass
+class CSRGraph:
+    """A directed graph in CSR form with lazily-built reverse adjacency.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; ids are ``0..num_vertices-1``.
+    indptr, indices:
+        Standard CSR row-pointer and column-index arrays for *out*-edges.
+    undirected:
+        True when the graph semantically represents an undirected graph
+        stored symmetrically.  :attr:`num_edges` then reports undirected
+        edge count (arcs / 2).
+    name:
+        Optional human-readable label (dataset analogues set this).
+    """
+
+    num_vertices: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    undirected: bool = False
+    name: str = ""
+    #: optional per-arc weights, aligned with :attr:`indices`
+    weights: np.ndarray | None = None
+    _rev_indptr: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _rev_indices: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int32)
+        _validate_csr(self.num_vertices, self.indptr, self.indices)
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+            if self.weights.shape != self.indices.shape:
+                raise ValueError("weights must align with indices")
+
+    @property
+    def weighted(self) -> bool:
+        return self.weights is not None
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights of ``v``'s out-edges (aligned with :meth:`neighbors`).
+
+        Unweighted graphs report unit weights.
+        """
+        if self.weights is None:
+            return np.ones(self.out_degree(v))
+        view = self.weights[self.indptr[v] : self.indptr[v + 1]]
+        view.flags.writeable = False
+        return view
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of arc ``u -> v`` (1.0 when unweighted); KeyError if absent."""
+        s, e = self.indptr[u], self.indptr[u + 1]
+        idx = np.searchsorted(self.indices[s:e], v)
+        if idx >= e - s or self.indices[s + idx] != v:
+            raise KeyError(f"no arc {u} -> {v}")
+        return float(self.weights[s + idx]) if self.weights is not None else 1.0
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored directed arcs."""
+        return int(len(self.indices))
+
+    @property
+    def num_edges(self) -> int:
+        """Number of logical edges (arcs, halved for undirected graphs)."""
+        return self.num_arcs // 2 if self.undirected else self.num_arcs
+
+    def out_degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex as an int64 array (a view-free copy)."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v`` as a read-only numpy view (no copy)."""
+        view = self.indices[self.indptr[v] : self.indptr[v + 1]]
+        view.flags.writeable = False
+        return view
+
+    def vertices(self) -> range:
+        return range(self.num_vertices)
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield every stored arc as ``(src, dst)``."""
+        for v in range(self.num_vertices):
+            for u in self.indices[self.indptr[v] : self.indptr[v + 1]]:
+                yield v, int(u)
+
+    def edge_array(self) -> np.ndarray:
+        """All arcs as an ``(m, 2)`` array — vectorized form of iter_edges."""
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int32), np.diff(self.indptr)
+        )
+        return np.column_stack([src, self.indices.astype(np.int32)])
+
+    # ------------------------------------------------------------------
+    # Reverse adjacency (in-edges), built lazily and cached
+    # ------------------------------------------------------------------
+    def _build_reverse(self) -> None:
+        counts = np.bincount(self.indices, minlength=self.num_vertices)
+        rev_indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=rev_indptr[1:])
+        rev_indices = np.empty(self.num_arcs, dtype=np.int32)
+        # Counting-sort style scatter: stable pass over out-edges.
+        cursor = rev_indptr[:-1].copy()
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int32), np.diff(self.indptr)
+        )
+        order = np.argsort(self.indices, kind="stable")
+        rev_indices[:] = src[order]
+        # cursor math not needed with argsort; rev_indptr bounds already align
+        # because indices sorted stably groups by destination.
+        del cursor
+        self._rev_indptr = rev_indptr
+        self._rev_indices = rev_indices
+
+    def in_degree(self, v: int) -> int:
+        if self._rev_indptr is None:
+            self._build_reverse()
+        assert self._rev_indptr is not None
+        return int(self._rev_indptr[v + 1] - self._rev_indptr[v])
+
+    def in_degrees(self) -> np.ndarray:
+        if self._rev_indptr is None:
+            self._build_reverse()
+        assert self._rev_indptr is not None
+        return np.diff(self._rev_indptr)
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighbors of ``v`` (vertices with an arc into ``v``)."""
+        if self._rev_indptr is None:
+            self._build_reverse()
+        assert self._rev_indptr is not None and self._rev_indices is not None
+        view = self._rev_indices[self._rev_indptr[v] : self._rev_indptr[v + 1]]
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def reversed(self) -> "CSRGraph":
+        """Return a new graph with every arc reversed."""
+        if self._rev_indptr is None:
+            self._build_reverse()
+        assert self._rev_indptr is not None and self._rev_indices is not None
+        return CSRGraph(
+            self.num_vertices,
+            self._rev_indptr.copy(),
+            self._rev_indices.copy(),
+            undirected=self.undirected,
+            name=self.name + ".rev" if self.name else "",
+        )
+
+    def as_undirected(self) -> "CSRGraph":
+        """Symmetrize: union of arcs and reversed arcs, deduplicated."""
+        if self.undirected:
+            return self
+        edges = self.edge_array()
+        both = np.vstack([edges, edges[:, ::-1]])
+        from .builder import GraphBuilder  # local import to avoid cycle
+
+        b = GraphBuilder(self.num_vertices, undirected=False)
+        b.add_edges(both[:, 0], both[:, 1])
+        g = b.build(dedupe=True, drop_self_loops=True)
+        return CSRGraph(
+            g.num_vertices, g.indptr, g.indices, undirected=True, name=self.name
+        )
+
+    def induced_subgraph(self, vertices) -> tuple["CSRGraph", np.ndarray]:
+        """Subgraph induced on ``vertices``, with ids renumbered densely.
+
+        Returns ``(subgraph, mapping)`` where ``mapping[new_id] = old_id``
+        (sorted ascending).  Arcs are kept iff both endpoints are selected.
+        """
+        keep = np.unique(np.asarray(list(vertices), dtype=np.int64))
+        if len(keep) and (keep.min() < 0 or keep.max() >= self.num_vertices):
+            raise ValueError("vertices contain out-of-range ids")
+        new_id = np.full(self.num_vertices, -1, dtype=np.int64)
+        new_id[keep] = np.arange(len(keep))
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+        )
+        mask = (new_id[src] >= 0) & (new_id[self.indices] >= 0)
+        new_src = new_id[src[mask]]
+        new_dst = new_id[self.indices[mask]].astype(np.int32)
+        counts = (
+            np.bincount(new_src, minlength=len(keep))
+            if len(new_src)
+            else np.zeros(len(keep), dtype=np.int64)
+        )
+        indptr = np.zeros(len(keep) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        sub = CSRGraph(
+            len(keep), indptr, new_dst.copy(), undirected=self.undirected,
+            name=self.name,
+        )
+        return sub, keep
+
+    def subgraph_arcs(self, mask: np.ndarray) -> "CSRGraph":
+        """Keep only arcs where ``mask`` (length num_arcs, bool) is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self.num_arcs:
+            raise ValueError("mask length must equal num_arcs")
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int32), np.diff(self.indptr)
+        )
+        keep_src, keep_dst = src[mask], self.indices[mask]
+        counts = np.bincount(keep_src, minlength=self.num_vertices)
+        indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRGraph(
+            self.num_vertices, indptr, keep_dst.copy(), undirected=False,
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of adjacency arrays (both directions)."""
+        total = self.indptr.nbytes + self.indices.nbytes
+        if self._rev_indptr is not None:
+            total += self._rev_indptr.nbytes
+        if self._rev_indices is not None:
+            total += self._rev_indices.nbytes
+        return int(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "undirected" if self.undirected else "directed"
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"CSRGraph({kind}{label}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges})"
+        )

@@ -1,0 +1,387 @@
+"""Seeded synthetic graph generators (pure numpy).
+
+These provide the structural classes needed by the paper's evaluation:
+
+* :func:`erdos_renyi` — baseline random graphs for tests.
+* :func:`watts_strogatz` — small-world graphs (high clustering, short paths),
+  the structure class of the SlashDot social graph.
+* :func:`barabasi_albert` — preferential attachment / power-law degree
+  graphs, the structure class of the web-Google graph.
+* :func:`rmat` — Kronecker-style skewed graphs (supernodes), used for the
+  LiveJournal analogue.
+* :func:`planted_partition` — community-structured graphs with configurable
+  (optionally skewed) community sizes, used for the cit-Patents analogue
+  where min-cut partitioning concentrates BFS frontiers in few partitions.
+
+All generators take an explicit ``seed`` and are deterministic for a given
+numpy version.  They return :class:`~repro.graph.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import GraphBuilder
+
+__all__ = [
+    "erdos_renyi",
+    "watts_strogatz",
+    "barabasi_albert",
+    "barabasi_albert_mixed",
+    "rmat",
+    "planted_partition",
+    "community_chain",
+    "ring",
+    "path",
+    "complete",
+    "star",
+    "binary_tree",
+    "grid2d",
+]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic toy graphs (used heavily by tests)
+# ---------------------------------------------------------------------------
+def ring(n: int) -> "CSRGraph":
+    """Undirected cycle on ``n`` vertices."""
+    if n < 3:
+        raise ValueError("ring needs n >= 3")
+    u = np.arange(n)
+    return _build_und(n, u, (u + 1) % n, name=f"ring({n})")
+
+
+def path(n: int) -> "CSRGraph":
+    """Undirected path on ``n`` vertices."""
+    if n < 1:
+        raise ValueError("path needs n >= 1")
+    u = np.arange(n - 1)
+    return _build_und(n, u, u + 1, name=f"path({n})")
+
+
+def complete(n: int) -> "CSRGraph":
+    """Undirected complete graph K_n."""
+    if n < 1:
+        raise ValueError("complete needs n >= 1")
+    u, v = np.triu_indices(n, k=1)
+    return _build_und(n, u, v, name=f"K{n}")
+
+
+def star(n: int) -> "CSRGraph":
+    """Undirected star: hub 0 connected to ``n-1`` leaves."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    leaves = np.arange(1, n)
+    return _build_und(n, np.zeros(n - 1, dtype=np.int64), leaves, name=f"star({n})")
+
+
+def binary_tree(depth: int) -> "CSRGraph":
+    """Undirected complete binary tree of the given depth (root depth 0)."""
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    n = 2 ** (depth + 1) - 1
+    kids = np.arange(1, n)
+    parents = (kids - 1) // 2
+    return _build_und(n, parents, kids, name=f"btree({depth})")
+
+
+def grid2d(rows: int, cols: int) -> "CSRGraph":
+    """Undirected 2-D grid (large diameter: the anti-small-world case)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid2d needs rows, cols >= 1")
+    n = rows * cols
+    idx = np.arange(n).reshape(rows, cols)
+    right_u, right_v = idx[:, :-1].ravel(), idx[:, 1:].ravel()
+    down_u, down_v = idx[:-1, :].ravel(), idx[1:, :].ravel()
+    return _build_und(
+        n,
+        np.concatenate([right_u, down_u]),
+        np.concatenate([right_v, down_v]),
+        name=f"grid({rows}x{cols})",
+    )
+
+
+def _build_und(n, u, v, name=""):
+    b = GraphBuilder(n, undirected=True)
+    b.add_edges(u, v)
+    return b.build(name=name)
+
+
+# ---------------------------------------------------------------------------
+# Random models
+# ---------------------------------------------------------------------------
+def erdos_renyi(n: int, p: float, seed: int, directed: bool = False):
+    """G(n, p) via geometric skipping (O(m) expected, no n^2 table)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    total_slots = n * n if directed else n * (n - 1) // 2
+    if p == 0.0 or total_slots == 0:
+        b = GraphBuilder(n, undirected=not directed)
+        return b.build(name=f"er({n},{p})")
+    if p >= 1.0:
+        slots = np.arange(total_slots)
+    else:
+        # Geometric-gap skipping: draw batches of gaps until the running sum
+        # passes the end of the slot space, then truncate.
+        chunks: list[np.ndarray] = []
+        covered = -1
+        expected = int(total_slots * p) + 16
+        while covered < total_slots:
+            gaps = rng.geometric(p, size=max(64, expected))
+            pos = covered + np.cumsum(gaps)
+            chunks.append(pos)
+            covered = int(pos[-1])
+        slots = np.concatenate(chunks)
+        slots = slots[slots < total_slots]
+    if directed:
+        u, v = slots // n, slots % n
+        keep = u != v
+        u, v = u[keep], v[keep]
+    else:
+        # Map linear index into strict upper triangle.
+        u = (
+            n
+            - 2
+            - np.floor(
+                np.sqrt(-8.0 * slots + 4.0 * n * (n - 1) - 7) / 2.0 - 0.5
+            )
+        ).astype(np.int64)
+        v = (slots + u + 1 - n * (n - 1) // 2 + (n - u) * ((n - u) - 1) // 2).astype(
+            np.int64
+        )
+    b = GraphBuilder(n, undirected=not directed)
+    b.add_edges(u, v)
+    return b.build(name=f"er({n},{p})")
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: int):
+    """Watts–Strogatz small-world graph: ring lattice with rewiring.
+
+    Each vertex starts connected to its ``k`` nearest neighbors (``k`` even);
+    each lattice edge is rewired with probability ``beta`` to a uniformly
+    random target (avoiding self-loops; parallel edges collapse in dedupe).
+    """
+    if k % 2 != 0 or k <= 0:
+        raise ValueError("k must be positive and even")
+    if k >= n:
+        raise ValueError("k must be < n")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError("beta must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    base = np.arange(n)
+    srcs, dsts = [], []
+    for d in range(1, k // 2 + 1):
+        u = base
+        v = (base + d) % n
+        rewire = rng.random(n) < beta
+        new_tgt = rng.integers(0, n, size=n)
+        v = np.where(rewire, new_tgt, v)
+        srcs.append(u)
+        dsts.append(v)
+    b = GraphBuilder(n, undirected=True)
+    b.add_edges(np.concatenate(srcs), np.concatenate(dsts))
+    return b.build(name=f"ws({n},{k},{beta})")
+
+
+def barabasi_albert(n: int, m: int, seed: int):
+    """Barabási–Albert preferential attachment (power-law degrees).
+
+    Implemented with the repeated-endpoints trick: sampling uniformly from
+    the list of all prior edge endpoints is equivalent to degree-proportional
+    sampling.
+    """
+    if m < 1 or m >= n:
+        raise ValueError("need 1 <= m < n")
+    rng = np.random.default_rng(seed)
+    # Start from a star on m+1 vertices so every early vertex has degree >= 1.
+    targets = list(range(m))
+    repeated: list[int] = []
+    srcs: list[int] = []
+    dsts: list[int] = []
+    for v in range(m, n):
+        chosen = set()
+        # Sample m distinct targets preferentially.
+        while len(chosen) < m:
+            if repeated and rng.random() > 1.0 / (len(repeated) + 1):
+                cand = repeated[rng.integers(0, len(repeated))]
+            else:
+                cand = int(rng.integers(0, v))
+            chosen.add(int(cand))
+        for t in chosen:
+            srcs.append(v)
+            dsts.append(t)
+            repeated.append(v)
+            repeated.append(t)
+    del targets
+    b = GraphBuilder(n, undirected=True)
+    b.add_edges(np.array(srcs), np.array(dsts))
+    return b.build(name=f"ba({n},{m})")
+
+
+def barabasi_albert_mixed(n: int, seed: int, p_single: float = 0.7):
+    """Barabási–Albert variant attaching with m=1 (prob ``p_single``) or m=2.
+
+    Average attachment between 1 and 2 keeps the graph sparse (web-graph
+    density) while m=2 edges close enough cycles to keep it from degenerating
+    into a tree; effective diameter lands in the web-graph band (~7-9) rather
+    than the m=2 band (~5) or the pure-tree band (~10+).
+    """
+    if n < 3:
+        raise ValueError("need n >= 3")
+    if not 0.0 <= p_single <= 1.0:
+        raise ValueError("p_single must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    repeated: list[int] = []
+    srcs: list[int] = []
+    dsts: list[int] = []
+    for v in range(1, n):
+        m = 1 if (v < 3 or rng.random() < p_single) else 2
+        chosen: set[int] = set()
+        while len(chosen) < min(m, v):
+            if repeated and rng.random() > 1.0 / (len(repeated) + 1):
+                cand = repeated[rng.integers(0, len(repeated))]
+            else:
+                cand = int(rng.integers(0, v))
+            chosen.add(int(cand))
+        for t in chosen:
+            srcs.append(v)
+            dsts.append(t)
+            repeated.append(v)
+            repeated.append(t)
+    b = GraphBuilder(n, undirected=True)
+    b.add_edges(np.array(srcs), np.array(dsts))
+    return b.build(name=f"bamix({n},{p_single})")
+
+
+def community_chain(
+    num_blocks: int,
+    base_size: int,
+    seed: int,
+    inter_links: int = 60,
+    k: int = 6,
+    beta: float = 0.15,
+    decay: int = 3,
+):
+    """Chain-of-communities graph (citation-network analogue).
+
+    Communities (technology areas x time) are Watts–Strogatz blocks of
+    *skewed* sizes (``base_size * (1 + i mod 3)``); inter-community links
+    decay with chain distance as ``1 / d**decay``, modeling citations mostly
+    reaching nearby time windows.  The result has the largest effective
+    diameter of our dataset analogues and — key for §VII — min-edge-cut
+    partitions align with communities, concentrating BFS frontiers in a few
+    partitions at a time (dense blocks + steep decay sharpen the effect).
+    """
+    if num_blocks < 2:
+        raise ValueError("need at least 2 blocks")
+    if base_size < 8:
+        raise ValueError("base_size too small for a WS block")
+    rng = np.random.default_rng(seed)
+    sizes = [base_size * (1 + (i % 3)) for i in range(num_blocks)]
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    b = GraphBuilder(int(offsets[-1]), undirected=True)
+    for i, s in enumerate(sizes):
+        sub = watts_strogatz(s, k=k, beta=beta, seed=int(rng.integers(1 << 30)))
+        e = sub.edge_array()
+        half = e[e[:, 0] < e[:, 1]]
+        b.add_edges(half[:, 0] + offsets[i], half[:, 1] + offsets[i])
+    for i in range(num_blocks):
+        for j in range(i + 1, num_blocks):
+            cnt = int(inter_links / (j - i) ** decay)
+            if cnt < 1:
+                continue
+            u = rng.integers(0, sizes[i], size=cnt) + offsets[i]
+            v = rng.integers(0, sizes[j], size=cnt) + offsets[j]
+            b.add_edges(u, v)
+    return b.build(name=f"chain({num_blocks}x{base_size})")
+
+
+def rmat(
+    scale: int,
+    edge_factor: int,
+    seed: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    undirected: bool = True,
+):
+    """R-MAT / Kronecker generator: ``2**scale`` vertices, skewed degrees.
+
+    Classic Graph500 parameters by default (a=0.57, b=c=0.19, d=0.05),
+    producing heavy supernodes — the structure that drives the near-
+    exponential frontier ramp-up the paper describes for BC/APSP.
+    """
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("a + b + c must be <= 1")
+    n = 2**scale
+    m = n * edge_factor
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for _ in range(scale):
+        r = rng.random(m)
+        go_right = (r >= a) & (r < a + b)
+        go_down = (r >= a + b) & (r < a + b + c)
+        go_diag = r >= a + b + c
+        src = src * 2 + (go_down | go_diag)
+        dst = dst * 2 + (go_right | go_diag)
+    # Permute vertex ids so structure is not correlated with id order.
+    perm = rng.permutation(n)
+    src, dst = perm[src], perm[dst]
+    builder = GraphBuilder(n, undirected=undirected)
+    builder.add_edges(src, dst)
+    return builder.build(name=f"rmat({scale},{edge_factor})")
+
+
+def planted_partition(
+    community_sizes,
+    p_in: float,
+    p_out: float,
+    seed: int,
+    undirected: bool = True,
+):
+    """Planted-partition graph over explicit (possibly skewed) communities.
+
+    ``community_sizes`` is a sequence of block sizes.  Within a block, edges
+    appear with probability ``p_in``; across blocks with ``p_out``.  Skewed
+    block sizes make min-edge-cut partitions align with communities, which
+    concentrates traversal frontiers in a few workers — the paper's CP
+    load-imbalance effect.
+    """
+    sizes = np.asarray(list(community_sizes), dtype=np.int64)
+    if np.any(sizes <= 0):
+        raise ValueError("community sizes must be positive")
+    n = int(sizes.sum())
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    rng = np.random.default_rng(seed)
+    srcs, dsts = [], []
+    # Intra-community edges per block.
+    for ci, size in enumerate(sizes):
+        if size < 2 or p_in <= 0:
+            continue
+        sub = erdos_renyi(int(size), p_in, seed=int(rng.integers(1 << 30)))
+        e = sub.edge_array()
+        half = e[e[:, 0] < e[:, 1]]
+        srcs.append(half[:, 0] + offsets[ci])
+        dsts.append(half[:, 1] + offsets[ci])
+    # Inter-community edges: expected count sampled directly.
+    if p_out > 0:
+        for ci in range(len(sizes)):
+            for cj in range(ci + 1, len(sizes)):
+                slots = int(sizes[ci] * sizes[cj])
+                cnt = rng.binomial(slots, p_out)
+                if cnt == 0:
+                    continue
+                u = rng.integers(0, sizes[ci], size=cnt) + offsets[ci]
+                v = rng.integers(0, sizes[cj], size=cnt) + offsets[cj]
+                srcs.append(u)
+                dsts.append(v)
+    b = GraphBuilder(n, undirected=undirected)
+    if srcs:
+        b.add_edges(np.concatenate(srcs), np.concatenate(dsts))
+    g = b.build(name=f"ppm({len(sizes)} blocks)")
+    return g

@@ -1,0 +1,168 @@
+"""Partitioning advisor — the paper's future work, implemented.
+
+§IX: "Our work uncovered an unexpected impact of partitioning and it would
+be worthwhile, in future, to examine the ability to predict, given certain
+graph properties, a suitable partitioning model for Pregel/BSP."
+
+The §VII mechanism is *frontier concentration*: min-cut partitions align
+with communities, so a BFS wave occupies few partitions at a time; under
+BSP's barrier the busiest worker sets the pace and the edge-cut saving is
+cancelled.  The advisor measures exactly that:
+
+1. partition the graph with the candidate min-cut strategy;
+2. run a handful of sampled BFS waves (pure graph ops — no engine);
+3. for each BFS level, compute the *concentration* of frontier-adjacent
+   message load across partitions (normalized max/mean, weighted by level
+   size);
+4. compare the measured :class:`Advice` ratio — predicted barrier-limited
+   superstep cost under min-cut vs under hashing — and recommend.
+
+The predicted ratio folds the two §VII forces together:
+
+``cost(strategy) ∝ concentration(strategy) * (local + remote_factor * cut(strategy))``
+
+where ``remote_factor`` is the relative price of a remote message (from
+:class:`~repro.cloud.costmodel.PerfModel` or supplied directly).  Tests
+verify the advisor recommends min-cut for the WG analogue and hashing for
+the CP analogue — reproducing Fig. 8's verdicts from structure alone, with
+no engine runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.properties import bfs_levels
+from .base import Partition, Partitioner
+from .hashing import HashPartitioner
+from .metis import MultilevelPartitioner
+from .metrics import remote_edge_fraction
+
+__all__ = ["Advice", "PartitioningAdvisor"]
+
+
+@dataclass(frozen=True)
+class Advice:
+    """The advisor's verdict and the evidence behind it."""
+
+    recommendation: str  # "min-cut" or "hash"
+    predicted_ratio: float  # predicted time(min-cut) / time(hash); <1 = min-cut wins
+    concentration_mincut: float
+    concentration_hash: float
+    remote_fraction_mincut: float
+    remote_fraction_hash: float
+
+    def summary(self) -> str:
+        return (
+            f"recommend {self.recommendation} "
+            f"(predicted min-cut/hash time ratio {self.predicted_ratio:.2f}; "
+            f"frontier concentration {self.concentration_mincut:.2f} vs "
+            f"{self.concentration_hash:.2f}; remote edges "
+            f"{self.remote_fraction_mincut:.0%} vs "
+            f"{self.remote_fraction_hash:.0%})"
+        )
+
+
+class PartitioningAdvisor:
+    """Predicts whether min-cut partitioning beats hashing under BSP.
+
+    Parameters
+    ----------
+    remote_factor:
+        Cost of a remote message relative to a local one (serialization +
+        network vs in-memory append).  The scaled cost model's ratio is
+        ~2.6; pass your own if your deployment differs.
+    num_probes:
+        Number of sampled BFS waves used to estimate frontier concentration.
+    seed:
+        Seeds probe-root sampling and the trial min-cut partitioner.
+    """
+
+    def __init__(
+        self,
+        remote_factor: float = 2.6,
+        num_probes: int = 8,
+        seed: int = 0,
+        mincut_partitioner: Partitioner | None = None,
+        threshold: float = 0.85,
+    ) -> None:
+        if remote_factor <= 0:
+            raise ValueError("remote_factor must be positive")
+        if num_probes < 1:
+            raise ValueError("num_probes must be >= 1")
+        if not 0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.remote_factor = float(remote_factor)
+        self.num_probes = int(num_probes)
+        self.seed = seed
+        self.mincut_partitioner = mincut_partitioner or MultilevelPartitioner(
+            seed=seed, imbalance=1.15, refine_passes=12
+        )
+        # Min-cut must be predicted at least this much faster to be worth
+        # recommending: it costs an offline partitioning pass, and §VII
+        # shows the imbalance downside materializes exactly in borderline
+        # cases — hashing is the safe zero-preprocessing default.
+        self.threshold = float(threshold)
+
+    # ------------------------------------------------------------------
+    def frontier_concentration(
+        self, graph: CSRGraph, partition: Partition
+    ) -> float:
+        """Mean normalized max/mean of per-partition frontier message load.
+
+        For each probe BFS and each level, the message load a partition
+        hosts is the total out-degree of its frontier vertices (each
+        frontier vertex sends along every edge).  1.0 = perfectly even;
+        ``num_parts`` = one partition does all the work.
+        """
+        rng = np.random.default_rng(self.seed)
+        n = graph.num_vertices
+        k = partition.num_parts
+        degrees = graph.out_degrees().astype(np.float64)
+        roots = rng.choice(n, size=min(self.num_probes, n), replace=False)
+        scores: list[float] = []
+        weights: list[float] = []
+        for root in roots:
+            dist = bfs_levels(graph, int(root))
+            max_d = int(dist.max())
+            for level in range(max_d + 1):
+                frontier = np.flatnonzero(dist == level)
+                load = np.zeros(k)
+                np.add.at(load, partition.assignment[frontier], degrees[frontier])
+                total = load.sum()
+                if total <= 0:
+                    continue
+                scores.append(float(load.max() / (total / k)))
+                weights.append(total)
+        if not scores:
+            return 1.0
+        return float(np.average(scores, weights=weights))
+
+    def predicted_cost(self, concentration: float, remote_frac: float) -> float:
+        """Barrier-limited per-superstep cost, up to a constant factor."""
+        per_message = 1.0 + self.remote_factor * remote_frac
+        return concentration * per_message
+
+    # ------------------------------------------------------------------
+    def advise(self, graph: CSRGraph, num_parts: int) -> Advice:
+        """Measure both strategies' indicators and recommend one."""
+        if num_parts < 2:
+            raise ValueError("advising needs num_parts >= 2")
+        mincut = self.mincut_partitioner.partition(graph, num_parts)
+        hashed = HashPartitioner().partition(graph, num_parts)
+        conc_m = self.frontier_concentration(graph, mincut)
+        conc_h = self.frontier_concentration(graph, hashed)
+        rf_m = remote_edge_fraction(graph, mincut)
+        rf_h = remote_edge_fraction(graph, hashed)
+        ratio = self.predicted_cost(conc_m, rf_m) / self.predicted_cost(conc_h, rf_h)
+        return Advice(
+            recommendation="min-cut" if ratio < self.threshold else "hash",
+            predicted_ratio=ratio,
+            concentration_mincut=conc_m,
+            concentration_hash=conc_h,
+            remote_fraction_mincut=rf_m,
+            remote_fraction_hash=rf_h,
+        )

@@ -1,0 +1,75 @@
+"""Partitioner interface and the Partition assignment object.
+
+A :class:`Partition` maps every vertex to a worker id ``0..k-1``.  The BSP
+engine consumes it to decide message locality (local in-memory delivery vs
+remote network transfer), exactly as Pregel.NET's workers do when loading
+their share of the graph file from blob storage.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["Partition", "Partitioner"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Assignment of vertices to ``num_parts`` workers.
+
+    ``assignment[v]`` is the worker id owning vertex ``v``.
+    """
+
+    num_parts: int
+    assignment: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.assignment, dtype=np.int32)
+        object.__setattr__(self, "assignment", arr)
+        if self.num_parts <= 0:
+            raise ValueError("num_parts must be positive")
+        if arr.ndim != 1:
+            raise ValueError("assignment must be 1-D")
+        if len(arr) and (arr.min() < 0 or arr.max() >= self.num_parts):
+            raise ValueError("assignment contains out-of-range part ids")
+
+    @property
+    def num_vertices(self) -> int:
+        return int(len(self.assignment))
+
+    def part_of(self, v: int) -> int:
+        return int(self.assignment[v])
+
+    def vertices_of(self, part: int) -> np.ndarray:
+        """Vertex ids owned by ``part`` (ascending)."""
+        if not 0 <= part < self.num_parts:
+            raise ValueError(f"part {part} out of range")
+        return np.flatnonzero(self.assignment == part)
+
+    def sizes(self) -> np.ndarray:
+        """Vertex count per part."""
+        return np.bincount(self.assignment, minlength=self.num_parts)
+
+    def renumbered(self, perm: np.ndarray) -> "Partition":
+        """Partition for a graph whose vertices were permuted by ``perm``
+        (``perm[new_id] = old_id``)."""
+        return Partition(self.num_parts, self.assignment[perm])
+
+
+class Partitioner(ABC):
+    """Strategy object producing a :class:`Partition` for a graph."""
+
+    #: short name used in reports (e.g. "Hash", "METIS", "Streaming").
+    name: str = "base"
+
+    @abstractmethod
+    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+        """Partition ``graph`` into ``num_parts`` parts."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,103 @@
+"""Fennel streaming partitioner (Tsourakakis et al., WSDM 2014).
+
+The successor to the Stanton–Kliot heuristics the paper evaluates: instead
+of a hard capacity with a linear multiplicative penalty, Fennel assigns the
+arriving vertex to the part maximizing
+
+``|N(v) ∩ P_i|  -  alpha * gamma * |P_i|^(gamma-1)``
+
+— an *additive* degree-of-freedom between edge locality and balance derived
+from interpolating modularity-style objectives.  With the authors'
+recommended ``gamma = 1.5`` and ``alpha = sqrt(k) * m / n^1.5``, Fennel
+matches or beats LDG's cut at comparable balance; having both lets the
+streaming benches compare generations of heuristics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import Partition, Partitioner
+from .streaming import Order, stream_order
+
+__all__ = ["FennelPartitioner"]
+
+
+class FennelPartitioner(Partitioner):
+    """One-pass Fennel with the paper-recommended parameterization.
+
+    Parameters
+    ----------
+    gamma:
+        Balance-cost exponent (> 1); 1.5 is the authors' default.
+    alpha:
+        Balance-cost weight; ``None`` derives the recommended
+        ``sqrt(k) * m / n**1.5`` per graph.
+    slack:
+        Hard balance guard: no part grows past ``slack * n / k`` (the
+        additive penalty alone can drift on adversarial orders).
+    order, seed:
+        Stream order (see :func:`repro.partition.streaming.stream_order`).
+    """
+
+    name = "Fennel"
+
+    def __init__(
+        self,
+        gamma: float = 1.5,
+        alpha: float | None = None,
+        slack: float = 1.1,
+        order: Order = "natural",
+        seed: int = 0,
+    ) -> None:
+        if gamma <= 1.0:
+            raise ValueError("gamma must be > 1")
+        if alpha is not None and alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if slack < 1.0:
+            raise ValueError("slack must be >= 1.0")
+        self.gamma = float(gamma)
+        self.alpha = alpha
+        self.slack = float(slack)
+        self.order = order
+        self.seed = seed
+
+    def _alpha_for(self, graph: CSRGraph, num_parts: int) -> float:
+        if self.alpha is not None:
+            return self.alpha
+        n = max(graph.num_vertices, 1)
+        m = max(graph.num_edges, 1)
+        return float(np.sqrt(num_parts) * m / n**1.5)
+
+    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+        if num_parts <= 0:
+            raise ValueError("num_parts must be positive")
+        n = graph.num_vertices
+        assign = np.full(n, -1, dtype=np.int32)
+        sizes = np.zeros(num_parts, dtype=np.float64)
+        alpha = self._alpha_for(graph, num_parts)
+        gamma = self.gamma
+        capacity = max(1.0, self.slack * n / num_parts)
+        for v in stream_order(graph, self.order, self.seed):
+            nbrs = graph.neighbors(int(v))
+            placed = assign[nbrs]
+            placed = placed[placed >= 0]
+            locality = (
+                np.bincount(placed, minlength=num_parts).astype(np.float64)
+                if len(placed)
+                else np.zeros(num_parts)
+            )
+            penalty = alpha * gamma * np.power(sizes, gamma - 1.0)
+            scores = locality - penalty
+            full = sizes >= capacity
+            if full.all():
+                p = int(np.argmin(sizes))
+            else:
+                scores[full] = -np.inf
+                best = scores.max()
+                cand = np.flatnonzero(scores == best)
+                p = int(cand[np.argmin(sizes[cand])])
+            assign[v] = p
+            sizes[p] += 1.0
+        return Partition(num_parts, assign)

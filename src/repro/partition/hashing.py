@@ -1,0 +1,63 @@
+"""Hash partitioning — the paper's (and Pregel's) default strategy.
+
+A simple deterministic hash of the vertex id decides the owning worker.
+Produces near-perfect balance and near-worst-case edge cut (the paper
+measures 86-87% remote edges on WG/CP with 8 workers), and — crucially for
+§VII — spreads any traversal frontier *evenly* over workers, which is why it
+can beat METIS under BSP barriers on imbalance-prone graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import Partition, Partitioner
+
+__all__ = ["HashPartitioner", "ModuloPartitioner"]
+
+# Knuth multiplicative-hash constant (2^64 / phi), for id scrambling.
+_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64-style finalizer: decorrelates vertex id from part id."""
+    with np.errstate(over="ignore"):
+        z = (x.astype(np.uint64) + _MIX) * np.uint64(0xBF58476D1CE4E5B9)
+        z ^= z >> np.uint64(27)
+        z *= np.uint64(0x94D049BB133111EB)
+        z ^= z >> np.uint64(31)
+    return z
+
+
+class HashPartitioner(Partitioner):
+    """Scrambled-hash assignment: ``part = mix64(v) mod k``."""
+
+    name = "Hash"
+
+    def __init__(self, salt: int = 0) -> None:
+        self.salt = int(salt)
+
+    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+        if num_parts <= 0:
+            raise ValueError("num_parts must be positive")
+        ids = np.arange(graph.num_vertices, dtype=np.uint64) + np.uint64(
+            self.salt & 0xFFFFFFFF
+        ) * np.uint64(1 << 32)
+        hashed = _mix64(ids)
+        return Partition(num_parts, (hashed % np.uint64(num_parts)).astype(np.int32))
+
+
+class ModuloPartitioner(Partitioner):
+    """Plain ``v mod k`` — the naivest possible hash; useful as a foil in
+    tests because consecutive ids land on different workers."""
+
+    name = "Modulo"
+
+    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+        if num_parts <= 0:
+            raise ValueError("num_parts must be positive")
+        return Partition(
+            num_parts,
+            (np.arange(graph.num_vertices) % num_parts).astype(np.int32),
+        )

@@ -1,0 +1,139 @@
+"""Spectral partitioning via recursive Fiedler bisection.
+
+The classical offline alternative to multilevel partitioning: split on the
+sign/median of the graph Laplacian's second eigenvector (the Fiedler
+vector), recursing until ``num_parts`` parts exist.  Included as a second
+in-place strategy so the §VII analysis isn't tied to one min-cut
+implementation; on community-structured graphs it finds cuts comparable to
+the multilevel partitioner's at small scales (it is O(n^3)-ish dense
+eigensolving, so it is guarded to modest graphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import Partition, Partitioner
+
+__all__ = ["SpectralPartitioner"]
+
+
+class SpectralPartitioner(Partitioner):
+    """Recursive Fiedler-vector bisection (dense eigensolver).
+
+    ``num_parts`` need not be a power of two: each bisection splits the
+    part's quota proportionally.  Refuses graphs beyond ``max_vertices``
+    (dense eigendecomposition cost).
+    """
+
+    name = "Spectral"
+
+    def __init__(self, max_vertices: int = 4000, seed: int = 0) -> None:
+        if max_vertices < 2:
+            raise ValueError("max_vertices must be >= 2")
+        self.max_vertices = int(max_vertices)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _fiedler_split(self, graph: CSRGraph, vertices: np.ndarray, left_quota: int):
+        """Split ``vertices`` into (left, right) with |left| = left_quota."""
+        sub = {int(v): i for i, v in enumerate(vertices)}
+        n = len(vertices)
+        lap = np.zeros((n, n))
+        for i, v in enumerate(vertices):
+            for u in graph.neighbors(int(v)):
+                j = sub.get(int(u))
+                if j is not None and j != i:
+                    lap[i, j] -= 1.0
+                    lap[i, i] += 1.0
+        # Second-smallest eigenvector of the (symmetric) Laplacian.
+        vals, vecs = np.linalg.eigh(lap)
+        fiedler = vecs[:, 1] if n > 1 else np.zeros(1)
+        # Quota split at the sorted order (deterministic; ties by id).
+        order = np.lexsort((vertices, fiedler))
+        left = vertices[order[:left_quota]]
+        right = vertices[order[left_quota:]]
+        return self._kl_refine(graph, left, right)
+
+    def _kl_refine(
+        self, graph: CSRGraph, left: np.ndarray, right: np.ndarray,
+        max_swaps: int | None = None,
+    ):
+        """Kernighan–Lin-style pair swaps: fixes the mixing a single Fiedler
+        vector leaves when two clusters overlap at the quota boundary."""
+        left_set = set(int(v) for v in left)
+        right_set = set(int(v) for v in right)
+        both = left_set | right_set
+        if max_swaps is None:
+            max_swaps = max(4, len(both) // 4)
+
+        def gain(v: int, own: set, other: set) -> int:
+            g = 0
+            for u in graph.neighbors(v):
+                ui = int(u)
+                if ui in other:
+                    g += 1
+                elif ui in own:
+                    g -= 1
+            return g
+
+        for _ in range(max_swaps):
+            lg = sorted(
+                ((gain(v, left_set, right_set), -v, v) for v in left_set),
+                reverse=True,
+            )[:12]
+            rg = sorted(
+                ((gain(v, right_set, left_set), -v, v) for v in right_set),
+                reverse=True,
+            )[:12]
+            best = None
+            for glv, _, lv in lg:
+                nbrs_lv = set(int(u) for u in graph.neighbors(lv))
+                for grv, _, rv in rg:
+                    total = glv + grv - (2 if rv in nbrs_lv else 0)
+                    if total > 0 and (best is None or total > best[0]):
+                        best = (total, lv, rv)
+            if best is None:
+                break
+            _, lv, rv = best
+            left_set.remove(lv)
+            left_set.add(rv)
+            right_set.remove(rv)
+            right_set.add(lv)
+        return (
+            np.array(sorted(left_set), dtype=left.dtype),
+            np.array(sorted(right_set), dtype=right.dtype),
+        )
+
+    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+        if num_parts <= 0:
+            raise ValueError("num_parts must be positive")
+        n = graph.num_vertices
+        if n > self.max_vertices:
+            raise ValueError(
+                f"graph has {n} vertices; SpectralPartitioner is dense and "
+                f"capped at {self.max_vertices} (use MultilevelPartitioner)"
+            )
+        sym = graph if graph.undirected else graph.as_undirected()
+        assign = np.zeros(n, dtype=np.int32)
+        if num_parts == 1 or n == 0:
+            return Partition(num_parts, assign)
+
+        # Work queue of (vertex set, part-id range).
+        next_part = 0
+        queue: list[tuple[np.ndarray, int]] = [(np.arange(n), num_parts)]
+        while queue:
+            vertices, parts = queue.pop()
+            if parts == 1:
+                assign[vertices] = next_part
+                next_part += 1
+                continue
+            left_parts = parts // 2
+            right_parts = parts - left_parts
+            left_quota = int(round(len(vertices) * left_parts / parts))
+            left_quota = min(max(left_quota, left_parts), len(vertices) - right_parts)
+            left, right = self._fiedler_split(sym, vertices, left_quota)
+            queue.append((left, left_parts))
+            queue.append((right, right_parts))
+        return Partition(num_parts, assign)

@@ -1,0 +1,176 @@
+"""Streaming graph partitioning (Stanton & Kliot, MSR-TR-2011-121).
+
+The paper (§VII) uses "the best heuristic (linear-weighted deterministic,
+greedy approach) streaming partitioner from [26]" — vertices arrive one at a
+time (in storage order) with their adjacency lists, and each is irrevocably
+assigned to a part using only the already-assigned prefix.
+
+We implement the family:
+
+* :class:`StreamingBalanced` — assign to the currently smallest part.
+* :class:`StreamingChunking` — contiguous chunks of the stream order.
+* :class:`StreamingGreedy` — deterministic greedy
+  ``argmax_i |P_i ∩ N(v)| * w(|P_i|)`` with weight ``w`` unweighted /
+  linear / exponential.  ``linear`` is the paper's pick: capacity-normalized
+  penalty ``w(s) = 1 - s/C`` with ``C = n / k``.
+
+Stream order is configurable (``natural``, ``random``, ``bfs``); the paper
+reads graphs from blob storage in natural order, which is our default.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Literal
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import Partition, Partitioner
+
+__all__ = ["StreamingGreedy", "StreamingBalanced", "StreamingChunking", "stream_order"]
+
+Order = Literal["natural", "random", "bfs"]
+Weight = Literal["unweighted", "linear", "exponential"]
+
+
+def stream_order(graph: CSRGraph, order: Order, seed: int = 0) -> np.ndarray:
+    """The vertex arrival order used by streaming partitioners."""
+    n = graph.num_vertices
+    if order == "natural":
+        return np.arange(n)
+    if order == "random":
+        return np.random.default_rng(seed).permutation(n)
+    if order == "bfs":
+        seen = np.zeros(n, dtype=bool)
+        out = np.empty(n, dtype=np.int64)
+        pos = 0
+        for root in range(n):
+            if seen[root]:
+                continue
+            seen[root] = True
+            q = deque([root])
+            while q:
+                v = q.popleft()
+                out[pos] = v
+                pos += 1
+                for u in graph.neighbors(v):
+                    ui = int(u)
+                    if not seen[ui]:
+                        seen[ui] = True
+                        q.append(ui)
+        return out
+    raise ValueError(f"unknown stream order {order!r}")
+
+
+class StreamingBalanced(Partitioner):
+    """Assign each arriving vertex to the currently least-loaded part."""
+
+    name = "Stream-Balanced"
+
+    def __init__(self, order: Order = "natural", seed: int = 0) -> None:
+        self.order = order
+        self.seed = seed
+
+    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+        if num_parts <= 0:
+            raise ValueError("num_parts must be positive")
+        n = graph.num_vertices
+        assign = np.full(n, -1, dtype=np.int32)
+        sizes = np.zeros(num_parts, dtype=np.int64)
+        for v in stream_order(graph, self.order, self.seed):
+            p = int(np.argmin(sizes))
+            assign[v] = p
+            sizes[p] += 1
+        return Partition(num_parts, assign)
+
+
+class StreamingChunking(Partitioner):
+    """Contiguous chunks of the stream: vertex i of the stream goes to part
+    ``i // ceil(n/k)``.  Exploits any locality already present in id order."""
+
+    name = "Stream-Chunking"
+
+    def __init__(self, order: Order = "natural", seed: int = 0) -> None:
+        self.order = order
+        self.seed = seed
+
+    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+        if num_parts <= 0:
+            raise ValueError("num_parts must be positive")
+        n = graph.num_vertices
+        assign = np.full(n, -1, dtype=np.int32)
+        chunk = -(-n // num_parts) if n else 1
+        for i, v in enumerate(stream_order(graph, self.order, self.seed)):
+            assign[v] = min(i // chunk, num_parts - 1)
+        return Partition(num_parts, assign)
+
+
+class StreamingGreedy(Partitioner):
+    """Weighted deterministic greedy (the paper's streaming pick).
+
+    For arriving vertex v, scores each part i as
+    ``|P_i ∩ N(v)| * w(|P_i|)`` and assigns to the argmax, breaking ties
+    toward the least-loaded part (deterministic).  Weights:
+
+    * ``unweighted``: w = 1 (degenerates to 'join most neighbors')
+    * ``linear``:     w = 1 - size/C   with C = slack * n / k
+    * ``exponential``: w = 1 - exp(size - C)
+    """
+
+    name = "Streaming"
+
+    def __init__(
+        self,
+        weight: Weight = "linear",
+        order: Order = "natural",
+        slack: float = 1.1,
+        seed: int = 0,
+    ) -> None:
+        if weight not in ("unweighted", "linear", "exponential"):
+            raise ValueError(f"unknown weight {weight!r}")
+        if slack < 1.0:
+            raise ValueError("slack must be >= 1.0")
+        self.weight = weight
+        self.order = order
+        self.slack = float(slack)
+        self.seed = seed
+
+    def _weights(self, sizes: np.ndarray, capacity: float) -> np.ndarray:
+        if self.weight == "unweighted":
+            return np.ones_like(sizes, dtype=np.float64)
+        if self.weight == "linear":
+            return np.maximum(0.0, 1.0 - sizes / capacity)
+        # exponential
+        return 1.0 - np.exp(sizes.astype(np.float64) - capacity)
+
+    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+        if num_parts <= 0:
+            raise ValueError("num_parts must be positive")
+        n = graph.num_vertices
+        assign = np.full(n, -1, dtype=np.int32)
+        sizes = np.zeros(num_parts, dtype=np.int64)
+        capacity = max(1.0, self.slack * n / num_parts)
+        for v in stream_order(graph, self.order, self.seed):
+            nbrs = graph.neighbors(int(v))
+            placed = assign[nbrs]
+            placed = placed[placed >= 0]
+            counts = (
+                np.bincount(placed, minlength=num_parts).astype(np.float64)
+                if len(placed)
+                else np.zeros(num_parts)
+            )
+            scores = counts * self._weights(sizes, capacity)
+            # Hard capacity guard: never overflow slack * ideal.
+            full = sizes >= capacity
+            if full.all():
+                p = int(np.argmin(sizes))
+            else:
+                scores[full] = -np.inf
+                best = scores.max()
+                cand = np.flatnonzero(scores == best)
+                # deterministic tie-break: least loaded, then lowest id
+                p = int(cand[np.argmin(sizes[cand])])
+            assign[v] = p
+            sizes[p] += 1
+        return Partition(num_parts, assign)

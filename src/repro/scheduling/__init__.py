@@ -1,0 +1,32 @@
+"""Swath scheduling — the paper's primary contribution (§IV)."""
+
+from .sizing import (
+    AdaptiveSizer,
+    SamplingSizer,
+    SizerObservation,
+    StaticSizer,
+    SwathSizer,
+)
+from .initiation import (
+    DynamicPeakDetect,
+    InitiationContext,
+    InitiationPolicy,
+    SequentialInitiation,
+    StaticEveryN,
+)
+from .controller import SwathController, SwathEvent
+
+__all__ = [
+    "AdaptiveSizer",
+    "SamplingSizer",
+    "SizerObservation",
+    "StaticSizer",
+    "SwathSizer",
+    "DynamicPeakDetect",
+    "InitiationContext",
+    "InitiationPolicy",
+    "SequentialInitiation",
+    "StaticEveryN",
+    "SwathController",
+    "SwathEvent",
+]

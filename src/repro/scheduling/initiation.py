@@ -1,0 +1,116 @@
+"""Swath-*initiation* heuristics (§IV, evaluated in §VI-C / Figs. 6-7).
+
+Once computation runs as a series of swaths, the second knob is *when* to
+start the next one.  Waiting for the previous swath to fully drain
+(sequential) under-utilizes the long tail of its supersteps; starting too
+early stacks two peaks on top of each other.
+
+* :class:`SequentialInitiation` — baseline: initiate only at quiescence
+  (previous swath fully complete).
+* :class:`StaticEveryN` — initiate every N supersteps; best when N ≈ the
+  graph's average shortest-path length ("6 degrees from Kevin Bacon"), but
+  that must be known a priori — the guesswork the paper criticizes.
+* :class:`DynamicPeakDetect` — the paper's automated heuristic: watch the
+  per-superstep sent-message totals and initiate when traffic shows a
+  *rise-then-fall* phase change (the swath's frontier peak has passed).
+
+Regardless of policy, the controller always initiates at engine quiescence
+(no active vertices, no buffered messages) so roots are never stranded.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+__all__ = [
+    "InitiationContext",
+    "InitiationPolicy",
+    "SequentialInitiation",
+    "StaticEveryN",
+    "DynamicPeakDetect",
+]
+
+
+@dataclass
+class InitiationContext:
+    """What a policy may look at when deciding to start the next swath."""
+
+    superstep: int
+    steps_since_initiation: int
+    messages_history: list[int] = field(default_factory=list)  # since last init
+    quiescent: bool = False
+
+
+class InitiationPolicy(ABC):
+    """Decides whether to start the next swath at this superstep boundary."""
+
+    @abstractmethod
+    def should_initiate(self, ctx: InitiationContext) -> bool: ...
+
+    def reset(self) -> None:
+        """Called by the controller right after a swath is initiated."""
+
+    @property
+    def label(self) -> str:
+        return type(self).__name__
+
+
+class SequentialInitiation(InitiationPolicy):
+    """Baseline: only start when the engine is fully drained."""
+
+    def should_initiate(self, ctx: InitiationContext) -> bool:
+        return ctx.quiescent
+
+    @property
+    def label(self) -> str:
+        return "Sequential"
+
+
+class StaticEveryN(InitiationPolicy):
+    """Start a new swath every ``n`` supersteps (paper's Static-N)."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+
+    def should_initiate(self, ctx: InitiationContext) -> bool:
+        return ctx.quiescent or ctx.steps_since_initiation >= self.n
+
+    @property
+    def label(self) -> str:
+        return f"Static-{self.n}"
+
+
+class DynamicPeakDetect(InitiationPolicy):
+    """Initiate when message traffic rises then falls (phase change).
+
+    Tracks the totals since the last initiation; fires at the first
+    superstep whose traffic is strictly below the preceding superstep's,
+    provided an earlier rise was seen — i.e. the frontier peak of the
+    youngest swath has passed (§IV's dynamic initiation heuristic).
+    """
+
+    def __init__(self) -> None:
+        self._seen_rise = False
+
+    def should_initiate(self, ctx: InitiationContext) -> bool:
+        if ctx.quiescent:
+            return True
+        hist = ctx.messages_history
+        if len(hist) < 2:
+            return False
+        if hist[-1] > hist[-2]:
+            self._seen_rise = True
+            return False
+        if self._seen_rise and hist[-1] < hist[-2]:
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._seen_rise = False
+
+    @property
+    def label(self) -> str:
+        return "Dynamic"

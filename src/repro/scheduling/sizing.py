@@ -1,0 +1,168 @@
+"""Swath-*size* heuristics (§IV, evaluated in §VI-B / Fig. 4).
+
+A *swath* is the subset of traversal roots started together.  Its size is
+the memory knob: too large and buffered messages overflow physical memory
+(virtual-memory thrashing, even fabric-initiated VM restarts); too small and
+workers idle.  The paper proposes picking the size automatically:
+
+* :class:`StaticSizer` — the baseline: a hand-picked constant (the paper's
+  baseline is the *largest* single swath that completes at all).
+* :class:`SamplingSizer` — run a few small probe swaths, measure peak
+  memory, linearly extrapolate bytes-per-root, then commit to the static
+  size that fills the target threshold (paper: 6 GB of a 7 GB VM).
+* :class:`AdaptiveSizer` — feedback controller: scale the next swath size
+  by ``target / observed-peak`` each swath (the paper's "simple linear
+  interpolation"), clamped to a growth factor for stability.
+
+Sizers see one observation per *swath window* (the supersteps between two
+initiations): the cluster-wide peak per-worker memory in that window.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = ["SwathSizer", "StaticSizer", "SamplingSizer", "AdaptiveSizer", "SizerObservation"]
+
+
+@dataclass(frozen=True)
+class SizerObservation:
+    """What the controller measured for the last completed swath window."""
+
+    swath_size: int
+    peak_memory: float  # max per-worker bytes seen in the window
+    baseline_memory: float  # footprint with no traversal in flight
+
+
+class SwathSizer(ABC):
+    """Chooses how many roots to start in the next swath."""
+
+    @abstractmethod
+    def next_size(self, remaining: int) -> int:
+        """Size of the next swath (>=1, <= remaining)."""
+
+    def observe(self, obs: SizerObservation) -> None:
+        """Feed back the previous window's memory measurement."""
+
+    @property
+    def label(self) -> str:
+        return type(self).__name__
+
+
+class StaticSizer(SwathSizer):
+    """A constant swath size (the paper's baseline when set to |roots|)."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+
+    def next_size(self, remaining: int) -> int:
+        return max(1, min(self.size, remaining))
+
+    @property
+    def label(self) -> str:
+        return f"Static({self.size})"
+
+
+class SamplingSizer(SwathSizer):
+    """Probe swaths -> linear extrapolation -> committed static size.
+
+    Runs ``probes`` swaths of ``probe_size`` roots, estimates marginal bytes
+    per root from the worst probe, then commits to
+    ``(target - baseline) / bytes_per_root`` for the rest of the job.
+    """
+
+    def __init__(
+        self,
+        target_bytes: float,
+        probe_size: int = 2,
+        probes: int = 2,
+        max_size: int = 10_000,
+    ) -> None:
+        if target_bytes <= 0:
+            raise ValueError("target_bytes must be positive")
+        if probe_size < 1 or probes < 1:
+            raise ValueError("probe_size and probes must be >= 1")
+        self.target_bytes = float(target_bytes)
+        self.probe_size = probe_size
+        self.probes = probes
+        self.max_size = max_size
+        self._observations: list[SizerObservation] = []
+        self._committed: int | None = None
+
+    def observe(self, obs: SizerObservation) -> None:
+        if self._committed is None:
+            self._observations.append(obs)
+
+    def next_size(self, remaining: int) -> int:
+        if self._committed is None and len(self._observations) >= self.probes:
+            # Worst-case marginal memory per root across probes.
+            per_root = max(
+                (o.peak_memory - o.baseline_memory) / max(o.swath_size, 1)
+                for o in self._observations
+            )
+            baseline = max(o.baseline_memory for o in self._observations)
+            headroom = self.target_bytes - baseline
+            if per_root <= 0:
+                self._committed = self.max_size
+            else:
+                self._committed = max(1, min(int(headroom / per_root), self.max_size))
+        if self._committed is not None:
+            return max(1, min(self._committed, remaining))
+        return max(1, min(self.probe_size, remaining))
+
+    @property
+    def committed_size(self) -> int | None:
+        """The extrapolated size once sampling finished (None while probing)."""
+        return self._committed
+
+    @property
+    def label(self) -> str:
+        return "Sampling"
+
+
+class AdaptiveSizer(SwathSizer):
+    """Linear-interpolation feedback: grow/shrink by target/observed peak.
+
+    ``next = prev * (target - baseline) / (observed_peak - baseline)``,
+    clamped to ``[1, prev * max_growth]`` so a near-empty probe cannot
+    explode the swath size in one step.
+    """
+
+    def __init__(
+        self,
+        target_bytes: float,
+        initial_size: int = 2,
+        max_growth: float = 4.0,
+        max_size: int = 10_000,
+    ) -> None:
+        if target_bytes <= 0:
+            raise ValueError("target_bytes must be positive")
+        if initial_size < 1:
+            raise ValueError("initial_size must be >= 1")
+        if max_growth <= 1.0:
+            raise ValueError("max_growth must be > 1.0")
+        self.target_bytes = float(target_bytes)
+        self.max_growth = float(max_growth)
+        self.max_size = max_size
+        self._size = initial_size
+
+    def observe(self, obs: SizerObservation) -> None:
+        used = obs.peak_memory - obs.baseline_memory
+        headroom = self.target_bytes - obs.baseline_memory
+        if used <= 0:
+            scale = self.max_growth  # nothing measured: grow boldly
+        else:
+            scale = headroom / used
+        proposed = obs.swath_size * scale
+        ceiling = obs.swath_size * self.max_growth
+        self._size = int(max(1, min(proposed, ceiling, self.max_size)))
+
+    def next_size(self, remaining: int) -> int:
+        return max(1, min(self._size, remaining))
+
+    @property
+    def label(self) -> str:
+        return "Adaptive"

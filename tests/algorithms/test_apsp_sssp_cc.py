@@ -1,0 +1,156 @@
+"""APSP, SSSP and connected components programs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    APSPProgram,
+    ConnectedComponentsProgram,
+    SSSPProgram,
+    apsp_reference,
+    sssp_reference,
+)
+from repro.algorithms import apsp as apsp_mod
+from repro.bsp import JobSpec, run_job
+from repro.graph import generators as gen
+from repro.graph.builder import from_edges
+from repro.graph.properties import bfs_levels, connected_components
+
+
+def run_apsp(graph, roots, workers=4, retain="distances"):
+    return run_job(
+        JobSpec(
+            program=APSPProgram(retain=retain), graph=graph, num_workers=workers,
+            initially_active=False,
+            initial_messages=apsp_mod.start_messages(roots),
+        )
+    )
+
+
+class TestAPSP:
+    def test_all_roots_match_bfs(self, small_world):
+        n = small_world.num_vertices
+        res = run_apsp(small_world, range(n))
+        ref = apsp_reference(small_world)
+        for v in range(n):
+            for r, d in res.values[v].items():
+                assert ref[r][v] == d
+        # every reachable pair present
+        for r in range(n):
+            reach = (ref[r] >= 0).sum()
+            have = sum(1 for v in range(n) if r in res.values[v])
+            assert have == reach
+
+    def test_subset_of_roots(self, small_world):
+        res = run_apsp(small_world, [0, 7])
+        d = bfs_levels(small_world, 7)
+        for v in range(small_world.num_vertices):
+            assert res.values[v].get(7, -1) == d[v]
+
+    def test_unreachable_pairs_absent(self):
+        g = from_edges(5, [(0, 1), (2, 3)], undirected=True)
+        res = run_apsp(g, [0])
+        assert 0 not in res.values[3]
+        assert res.values[1][0] == 1
+
+    def test_aggregate_mode_sums(self, small_world):
+        res = run_apsp(small_world, range(10), retain="aggregate")
+        full = apsp_reference(small_world, roots=range(10))
+        for v in (0, 13, 59):
+            s, c = res.values[v]
+            dist_to_v = [full[r][v] for r in range(10) if full[r][v] >= 0]
+            assert c == len(dist_to_v)
+            assert s == sum(dist_to_v)
+
+    def test_invalid_retain(self):
+        with pytest.raises(ValueError):
+            APSPProgram(retain="everything")
+
+    def test_message_count_near_edges_per_root(self, small_world):
+        res = run_apsp(small_world, [0])
+        # BFS wave crosses each arc at most once (plus start overhead).
+        assert res.trace.total_messages <= small_world.num_arcs + 1
+
+    def test_triangle_waveform_lower_peak_than_bc(self, small_world):
+        """Paper Fig. 3: APSP peaks below BC for the same roots."""
+        from repro.algorithms import BCProgram
+        from repro.algorithms import bc as bc_mod
+
+        apsp = run_apsp(small_world, range(5))
+        bc = run_job(
+            JobSpec(
+                program=BCProgram(), graph=small_world, num_workers=4,
+                initially_active=False,
+                initial_messages=bc_mod.start_messages(range(5)),
+            )
+        )
+        assert apsp.trace.series_messages().max() < bc.trace.series_messages().max()
+
+
+class TestSSSP:
+    def test_matches_bfs(self, small_world):
+        res = run_job(
+            JobSpec(program=SSSPProgram(0), graph=small_world, num_workers=4)
+        )
+        assert np.allclose(res.values_array(), sssp_reference(small_world, 0))
+
+    def test_unreachable_is_inf(self):
+        g = from_edges(4, [(0, 1)], undirected=True)
+        res = run_job(JobSpec(program=SSSPProgram(0), graph=g, num_workers=2))
+        assert math.isinf(res.values[3])
+
+    def test_weighted_edges(self):
+        g = gen.path(4)
+        res = run_job(
+            JobSpec(
+                program=SSSPProgram(0, weight_fn=lambda u, v: 2.5),
+                graph=g, num_workers=2,
+            )
+        )
+        assert res.values[3] == pytest.approx(7.5)
+
+    def test_directed_graph(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)], undirected=False)
+        res = run_job(JobSpec(program=SSSPProgram(1), graph=g, num_workers=2))
+        assert res.values[0] == 3.0
+
+    def test_invalid_source(self):
+        with pytest.raises(ValueError):
+            SSSPProgram(-1)
+
+
+class TestConnectedComponents:
+    def test_matches_reference(self):
+        g = from_edges(
+            10, [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 8)], undirected=True
+        )
+        res = run_job(
+            JobSpec(program=ConnectedComponentsProgram(), graph=g, num_workers=3)
+        )
+        ours = res.values_array(dtype=int)
+        ref = connected_components(g)
+        # Same partition into components (labels may differ).
+        for a in range(10):
+            for b in range(10):
+                assert (ours[a] == ours[b]) == (ref[a] == ref[b])
+
+    def test_label_is_component_minimum(self):
+        g = from_edges(6, [(3, 4), (4, 5)], undirected=True)
+        res = run_job(
+            JobSpec(program=ConnectedComponentsProgram(), graph=g, num_workers=2)
+        )
+        assert res.values[5] == 3
+
+    def test_single_component_ring(self, ring10):
+        res = run_job(
+            JobSpec(program=ConnectedComponentsProgram(), graph=ring10, num_workers=4)
+        )
+        assert set(res.values.values()) == {0}
+
+    def test_supersteps_bounded_by_diameter(self, ring10):
+        res = run_job(
+            JobSpec(program=ConnectedComponentsProgram(), graph=ring10, num_workers=4)
+        )
+        assert res.supersteps <= 10 + 2

@@ -1,0 +1,145 @@
+"""Betweenness centrality: BSP program vs networkx and Brandes reference."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import BCProgram, betweenness_reference
+from repro.algorithms import bc as bc_mod
+from repro.bsp import JobSpec, run_job
+from repro.graph import generators as gen
+from tests.conftest import to_networkx
+
+
+def nx_bc(graph):
+    nxg = to_networkx(graph)
+    bc = nx.betweenness_centrality(nxg, normalized=False)
+    return np.array([bc[v] for v in range(graph.num_vertices)])
+
+
+def run_bc(graph, roots=None, workers=4):
+    roots = range(graph.num_vertices) if roots is None else roots
+    res = run_job(
+        JobSpec(
+            program=BCProgram(), graph=graph, num_workers=workers,
+            initially_active=False,
+            initial_messages=bc_mod.start_messages(roots),
+        )
+    )
+    return res
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "graph_fn",
+        [
+            lambda: gen.ring(12),
+            lambda: gen.path(9),
+            lambda: gen.star(10),
+            lambda: gen.complete(6),
+            lambda: gen.binary_tree(3),
+            lambda: gen.grid2d(4, 4),
+        ],
+        ids=["ring", "path", "star", "complete", "btree", "grid"],
+    )
+    def test_toy_graphs_match_networkx(self, graph_fn):
+        g = graph_fn()
+        assert np.allclose(run_bc(g).values_array(), nx_bc(g), atol=1e-9)
+
+    def test_small_world_matches_networkx(self, small_world):
+        assert np.allclose(run_bc(small_world).values_array(), nx_bc(small_world), atol=1e-9)
+
+    def test_ba_graph_matches_networkx(self, ba_graph):
+        assert np.allclose(run_bc(ba_graph).values_array(), nx_bc(ba_graph), atol=1e-9)
+
+    def test_disconnected_graph(self):
+        from repro.graph.builder import from_edges
+
+        g = from_edges(8, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 6)], undirected=True)
+        assert np.allclose(run_bc(g).values_array(), nx_bc(g), atol=1e-9)
+
+    def test_reference_matches_networkx(self, small_world):
+        assert np.allclose(betweenness_reference(small_world), nx_bc(small_world))
+
+    def test_path_center_formula(self):
+        # Middle of a 5-path lies on 2*2=4 unordered pairs' shortest paths.
+        g = gen.path(5)
+        vals = run_bc(g).values_array()
+        assert vals[2] == pytest.approx(4.0)
+        assert vals[0] == 0.0
+
+
+class TestRootSubsets:
+    def test_subset_matches_reference(self, small_world):
+        roots = [3, 17, 25, 40]
+        vals = run_bc(small_world, roots=roots).values_array()
+        ref = betweenness_reference(small_world, roots=roots)
+        assert np.allclose(vals, ref, atol=1e-9)
+
+    def test_single_root(self, small_world):
+        vals = run_bc(small_world, roots=[0]).values_array()
+        ref = betweenness_reference(small_world, roots=[0])
+        assert np.allclose(vals, ref)
+
+    def test_roots_are_additive(self, small_world):
+        a = run_bc(small_world, roots=[1, 2]).values_array()
+        b = run_bc(small_world, roots=[1]).values_array() + run_bc(
+            small_world, roots=[2]
+        ).values_array()
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_start_message_to_wrong_vertex_raises(self, small_world):
+        with pytest.raises(ValueError, match="start message"):
+            run_job(
+                JobSpec(
+                    program=BCProgram(), graph=small_world, num_workers=2,
+                    initially_active=False,
+                    initial_messages=[(5, (bc_mod._START, 7))],
+                )
+            )
+
+
+class TestWorkerInvariance:
+    @pytest.mark.parametrize("workers", [1, 2, 7])
+    def test_worker_count_invariant(self, small_world, workers):
+        vals = run_bc(small_world, roots=range(10), workers=workers).values_array()
+        ref = betweenness_reference(small_world, roots=range(10))
+        assert np.allclose(vals, ref, atol=1e-9)
+
+
+class TestResourceShape:
+    def test_triangle_message_waveform(self, small_world):
+        """Fig. 3's shape: messages ramp up, peak near the middle, drain."""
+        res = run_bc(small_world, roots=range(5))
+        msgs = res.trace.series_messages()
+        peak = int(np.argmax(msgs))
+        assert 0 < peak < len(msgs) - 1
+        assert msgs.max() > 4 * msgs[0]
+        assert msgs.max() > 4 * msgs[-1]
+
+    def test_memory_frees_after_completion(self, small_world):
+        res = run_bc(small_world, roots=range(5))
+        mems = res.trace.series_peak_memory()
+        assert mems[-1] < 0.7 * mems.max()  # per-root records were freed
+
+    def test_all_records_freed_at_halt(self, small_world):
+        """Per-root state must be transient: all records freed by job end."""
+        from repro.bsp import BSPEngine
+
+        job = JobSpec(
+            program=BCProgram(), graph=small_world, num_workers=3,
+            initially_active=False,
+            initial_messages=bc_mod.start_messages(range(4)),
+        )
+        engine = BSPEngine(job)
+        res = engine.run()
+        assert res.halted
+        for w in engine.workers:
+            for state in w.states.values():
+                assert not state.records
+                assert state.roots_completed == 4  # every vertex saw 4 waves
+
+    def test_message_count_scales_with_roots(self, small_world):
+        m1 = run_bc(small_world, roots=range(2)).trace.total_messages
+        m2 = run_bc(small_world, roots=range(4)).trace.total_messages
+        assert 1.5 < m2 / m1 < 2.5  # ~linear in roots (O(|V||E|) total)

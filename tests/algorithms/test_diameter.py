@@ -1,0 +1,89 @@
+"""BSP effective-diameter estimation vs the exact graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DiameterEstimationProgram
+from repro.bsp import JobSpec, run_job
+from repro.graph import generators as gen
+from repro.graph.properties import distance_profile, effective_diameter
+
+
+def run_diameter(graph, sources, fraction=0.9, workers=4):
+    prog = DiameterEstimationProgram(sources, fraction=fraction)
+    res = run_job(JobSpec(program=prog, graph=graph, num_workers=workers))
+    return prog, res
+
+
+class TestHistogramExactness:
+    @pytest.mark.parametrize(
+        "graph_fn,k",
+        [
+            (lambda: gen.ring(20), 5),
+            (lambda: gen.binary_tree(4), 8),
+            (lambda: gen.watts_strogatz(80, 4, 0.2, seed=3), 16),
+            (lambda: gen.barabasi_albert(100, 2, seed=4), 32),
+        ],
+        ids=["ring", "tree", "ws", "ba"],
+    )
+    def test_matches_bfs_distance_profile(self, graph_fn, k):
+        g = graph_fn()
+        sources = np.arange(0, g.num_vertices, max(1, g.num_vertices // k))[:k]
+        prog, _ = run_diameter(g, sources)
+        ref = distance_profile(g, sources=sources)
+        ours = np.zeros(len(ref), dtype=np.int64)
+        for d, c in prog.histogram.items():
+            ours[d] = c
+        assert np.array_equal(ours, ref)
+
+    def test_effective_diameter_matches_exact_when_all_sources(self):
+        g = gen.watts_strogatz(50, 4, 0.25, seed=5)
+        prog, _ = run_diameter(g, range(50))
+        exact = effective_diameter(g, 0.9)
+        assert prog.effective_diameter() == pytest.approx(exact)
+
+    def test_fraction_parameter(self):
+        g = gen.path(30)
+        prog_all, _ = run_diameter(g, range(30), fraction=0.5)
+        prog_hi = DiameterEstimationProgram(range(30), fraction=0.99)
+        run_job(JobSpec(program=prog_hi, graph=g, num_workers=2))
+        assert prog_all.effective_diameter() < prog_hi.effective_diameter()
+
+
+class TestMechanics:
+    def test_halts_after_diameter_supersteps(self):
+        g = gen.ring(16)  # diameter 8
+        prog, res = run_diameter(g, [0])
+        assert res.halted
+        assert res.supersteps <= 8 + 3
+
+    def test_disconnected_sources(self):
+        from repro.graph.builder import from_edges
+
+        g = from_edges(6, [(0, 1), (1, 2), (3, 4)], undirected=True)
+        prog, res = run_diameter(g, [0, 3], workers=2)
+        # Pairs: from 0 -> {1:d1, 2:d2}; from 3 -> {4:d1}.
+        assert prog.histogram == {0: 2, 1: 2, 2: 1}
+
+    def test_worker_invariance(self):
+        g = gen.watts_strogatz(60, 4, 0.3, seed=7)
+        a, _ = run_diameter(g, range(10), workers=1)
+        b, _ = run_diameter(g, range(10), workers=6)
+        assert a.histogram == b.histogram
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiameterEstimationProgram([])
+        with pytest.raises(ValueError):
+            DiameterEstimationProgram(range(65))
+        with pytest.raises(ValueError):
+            DiameterEstimationProgram([1, 1])
+        with pytest.raises(ValueError):
+            DiameterEstimationProgram([0], fraction=0.0)
+
+    def test_message_volume_bounded_per_superstep(self):
+        """One mask message per edge per superstep at most (OR-combined)."""
+        g = gen.watts_strogatz(60, 4, 0.3, seed=7)
+        prog, res = run_diameter(g, range(32), workers=1)
+        for s in res.trace:
+            assert s.total_messages <= g.num_arcs

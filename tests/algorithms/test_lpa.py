@@ -1,0 +1,65 @@
+"""Label-propagation community detection."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LabelPropagationProgram
+from repro.bsp import JobSpec, run_job
+from repro.graph import generators as gen
+from repro.graph.builder import from_edges
+
+
+def run_lpa(graph, workers=4, max_rounds=20):
+    prog = LabelPropagationProgram(max_rounds=max_rounds)
+    res = run_job(JobSpec(program=prog, graph=graph, num_workers=workers))
+    return res.values_array(dtype=int), prog, res
+
+
+class TestCommunityRecovery:
+    def test_planted_three_blocks(self):
+        g = gen.planted_partition([25, 25, 25], 0.4, 0.01, seed=3)
+        labels, prog, _ = run_lpa(g)
+        for b in range(3):
+            block = labels[b * 25 : (b + 1) * 25]
+            # Each planted block converges to one dominant label.
+            assert np.bincount(block).max() >= 23
+        assert prog.converged_at is not None
+
+    def test_disconnected_components_get_distinct_labels(self):
+        g = from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)], undirected=True)
+        labels, _, _ = run_lpa(g)
+        assert len(set(labels[:3])) == 1
+        assert len(set(labels[3:])) == 1
+        assert labels[0] != labels[3]
+
+    def test_clique_single_label(self, k5):
+        labels, prog, _ = run_lpa(k5)
+        assert len(set(labels)) == 1
+        assert labels[0] == 0  # smallest id wins ties
+
+    def test_labels_are_vertex_ids(self, small_world):
+        labels, _, _ = run_lpa(small_world)
+        assert set(labels) <= set(range(small_world.num_vertices))
+
+
+class TestTermination:
+    def test_round_bound_respected(self):
+        # Bipartite structures can two-color oscillate; the bound ends them.
+        g = gen.star(6)
+        labels, prog, res = run_lpa(g, max_rounds=7)
+        assert res.supersteps <= 8
+        assert res.halted
+
+    def test_convergence_recorded(self, k5):
+        _, prog, res = run_lpa(k5)
+        assert prog.converged_at is not None
+        assert res.supersteps == prog.converged_at + 1
+
+    def test_deterministic(self, small_world):
+        a, _, _ = run_lpa(small_world)
+        b, _, _ = run_lpa(small_world, workers=7)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LabelPropagationProgram(max_rounds=0)

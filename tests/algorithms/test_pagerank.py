@@ -1,0 +1,105 @@
+"""PageRank: validation against networkx and the sequential reference."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRankProgram, pagerank_reference
+from repro.bsp import JobSpec, run_job
+from repro.graph import generators as gen
+from repro.graph.builder import from_edges
+from tests.conftest import to_networkx
+
+
+def nx_pagerank(graph, damping=0.85):
+    nxg = to_networkx(graph)
+    pr = nx.pagerank(nxg, alpha=damping, max_iter=500, tol=1e-13)
+    return np.array([pr[v] for v in range(graph.num_vertices)])
+
+
+def run_pr(graph, iterations=40, workers=4, **kw):
+    return run_job(
+        JobSpec(
+            program=PageRankProgram(iterations, **kw), graph=graph,
+            num_workers=workers,
+        )
+    ).values_array()
+
+
+class TestCorrectness:
+    def test_small_world_matches_networkx(self, small_world):
+        assert np.allclose(run_pr(small_world), nx_pagerank(small_world), atol=1e-8)
+
+    def test_ba_graph_matches_networkx(self, ba_graph):
+        assert np.allclose(run_pr(ba_graph), nx_pagerank(ba_graph), atol=1e-8)
+
+    def test_directed_graph_matches_networkx(self):
+        g = gen.erdos_renyi(50, 0.08, seed=5, directed=True)
+        assert np.allclose(run_pr(g, 60), nx_pagerank(g), atol=1e-8)
+
+    def test_dangling_vertices_handled(self):
+        # Vertex 2 has no out-edges: its mass must be redistributed.
+        g = from_edges(4, [(0, 1), (1, 2), (3, 0)], undirected=False)
+        assert np.allclose(run_pr(g, 80), nx_pagerank(g), atol=1e-8)
+
+    def test_ranks_sum_to_one(self, small_world):
+        assert run_pr(small_world).sum() == pytest.approx(1.0)
+
+    def test_matches_sequential_reference_exactly(self, small_world):
+        bsp = run_pr(small_world, iterations=15)
+        ref = pagerank_reference(small_world, iterations=15)
+        assert np.allclose(bsp, ref, atol=1e-12)
+
+    def test_star_hub_has_highest_rank(self, star8):
+        pr = run_pr(star8)
+        assert np.argmax(pr) == 0
+
+    def test_combiner_does_not_change_results(self, small_world):
+        with_c = run_pr(small_world, iterations=10, use_combiner=True)
+        without_c = run_pr(small_world, iterations=10, use_combiner=False)
+        assert np.allclose(with_c, without_c, atol=1e-12)
+
+    def test_damping_parameter(self, small_world):
+        a = run_pr(small_world, iterations=30)
+        b = run_job(
+            JobSpec(
+                program=PageRankProgram(30, damping=0.5), graph=small_world,
+                num_workers=4,
+            )
+        ).values_array()
+        assert not np.allclose(a, b)
+
+
+class TestBehaviour:
+    def test_fixed_iteration_count(self, small_world):
+        res = run_job(
+            JobSpec(program=PageRankProgram(30), graph=small_world, num_workers=4)
+        )
+        assert res.supersteps == 31  # 30 message rounds + drain
+
+    def test_uniform_message_profile(self, small_world):
+        res = run_job(
+            JobSpec(program=PageRankProgram(20), graph=small_world, num_workers=4)
+        )
+        msgs = res.trace.series_messages()[1:-1]
+        assert msgs.min() == msgs.max()  # the paper's flat line (Fig. 3)
+
+    def test_combiner_reduces_message_count(self, small_world):
+        with_c = run_job(
+            JobSpec(
+                program=PageRankProgram(10), graph=small_world, num_workers=4
+            )
+        )
+        without_c = run_job(
+            JobSpec(
+                program=PageRankProgram(10, use_combiner=False),
+                graph=small_world, num_workers=4,
+            )
+        )
+        assert with_c.trace.total_messages < without_c.trace.total_messages
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageRankProgram(0)
+        with pytest.raises(ValueError):
+            PageRankProgram(10, damping=1.0)

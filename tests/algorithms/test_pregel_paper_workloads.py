@@ -1,0 +1,184 @@
+"""Triangle counting, semi-clustering and bipartite matching."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BipartiteMatchingProgram,
+    SemiClusteringProgram,
+    TriangleCountProgram,
+    cluster_score,
+)
+from repro.bsp import JobSpec, run_job
+from repro.graph import generators as gen
+from repro.graph.builder import from_edges
+from tests.conftest import to_networkx
+
+
+def run_prog(program, graph, workers=4):
+    return run_job(JobSpec(program=program, graph=graph, num_workers=workers))
+
+
+class TestTriangleCounting:
+    @pytest.mark.parametrize(
+        "graph_fn",
+        [
+            lambda: gen.complete(5),
+            lambda: gen.ring(8),
+            lambda: gen.binary_tree(3),
+            lambda: gen.watts_strogatz(60, 6, 0.2, seed=3),
+            lambda: gen.barabasi_albert(80, 3, seed=4),
+            lambda: gen.erdos_renyi(50, 0.15, seed=5),
+        ],
+        ids=["K5", "ring", "tree", "ws", "ba", "er"],
+    )
+    def test_matches_networkx(self, graph_fn):
+        g = graph_fn()
+        res = run_prog(TriangleCountProgram(), g)
+        theirs = nx.triangles(to_networkx(g))
+        for v in range(g.num_vertices):
+            assert res.values[v] == theirs[v], f"vertex {v}"
+
+    def test_total_triangle_count(self):
+        g = gen.complete(6)
+        res = run_prog(TriangleCountProgram(), g)
+        # Each triangle counted at 3 corners; K6 has C(6,3)=20 triangles.
+        assert sum(res.values.values()) == 3 * 20
+
+    def test_triangle_free_graph(self):
+        g = gen.grid2d(4, 4)
+        res = run_prog(TriangleCountProgram(), g)
+        assert all(v == 0 for v in res.values.values())
+
+    def test_three_supersteps(self, small_world):
+        res = run_prog(TriangleCountProgram(), small_world)
+        assert res.supersteps <= 4
+
+    def test_worker_invariance(self, small_world):
+        a = run_prog(TriangleCountProgram(), small_world, workers=1)
+        b = run_prog(TriangleCountProgram(), small_world, workers=7)
+        assert a.values == b.values
+
+
+class TestSemiClustering:
+    def test_cluster_score_formula(self):
+        g = gen.complete(3)  # triangle
+        full = frozenset([0, 1, 2])
+        # I=3 inside edges, B=0 boundary: score = 3 / 3 = 1.0
+        assert cluster_score(full, g, 0.5) == pytest.approx(1.0)
+
+    def test_cluster_score_singleton_zero(self, ring10):
+        assert cluster_score(frozenset([0]), ring10, 0.5) == 0.0
+
+    def test_cluster_score_boundary_penalty(self, ring10):
+        pair = frozenset([0, 1])  # 1 inside edge, 2 boundary edges
+        lenient = cluster_score(pair, ring10, 0.0)
+        strict = cluster_score(pair, ring10, 1.0)
+        assert lenient > strict
+
+    def test_two_cliques_found(self):
+        # Two K4s joined by one bridge edge: each vertex's best cluster is
+        # its own clique.
+        edges = (
+            [(a, b) for a in range(4) for b in range(a + 1, 4)]
+            + [(a, b) for a in range(4, 8) for b in range(a + 1, 8)]
+            + [(0, 4)]
+        )
+        g = from_edges(8, edges, undirected=True)
+        res = run_prog(SemiClusteringProgram(max_rounds=6, v_max=4), g)
+        left, right = frozenset(range(4)), frozenset(range(4, 8))
+        for v in range(8):
+            assert res.values[v][0] in (left, right)
+            assert v in res.values[v][0] or len(res.values[v][0]) == 4
+
+    def test_clusters_contain_connected_members(self, small_world):
+        res = run_prog(SemiClusteringProgram(max_rounds=4), small_world)
+        nxg = to_networkx(small_world)
+        for v, clusters in res.values.items():
+            for c in clusters:
+                if len(c) > 1:
+                    assert nx.is_connected(nxg.subgraph(c))
+
+    def test_c_max_respected(self, small_world):
+        res = run_prog(SemiClusteringProgram(max_rounds=3, c_max=2), small_world)
+        assert all(len(cl) <= 2 for cl in res.values.values())
+
+    def test_v_max_respected(self, small_world):
+        res = run_prog(SemiClusteringProgram(max_rounds=4, v_max=3), small_world)
+        assert all(
+            len(c) <= 3 for clusters in res.values.values() for c in clusters
+        )
+
+    def test_terminates_within_round_bound(self, small_world):
+        res = run_prog(SemiClusteringProgram(max_rounds=3), small_world)
+        assert res.supersteps <= 3 + 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SemiClusteringProgram(max_rounds=0)
+        with pytest.raises(ValueError):
+            SemiClusteringProgram(boundary_factor=2.0)
+
+
+def bipartite_graph(nl, nr, edges):
+    """Left ids 0..nl-1, right ids nl..nl+nr-1."""
+    g = from_edges(nl + nr, [(u, nl + v) for u, v in edges], undirected=True)
+    return g, (lambda v: v < nl)
+
+
+def check_matching(graph, is_left, values):
+    matched_pairs = set()
+    for v in range(graph.num_vertices):
+        m = values[v]
+        if m >= 0:
+            # Mutual and along a real edge.
+            assert values[m] == v
+            assert m in set(int(x) for x in graph.neighbors(v))
+            matched_pairs.add(tuple(sorted((v, m))))
+    # Maximality: no unmatched left adjacent to unmatched right.
+    for v in range(graph.num_vertices):
+        if is_left(v) and values[v] < 0:
+            for u in graph.neighbors(v):
+                assert values[int(u)] >= 0, f"augmenting edge {v}-{int(u)} left"
+    return matched_pairs
+
+
+class TestBipartiteMatching:
+    def test_perfect_matching_on_disjoint_edges(self):
+        g, is_left = bipartite_graph(3, 3, [(0, 0), (1, 1), (2, 2)])
+        res = run_prog(BipartiteMatchingProgram(is_left), g)
+        pairs = check_matching(g, is_left, res.values)
+        assert len(pairs) == 3
+
+    def test_star_contention_one_match(self):
+        # Three left vertices all want the single right vertex.
+        g, is_left = bipartite_graph(3, 1, [(0, 0), (1, 0), (2, 0)])
+        res = run_prog(BipartiteMatchingProgram(is_left), g)
+        pairs = check_matching(g, is_left, res.values)
+        assert len(pairs) == 1
+
+    def test_random_bipartite_maximal(self):
+        rng = np.random.default_rng(9)
+        edges = [(int(u), int(v)) for u, v in zip(
+            rng.integers(0, 12, 40), rng.integers(0, 12, 40)
+        )]
+        g, is_left = bipartite_graph(12, 12, edges)
+        res = run_prog(BipartiteMatchingProgram(is_left), g)
+        check_matching(g, is_left, res.values)
+
+    def test_complete_bipartite(self):
+        g, is_left = bipartite_graph(4, 4, [(u, v) for u in range(4) for v in range(4)])
+        res = run_prog(BipartiteMatchingProgram(is_left), g)
+        pairs = check_matching(g, is_left, res.values)
+        assert len(pairs) == 4  # K4,4 has a perfect matching; greedy finds it
+
+    def test_isolated_vertices_stay_unmatched(self):
+        g, is_left = bipartite_graph(2, 2, [(0, 0)])
+        res = run_prog(BipartiteMatchingProgram(is_left), g)
+        assert res.values[1] == -1 and res.values[3] == -1
+
+    def test_halts(self):
+        g, is_left = bipartite_graph(5, 3, [(u, v) for u in range(5) for v in range(3)])
+        res = run_prog(BipartiteMatchingProgram(is_left), g)
+        assert res.halted

@@ -1,0 +1,163 @@
+"""Experiment harness: runners, extrapolation, tables, scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RunConfig,
+    calibrate_worker_memory,
+    extrapolate_runtime,
+    paper_partitioners,
+    run_pagerank,
+    run_traversal,
+    tables,
+)
+from repro.cloud.costmodel import SCALED_PERF_MODEL
+from repro.graph import generators as gen
+from repro.scheduling import StaticSizer
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.watts_strogatz(80, 4, 0.3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return RunConfig(num_workers=4, perf_model=SCALED_PERF_MODEL)
+
+
+class TestRunners:
+    def test_run_pagerank(self, graph, cfg):
+        res = run_pagerank(graph, cfg, iterations=5)
+        assert res.halted
+        assert res.values_array().sum() == pytest.approx(1.0)
+
+    def test_run_traversal_bc(self, graph, cfg):
+        run = run_traversal(graph, cfg, roots=range(6), kind="bc")
+        assert run.num_swaths == 1
+        assert run.total_time > 0
+        from repro.algorithms import betweenness_reference
+
+        assert np.allclose(
+            run.result.values_array(), betweenness_reference(graph, roots=range(6))
+        )
+
+    def test_run_traversal_apsp(self, graph, cfg):
+        run = run_traversal(graph, cfg, roots=[0, 1], kind="apsp")
+        assert run.result.values[5][0] >= 1
+
+    def test_unknown_kind(self, graph, cfg):
+        with pytest.raises(ValueError, match="unknown traversal kind"):
+            run_traversal(graph, cfg, roots=[0], kind="dfs")
+
+    def test_with_memory_swaps_spec(self, cfg):
+        c2 = cfg.with_memory(12345)
+        assert c2.vm_spec.memory_bytes == 12345
+        assert c2.num_workers == cfg.num_workers
+
+    def test_calibrate_memory_sets_overflow(self, graph, cfg):
+        cap = calibrate_worker_memory(graph, cfg, range(10), headroom=1.25)
+        probe = run_traversal(
+            graph, cfg.with_memory(1 << 62), range(10), sizer=StaticSizer(10)
+        )
+        assert probe.result.trace.peak_memory / cap == pytest.approx(1.25, rel=1e-3)
+
+    def test_calibrate_invalid_headroom(self, graph, cfg):
+        with pytest.raises(ValueError):
+            calibrate_worker_memory(graph, cfg, range(4), headroom=0)
+
+
+class TestExtrapolation:
+    def test_pro_rata(self):
+        e = extrapolate_runtime(100.0, roots_measured=50, roots_total=500)
+        assert e.projected_seconds == pytest.approx(1000.0)
+        assert e.scale_factor == 10.0
+        assert e.projected_hours == pytest.approx(1000 / 3600)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            extrapolate_runtime(10.0, 0, 10)
+        with pytest.raises(ValueError):
+            extrapolate_runtime(10.0, 20, 10)
+        with pytest.raises(ValueError):
+            extrapolate_runtime(-1.0, 1, 10)
+
+    def test_extrapolation_is_accurate_for_bc(self, graph, cfg):
+        """The paper's §V claim, verified on the simulated engine.
+
+        Extrapolation assumes the measured run uses the same swath structure
+        as the projected run (the paper runs fixed-size swaths for 4 hours);
+        projecting one 5-root swath to the 4-swath schedule of 20 roots is
+        accurate pro-rata.
+        """
+        small = run_traversal(graph, cfg, roots=range(5), kind="bc")
+        large = run_traversal(
+            graph, cfg, roots=range(20), kind="bc", sizer=StaticSizer(5)
+        )
+        projected = extrapolate_runtime(small.total_time, 5, 20).projected_seconds
+        assert projected == pytest.approx(large.total_time, rel=0.15)
+
+
+class TestTables:
+    def test_table_renders_aligned(self):
+        out = tables.table(["a", "bb"], [[1, 2.5], [30, "x"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_series(self):
+        assert "lbl" in tables.series([1, 2, 3], label="lbl")
+
+    def test_bar(self):
+        assert tables.bar(5, 10, width=10) == "#####"
+        assert tables.bar(20, 10, width=10) == "#" * 10
+        assert tables.bar(1, 0) == ""
+
+    def test_sparkline_shapes(self):
+        s = tables.sparkline([0, 1, 2, 3, 4, 5])
+        assert len(s) == 6
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_sparkline_downsamples(self):
+        s = tables.sparkline(range(1000), width=40)
+        assert len(s) == 40
+
+    def test_sparkline_empty_and_flat(self):
+        assert tables.sparkline([]) == ""
+        assert set(tables.sparkline([0, 0, 0])) == {"▁"}
+
+    def test_paper_vs_measured(self):
+        out = tables.paper_vs_measured([("speedup", "3.5x", "3.1x")])
+        assert "paper" in out and "3.5x" in out
+
+
+class TestScenarios:
+    def test_paper_partitioners_keys(self):
+        parts = paper_partitioners()
+        assert set(parts) == {"Hash", "METIS", "Streaming"}
+
+    def test_bc_scenario_calibration(self):
+        from repro.analysis import bc_scenario
+
+        sc = bc_scenario("WG", scale=0.15, num_workers=4)
+        assert sc.capacity_bytes > 0
+        assert sc.target_bytes < sc.capacity_bytes
+        assert sc.elastic_swath >= 2
+        cfg = sc.config()
+        assert cfg.vm_spec.memory_bytes == sc.capacity_bytes
+        assert sc.unconstrained_config().vm_spec.memory_bytes > (1 << 60)
+
+    def test_bc_scenario_cached(self):
+        from repro.analysis import bc_scenario
+
+        a = bc_scenario("WG", scale=0.15, num_workers=4)
+        b = bc_scenario("WG", scale=0.15, num_workers=4)
+        assert a is b
+
+    def test_bc_scenario_too_many_roots(self):
+        from repro.analysis import bc_scenario
+
+        with pytest.raises(ValueError):
+            bc_scenario("WG", scale=0.05, num_roots=10_000)

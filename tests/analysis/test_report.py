@@ -1,0 +1,56 @@
+"""Report generator: structure and sanity of the one-shot markdown report."""
+
+import pytest
+
+from repro.analysis.report import ReportConfig, generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Small scale keeps this test at a few seconds.
+    return generate_report(ReportConfig(scale=0.12, workers=4, roots=10))
+
+
+class TestReport:
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "# Reproduction report",
+            "## Table 1",
+            "## Figure 2",
+            "## Figures 4–6",
+            "## Figure 8",
+            "## Figures 15–16",
+        ):
+            assert heading in report_text
+
+    def test_mentions_all_datasets(self, report_text):
+        for key in ("SD", "WG", "CP", "LJ"):
+            assert f"| {key} |" in report_text
+
+    def test_tables_are_markdown(self, report_text):
+        assert report_text.count("|---|") >= 5
+
+    def test_contains_speedups_and_policies(self, report_text):
+        assert "speedup" in report_text
+        assert "Oracle" in report_text
+        assert "Dynamic" in report_text
+
+    def test_advisor_verdicts_present(self, report_text):
+        assert "WG →" in report_text and "CP →" in report_text
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReportConfig(scale=0)
+        with pytest.raises(ValueError):
+            ReportConfig(workers=1)
+        with pytest.raises(ValueError):
+            ReportConfig(roots=1)
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "--out", str(out), "--scale", "0.12",
+                     "--workers", "4", "--roots", "8"]) == 0
+        assert out.read_text().startswith("# Reproduction report")
+        assert "wrote reproduction report" in capsys.readouterr().out

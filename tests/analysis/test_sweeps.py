@@ -1,0 +1,59 @@
+"""Parameter-sweep utility."""
+
+import pytest
+
+from repro.analysis.sweeps import SweepRecord, SweepResult, sweep
+
+
+def toy_run(a, b):
+    return {"sum": a + b, "prod": a * b}
+
+
+class TestSweep:
+    def test_covers_full_grid(self):
+        res = sweep({"a": [1, 2, 3], "b": [10, 20]}, toy_run)
+        assert len(res) == 6
+        assert set(res.param_names) == {"a", "b"}
+        assert set(res.metric_names) == {"sum", "prod"}
+
+    def test_metrics_correct_per_cell(self):
+        res = sweep({"a": [2], "b": [5]}, toy_run)
+        rec = res.records[0]
+        assert rec["sum"] == 7
+        assert rec["prod"] == 10
+        assert rec["a"] == 2
+
+    def test_where_filters(self):
+        res = sweep({"a": [1, 2], "b": [10, 20]}, toy_run)
+        sub = res.where(a=2)
+        assert len(sub) == 2
+        assert all(r["a"] == 2 for r in sub.records)
+
+    def test_series_sorted_by_x(self):
+        res = sweep({"a": [3, 1, 2], "b": [10]}, toy_run)
+        assert res.series("a", "sum", b=10) == [(1, 11), (2, 12), (3, 13)]
+
+    def test_column(self):
+        res = sweep({"a": [1, 2], "b": [0]}, toy_run)
+        assert sorted(res.column("sum")) == [1, 2]
+
+    def test_render_table(self):
+        res = sweep({"a": [1], "b": [2]}, toy_run)
+        out = res.render(title="toy")
+        assert "toy" in out and "sum" in out and "prod" in out
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sweep({}, toy_run)
+
+    def test_inconsistent_metrics_rejected(self):
+        def flaky(a):
+            return {"x": 1} if a == 1 else {"y": 2}
+
+        with pytest.raises(ValueError, match="inconsistent"):
+            sweep({"a": [1, 2]}, flaky)
+
+    def test_record_getitem_unknown_key(self):
+        rec = SweepRecord(params={"a": 1}, metrics={"m": 2.0})
+        with pytest.raises(KeyError):
+            rec["nope"]

@@ -1,0 +1,106 @@
+"""Trace export round trips."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRankProgram
+from repro.analysis.traces import (
+    read_json,
+    to_csv_text,
+    trace_from_dict,
+    trace_to_dict,
+    write_csv,
+    write_json,
+)
+from repro.bsp import JobSpec, run_job
+from repro.graph import generators as gen
+
+
+@pytest.fixture(scope="module")
+def trace():
+    g = gen.watts_strogatz(40, 4, 0.2, seed=4)
+    return run_job(JobSpec(program=PageRankProgram(6), graph=g, num_workers=3)).trace
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip_is_lossless(self, trace):
+        back = trace_from_dict(trace_to_dict(trace))
+        assert len(back) == len(trace)
+        assert back.total_time == pytest.approx(trace.total_time)
+        assert np.array_equal(back.series_messages(), trace.series_messages())
+        assert np.array_equal(
+            back.series_messages_per_worker(), trace.series_messages_per_worker()
+        )
+        assert back.utilization() == pytest.approx(trace.utilization())
+
+    def test_file_round_trip(self, trace, tmp_path):
+        p = tmp_path / "t.json"
+        write_json(trace, p)
+        back = read_json(p)
+        assert back.series_peak_memory().tolist() == trace.series_peak_memory().tolist()
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            trace_from_dict({"version": 99, "steps": []})
+
+    def test_empty_trace(self):
+        from repro.bsp.superstep import JobTrace
+
+        back = trace_from_dict(trace_to_dict(JobTrace()))
+        assert len(back) == 0
+
+
+class TestCsv:
+    def test_header_and_row_count(self, trace):
+        text = to_csv_text(trace)
+        lines = text.strip().splitlines()
+        expected_rows = sum(max(1, len(s.workers)) for s in trace)
+        assert len(lines) == expected_rows + 1
+        assert lines[0].startswith("index,num_workers")
+
+    def test_write_csv_file(self, trace, tmp_path):
+        p = tmp_path / "t.csv"
+        write_csv(trace, p)
+        assert p.read_text().count("\n") > len(trace)
+
+
+class TestCLI:
+    def test_cli_info_and_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "g.txt"
+        assert main(["generate", "--dataset", "SD", "--scale", "0.1",
+                     "--out", str(out)]) == 0
+        assert main(["info", "--graph", str(out)]) == 0
+        assert main(["partition", "--graph", str(out), "--workers", "4",
+                     "--strategy", "metis"]) == 0
+        assert main(["advise", "--graph", str(out), "--workers", "4"]) == 0
+        trace_out = tmp_path / "trace.json"
+        assert main(["run", "--graph", str(out), "--app", "bc", "--roots", "6",
+                     "--workers", "4", "--sizer", "static", "--swath", "3",
+                     "--initiation", "dynamic",
+                     "--trace-out", str(trace_out)]) == 0
+        captured = capsys.readouterr().out
+        assert "simulated time" in captured
+        back = read_json(trace_out)
+        assert len(back) > 0
+
+    def test_cli_pagerank(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--dataset", "SD", "--scale", "0.1",
+                     "--app", "pagerank", "--iterations", "5",
+                     "--workers", "2"]) == 0
+        assert "pagerank: 6 supersteps" in capsys.readouterr().out
+
+    def test_cli_requires_graph_source(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["info"])
+
+    def test_cli_generate_requires_dataset(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["generate", "--graph", "x", "--out", str(tmp_path / "o")])

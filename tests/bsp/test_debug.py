@@ -1,0 +1,114 @@
+"""Tracing wrapper and invariant checker."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BCProgram, PageRankProgram, betweenness_reference
+from repro.algorithms import bc as bc_mod
+from repro.bsp import JobSpec, run_job
+from repro.bsp.debug import InvariantChecker, TracingProgram
+
+
+class TestTracingProgram:
+    def test_results_unchanged(self, small_world):
+        plain = run_job(
+            JobSpec(program=PageRankProgram(6), graph=small_world, num_workers=3)
+        )
+        traced = run_job(
+            JobSpec(
+                program=TracingProgram(PageRankProgram(6)),
+                graph=small_world, num_workers=3,
+            )
+        )
+        assert np.allclose(plain.values_array(), traced.values_array(), atol=1e-12)
+
+    def test_records_all_sends(self, ring10):
+        tracer = TracingProgram(PageRankProgram(2))
+        res = run_job(JobSpec(program=tracer, graph=ring10, num_workers=2))
+        # Messages recorded pre-combine; trace >= transferred count.
+        assert len(tracer.messages) >= res.trace.total_messages
+        assert len(tracer.messages) == 2 * 10 * 2  # 2 rounds x 10 vertices x 2 nbrs
+
+    def test_send_metadata(self, ring10):
+        tracer = TracingProgram(PageRankProgram(1))
+        run_job(JobSpec(program=tracer, graph=ring10, num_workers=2))
+        from_zero = tracer.sends_from(0)
+        assert {m.dst for m in from_zero if m.superstep == 0} == {1, 9}
+        first = from_zero[0]
+        assert first.superstep == 0
+        assert first.payload == pytest.approx(0.05)  # 1/10 rank over 2 edges
+
+    def test_query_helpers(self, ring10):
+        tracer = TracingProgram(PageRankProgram(1))
+        run_job(JobSpec(program=tracer, graph=ring10, num_workers=2))
+        assert len(tracer.sends_from(3)) == 2
+        assert len(tracer.sends_to(3)) == 2
+        assert len(tracer.messages_in_superstep(0)) == 20
+
+    def test_computes_recorded(self, ring10):
+        tracer = TracingProgram(PageRankProgram(1))
+        run_job(JobSpec(program=tracer, graph=ring10, num_workers=2))
+        step0 = [c for c in tracer.computes if c[0] == 0]
+        assert len(step0) == 10
+
+    def test_works_with_bc(self, small_world):
+        tracer = TracingProgram(BCProgram())
+        res = run_job(
+            JobSpec(
+                program=tracer, graph=small_world, num_workers=3,
+                initially_active=False,
+                initial_messages=bc_mod.start_messages(range(4)),
+            )
+        )
+        ref = betweenness_reference(small_world, roots=range(4))
+        assert np.allclose(res.values_array(), ref, atol=1e-9)
+        assert tracer.messages  # the waves were recorded
+
+
+class TestInvariantChecker:
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_clean_run_has_no_violations(self, small_world, workers):
+        checker = InvariantChecker()
+        run_job(
+            JobSpec(
+                program=PageRankProgram(6), graph=small_world,
+                num_workers=workers, observers=[checker],
+            )
+        )
+        assert checker.ok, checker.violations
+
+    def test_bc_with_swaths_clean(self, small_world):
+        from repro.scheduling import DynamicPeakDetect, StaticSizer, SwathController
+
+        checker = InvariantChecker()
+        ctrl = SwathController(
+            roots=list(range(8)), start_factory=bc_mod.start_messages,
+            sizer=StaticSizer(3), initiation=DynamicPeakDetect(),
+        )
+        run_job(
+            JobSpec(
+                program=BCProgram(), graph=small_world, num_workers=4,
+                initially_active=False, observers=[ctrl, checker],
+            )
+        )
+        assert checker.ok, checker.violations
+
+    def test_detects_seeded_violation(self):
+        # Feed the checker a fabricated inconsistent stats object directly.
+        from repro.bsp.superstep import SuperstepStats, WorkerStepStats
+
+        from types import SimpleNamespace
+
+        FakeEngine = lambda: SimpleNamespace(
+            graph=SimpleNamespace(num_vertices=10),
+            job=SimpleNamespace(program=SimpleNamespace(combiner=None)),
+        )
+
+        checker = InvariantChecker()
+        s = SuperstepStats(index=0, num_workers=1)
+        w = WorkerStepStats(worker=0, msgs_in=5)  # drained 5, buffered was 0
+        s.workers.append(w)
+        s.elapsed = 1.0
+        checker.on_superstep_end(FakeEngine(), s)
+        assert not checker.ok
+        assert "drained" in checker.violations[0]

@@ -1,0 +1,100 @@
+"""Billing meter and elastic provisioner accounting."""
+
+import pytest
+
+from repro.cloud import (
+    BillingMeter,
+    ElasticProvisioner,
+    LARGE_VM,
+    PerfModel,
+    SMALL_VM,
+)
+
+
+class TestBillingMeter:
+    def test_single_charge(self):
+        m = BillingMeter()
+        line = m.charge(LARGE_VM, 8, 3600.0)
+        assert line.vm_seconds == 8 * 3600
+        assert m.total_cost == pytest.approx(8 * 0.48)
+
+    def test_accumulates(self):
+        m = BillingMeter()
+        m.charge(LARGE_VM, 4, 1800.0)
+        m.charge(LARGE_VM, 8, 1800.0)
+        assert m.total_vm_seconds == 4 * 1800 + 8 * 1800
+
+    def test_mixed_specs_merged(self):
+        m = BillingMeter()
+        m.charge(LARGE_VM, 1, 3600.0)
+        m.charge(SMALL_VM, 1, 3600.0)
+        merged = m.merged()
+        assert merged[LARGE_VM.name] == pytest.approx(0.48)
+        assert merged[SMALL_VM.name] == pytest.approx(0.12)
+
+    def test_normalization(self):
+        a, b = BillingMeter(), BillingMeter()
+        a.charge(LARGE_VM, 8, 100.0)
+        b.charge(LARGE_VM, 4, 100.0)
+        assert a.cost_normalized_to(b) == pytest.approx(2.0)
+
+    def test_normalize_to_zero_baseline_raises(self):
+        a, b = BillingMeter(), BillingMeter()
+        a.charge(LARGE_VM, 1, 1.0)
+        with pytest.raises(ValueError):
+            a.cost_normalized_to(b)
+
+    def test_negative_inputs_rejected(self):
+        m = BillingMeter()
+        with pytest.raises(ValueError):
+            m.charge(LARGE_VM, -1, 10.0)
+        with pytest.raises(ValueError):
+            m.charge(LARGE_VM, 1, -10.0)
+
+    def test_zero_duration_free(self):
+        m = BillingMeter()
+        m.charge(LARGE_VM, 100, 0.0)
+        assert m.total_cost == 0.0
+
+
+class TestElasticProvisioner:
+    @pytest.fixture
+    def prov(self):
+        return ElasticProvisioner(spec=LARGE_VM, model=PerfModel(), workers=4)
+
+    def test_advance_bills_current_fleet(self, prov):
+        prov.advance(100.0)
+        assert prov.meter.total_vm_seconds == 400.0
+
+    def test_scale_out_charges_provision_delay(self, prov):
+        overhead = prov.scale_to(8, superstep=3)
+        assert overhead == pytest.approx(PerfModel().provision_delay)
+        assert prov.workers == 8
+        assert prov.events[0].new_workers == 8
+
+    def test_scale_in_charges_release_delay(self, prov):
+        prov.scale_to(8, superstep=1)
+        overhead = prov.scale_to(4, superstep=2)
+        assert overhead == pytest.approx(PerfModel().release_delay)
+
+    def test_migration_cost_scales_with_vertices(self, prov):
+        m = PerfModel()
+        o = prov.scale_to(8, superstep=0, vertices_moved=1_000_000)
+        assert o == pytest.approx(m.provision_delay + m.migrate_per_vertex * 1e6)
+
+    def test_noop_scale_free(self, prov):
+        assert prov.scale_to(4, superstep=0) == 0.0
+        assert not prov.events
+
+    def test_invalid_worker_counts(self, prov):
+        with pytest.raises(ValueError):
+            prov.scale_to(0, superstep=0)
+        with pytest.raises(ValueError):
+            ElasticProvisioner(spec=LARGE_VM, model=PerfModel(), workers=0)
+
+    def test_scaling_overhead_is_billed(self, prov):
+        prov.scale_to(8, superstep=0)
+        # 8 VMs billed during the provisioning delay.
+        assert prov.meter.total_vm_seconds == pytest.approx(
+            8 * PerfModel().provision_delay
+        )

@@ -1,0 +1,95 @@
+"""Network transfer timing and memory spill models."""
+
+import pytest
+
+from repro.cloud import (
+    MemoryModel,
+    MemoryUsage,
+    NetworkModel,
+    PerfModel,
+    TrafficSummary,
+    scaled_large,
+)
+
+
+@pytest.fixture
+def spec():
+    return scaled_large(1_000_000)
+
+
+@pytest.fixture
+def model():
+    return PerfModel()
+
+
+class TestNetworkModel:
+    def test_zero_traffic_zero_time(self, spec, model):
+        nm = NetworkModel(spec, model)
+        t = nm.transfer_time(TrafficSummary(0, 0, 0, 0))
+        assert t == 0.0
+
+    def test_volume_term_uses_nic_bandwidth(self, spec, model):
+        nm = NetworkModel(spec, model)
+        t = nm.transfer_time(TrafficSummary(spec.network_bytes_per_s, 0, 0, 0))
+        assert t == pytest.approx(1.0)
+
+    def test_full_duplex_takes_max(self, spec, model):
+        nm = NetworkModel(spec, model)
+        big, small = 1e6, 1e3
+        t1 = nm.transfer_time(TrafficSummary(big, small, 0, 0))
+        t2 = nm.transfer_time(TrafficSummary(small, big, 0, 0))
+        assert t1 == pytest.approx(t2)
+
+    def test_per_peer_overheads(self, spec, model):
+        nm = NetworkModel(spec, model)
+        t0 = nm.transfer_time(TrafficSummary(0, 0, 0, 0))
+        t7 = nm.transfer_time(TrafficSummary(0, 0, 7, 7))
+        expected = 7 * (model.latency_per_peer + model.conn_setup_per_peer)
+        assert t7 - t0 == pytest.approx(expected)
+
+    def test_jitter_changes_times_deterministically(self, spec):
+        m = PerfModel(jitter=0.3, jitter_seed=42)
+        t_a = NetworkModel(spec, m).transfer_time(TrafficSummary(1e6, 0, 1, 1))
+        t_b = NetworkModel(spec, m).transfer_time(TrafficSummary(1e6, 0, 1, 1))
+        assert t_a == pytest.approx(t_b)  # same seed, same first draw
+        t_plain = NetworkModel(spec, PerfModel()).transfer_time(
+            TrafficSummary(1e6, 0, 1, 1)
+        )
+        assert t_a != pytest.approx(t_plain)
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficSummary(-1, 0, 0, 0)
+        with pytest.raises(ValueError):
+            TrafficSummary(0, 0, -1, 0)
+
+
+class TestMemoryModel:
+    def test_within_capacity_no_slowdown(self, spec, model):
+        mm = MemoryModel(spec, model)
+        assert mm.slowdown(spec.memory_bytes) == 1.0
+        assert mm.slowdown(0) == 1.0
+
+    def test_overflow_ratio(self, spec, model):
+        mm = MemoryModel(spec, model)
+        assert mm.overflow_ratio(spec.memory_bytes * 1.5) == pytest.approx(0.5)
+        assert mm.overflow_ratio(spec.memory_bytes // 2) == 0.0
+
+    def test_slowdown_linear_in_overflow(self, spec):
+        m = PerfModel(spill_penalty=10.0)
+        mm = MemoryModel(spec, m)
+        assert mm.slowdown(spec.memory_bytes * 1.2) == pytest.approx(3.0)
+
+    def test_restart_threshold(self, spec):
+        m = PerfModel(restart_overflow_ratio=0.5)
+        mm = MemoryModel(spec, m)
+        assert not mm.restart_triggered(spec.memory_bytes * 1.4)
+        assert mm.restart_triggered(spec.memory_bytes * 1.6)
+
+    def test_memory_usage_total(self):
+        u = MemoryUsage(graph_bytes=10, state_bytes=20, buffered_message_bytes=30)
+        assert u.total == 60
+
+    def test_memory_usage_validation(self):
+        with pytest.raises(ValueError):
+            MemoryUsage(-1, 0, 0)

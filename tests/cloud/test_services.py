@@ -1,0 +1,89 @@
+"""Blob storage and queue service stand-ins."""
+
+import pytest
+
+from repro.cloud import BlobStore, QueueService
+from repro.graph import generators as gen
+from repro.graph import io as gio
+
+
+class TestBlobStore:
+    def test_put_get(self):
+        b = BlobStore()
+        b.put("c", "file", b"hello")
+        assert b.get("c", "file") == b"hello"
+
+    def test_overwrite(self):
+        b = BlobStore()
+        b.put("c", "f", b"1")
+        b.put("c", "f", b"2")
+        assert b.get("c", "f") == b"2"
+
+    def test_missing_blob_raises(self):
+        b = BlobStore()
+        with pytest.raises(KeyError):
+            b.get("c", "nope")
+
+    def test_delete(self):
+        b = BlobStore()
+        b.put("c", "f", b"x")
+        b.delete("c", "f")
+        assert not b.exists("c", "f")
+        with pytest.raises(KeyError):
+            b.delete("c", "f")
+
+    def test_list_sorted(self):
+        b = BlobStore()
+        b.put("c", "zeta", b"")
+        b.put("c", "alpha", b"")
+        assert b.list("c") == ["alpha", "zeta"]
+
+    def test_non_bytes_rejected(self):
+        b = BlobStore()
+        with pytest.raises(TypeError):
+            b.put("c", "f", "not-bytes")
+
+    def test_total_bytes(self):
+        b = BlobStore()
+        b.put("a", "f", b"12345")
+        b.put("b", "g", b"123")
+        assert b.total_bytes() == 8
+
+    def test_round_trips_graph_files(self):
+        # The workers' graph-loading path: edge list in blob storage.
+        b = BlobStore()
+        g = gen.ring(12)
+        b.put("graphs", "ring.txt", gio.to_edge_list_bytes(g))
+        back = gio.from_edge_list_bytes(b.get("graphs", "ring.txt"))
+        assert sorted(back.iter_edges()) == sorted(g.iter_edges())
+
+
+class TestQueues:
+    def test_fifo_order(self):
+        q = QueueService().queue("step")
+        q.put(1)
+        q.put(2)
+        assert q.get() == 1
+        assert q.get() == 2
+
+    def test_empty_get_raises(self):
+        q = QueueService().queue("step")
+        with pytest.raises(IndexError):
+            q.get()
+
+    def test_try_get_returns_none(self):
+        q = QueueService().queue("step")
+        assert q.try_get() is None
+
+    def test_len_and_empty(self):
+        q = QueueService().queue("barrier")
+        assert q.empty
+        q.put("token")
+        assert len(q) == 1
+        assert not q.empty
+
+    def test_named_queues_are_stable(self):
+        svc = QueueService()
+        assert svc.queue("a") is svc.queue("a")
+        assert svc.queue("a") is not svc.queue("b")
+        assert svc.names() == ["a", "b"]

@@ -1,0 +1,92 @@
+"""VM specs and the performance-model coefficient set."""
+
+import pytest
+
+from repro.cloud import GB, LARGE_VM, MBPS, SMALL_VM, PerfModel, scaled_large
+from repro.cloud.costmodel import DEFAULT_PERF_MODEL, SCALED_PERF_MODEL
+
+
+class TestVMSpecs:
+    def test_paper_large_vm(self):
+        assert LARGE_VM.cores == 4
+        assert LARGE_VM.memory_bytes == 7 * GB
+        assert LARGE_VM.network_bytes_per_s == 400 * MBPS
+        assert LARGE_VM.price_per_hour == 0.48
+
+    def test_small_is_quarter_of_large(self):
+        assert SMALL_VM.cores * 4 == LARGE_VM.cores
+        assert SMALL_VM.network_bytes_per_s * 4 == LARGE_VM.network_bytes_per_s
+        assert SMALL_VM.price_per_hour * 4 == LARGE_VM.price_per_hour
+        assert SMALL_VM.memory_bytes * 4 == LARGE_VM.memory_bytes
+
+    def test_price_per_second(self):
+        assert LARGE_VM.price_per_second == pytest.approx(0.48 / 3600)
+
+    def test_scaled_large_keeps_shape(self):
+        s = scaled_large(10_000_000)
+        assert s.memory_bytes == 10_000_000
+        assert s.cores == LARGE_VM.cores
+        assert s.price_per_hour == LARGE_VM.price_per_hour
+
+    def test_invalid_spec_fields(self):
+        from repro.cloud.specs import VMSpec
+
+        with pytest.raises(ValueError):
+            VMSpec("x", 0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            VMSpec("x", 1, 0, 1, 1)
+        with pytest.raises(ValueError):
+            VMSpec("x", 1, 1, 0, 1)
+        with pytest.raises(ValueError):
+            VMSpec("x", 1, 1, 1, -1)
+
+
+class TestPerfModel:
+    def test_default_is_valid(self):
+        assert DEFAULT_PERF_MODEL.t_msg_in > 0
+
+    def test_scaled_regime_scales_data_plane_only(self):
+        # Per-op costs scale ~1000/graph-shrink; barrier stays same order.
+        assert SCALED_PERF_MODEL.t_msg_in > 50 * DEFAULT_PERF_MODEL.t_msg_in
+        assert SCALED_PERF_MODEL.barrier_base <= DEFAULT_PERF_MODEL.barrier_base
+
+    def test_barrier_grows_with_workers(self):
+        m = PerfModel()
+        assert m.barrier_time(8) > m.barrier_time(4) > 0
+
+    def test_barrier_invalid_workers(self):
+        with pytest.raises(ValueError):
+            PerfModel().barrier_time(0)
+
+    def test_effective_cores(self):
+        m = PerfModel(parallel_efficiency=0.75)
+        assert m.effective_cores(4) == pytest.approx(3.0)
+        assert m.effective_cores(1) == 1.0  # never below one core
+
+    def test_message_sizes(self):
+        m = PerfModel(msg_header_bytes=32, default_payload_bytes=16)
+        assert m.message_wire_bytes(16) == 48
+        assert m.message_memory_bytes(16) == 48 * m.msg_memory_expansion
+
+    def test_without_ablation(self):
+        m = PerfModel().without(barrier_base=0.0, barrier_per_worker=0.0)
+        assert m.barrier_time(8) == 0.0
+        assert m.t_msg_in == PerfModel().t_msg_in  # untouched
+
+    def test_validation_efficiency(self):
+        with pytest.raises(ValueError):
+            PerfModel(parallel_efficiency=0.0)
+        with pytest.raises(ValueError):
+            PerfModel(parallel_efficiency=1.5)
+
+    def test_validation_negative_coefficient(self):
+        with pytest.raises(ValueError):
+            PerfModel(t_serialize=-1.0)
+
+    def test_validation_jitter(self):
+        with pytest.raises(ValueError):
+            PerfModel(jitter=1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PerfModel().t_msg_in = 0.5

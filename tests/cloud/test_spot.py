@@ -1,0 +1,78 @@
+"""Spot VM market helpers."""
+
+import pytest
+
+from repro.bsp.superstep import JobTrace, SuperstepStats
+from repro.cloud import LARGE_VM, expected_evictions, spot_failure_schedule, spot_price
+
+
+def make_trace(step_seconds, n_steps, workers=4):
+    t = JobTrace()
+    for i in range(n_steps):
+        s = SuperstepStats(index=i, num_workers=workers)
+        s.elapsed = step_seconds
+        t.append(s)
+    return t
+
+
+class TestSpotPrice:
+    def test_discounted_price(self):
+        spot = spot_price(LARGE_VM, 0.3)
+        assert spot.price_per_hour == pytest.approx(0.48 * 0.3)
+        assert spot.cores == LARGE_VM.cores
+        assert "spot30" in spot.name
+
+    def test_invalid_discount(self):
+        with pytest.raises(ValueError):
+            spot_price(LARGE_VM, 0.0)
+        with pytest.raises(ValueError):
+            spot_price(LARGE_VM, 1.5)
+
+
+class TestExpectedEvictions:
+    def test_linear_in_rate_and_time(self):
+        trace = make_trace(step_seconds=360.0, n_steps=10)  # 1 hour total
+        assert expected_evictions(trace, 4, 2.0) == pytest.approx(8.0)
+
+    def test_zero_rate(self):
+        trace = make_trace(1.0, 5)
+        assert expected_evictions(trace, 4, 0.0) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            expected_evictions(make_trace(1.0, 1), 4, -1.0)
+
+
+class TestFailureSchedule:
+    def test_zero_rate_empty_schedule(self):
+        trace = make_trace(10.0, 20)
+        assert spot_failure_schedule(trace, 4, 0.0) == {}
+
+    def test_high_rate_evicts_often(self):
+        trace = make_trace(600.0, 20)  # long supersteps
+        sched = spot_failure_schedule(trace, 4, evictions_per_hour=10.0, seed=1)
+        assert len(sched) >= 15
+
+    def test_at_most_one_victim_per_superstep(self):
+        trace = make_trace(3600.0, 10)
+        sched = spot_failure_schedule(trace, 8, evictions_per_hour=100.0, seed=2)
+        assert all(0 <= w < 8 for w in sched.values())
+        assert len(sched) <= 10
+
+    def test_deterministic(self):
+        trace = make_trace(100.0, 30)
+        a = spot_failure_schedule(trace, 4, 5.0, seed=3)
+        b = spot_failure_schedule(trace, 4, 5.0, seed=3)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        trace = make_trace(100.0, 30)
+        a = spot_failure_schedule(trace, 4, 5.0, seed=3)
+        b = spot_failure_schedule(trace, 4, 5.0, seed=4)
+        assert a != b
+
+    def test_rate_monotone(self):
+        trace = make_trace(100.0, 40)
+        low = spot_failure_schedule(trace, 4, 1.0, seed=5)
+        high = spot_failure_schedule(trace, 4, 50.0, seed=5)
+        assert len(high) >= len(low)

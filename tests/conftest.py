@@ -1,0 +1,59 @@
+"""Shared fixtures: small deterministic graphs and networkx bridges."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+
+
+def to_networkx(graph: CSRGraph) -> nx.Graph | nx.DiGraph:
+    """Convert a CSRGraph to networkx, respecting directedness."""
+    g = nx.Graph() if graph.undirected else nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from((int(u), int(v)) for u, v in graph.edge_array())
+    return g
+
+
+@pytest.fixture
+def ring10() -> CSRGraph:
+    return gen.ring(10)
+
+
+@pytest.fixture
+def path5() -> CSRGraph:
+    return gen.path(5)
+
+
+@pytest.fixture
+def star8() -> CSRGraph:
+    return gen.star(8)
+
+
+@pytest.fixture
+def k5() -> CSRGraph:
+    return gen.complete(5)
+
+
+@pytest.fixture
+def tree3() -> CSRGraph:
+    return gen.binary_tree(3)
+
+
+@pytest.fixture
+def small_world() -> CSRGraph:
+    """A 60-vertex Watts-Strogatz graph used across algorithm tests."""
+    return gen.watts_strogatz(60, 4, 0.3, seed=7)
+
+
+@pytest.fixture
+def ba_graph() -> CSRGraph:
+    return gen.barabasi_albert(80, 2, seed=11)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,170 @@
+"""Live elastic scaling: correctness invariance and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BCProgram,
+    PageRankProgram,
+    betweenness_reference,
+    pagerank_reference,
+)
+from repro.algorithms import bc as bc_mod
+from repro.bsp import JobSpec, run_job
+from repro.cloud.costmodel import SCALED_PERF_MODEL
+from repro.elastic import (
+    LiveActiveFraction,
+    LiveElasticEngine,
+    LiveFixed,
+    run_live,
+)
+from repro.graph import generators as gen
+from repro.scheduling import StaticSizer, SwathController
+
+
+class _EveryStepToggle(LiveActiveFraction):
+    """Policy that alternates fleet size every superstep (stress case)."""
+
+    def decide(self, engine, stats):
+        return self.high if engine.num_workers == self.low else self.low
+
+
+@pytest.fixture
+def graph():
+    return gen.watts_strogatz(60, 4, 0.3, seed=7)
+
+
+def bc_job(graph, roots, **kw):
+    return JobSpec(
+        program=BCProgram(), graph=graph, num_workers=4,
+        initially_active=False,
+        initial_messages=bc_mod.start_messages(roots),
+        **kw,
+    )
+
+
+class TestCorrectnessInvariance:
+    def test_pagerank_identical_under_scaling(self, graph):
+        job = JobSpec(program=PageRankProgram(12), graph=graph, num_workers=4)
+        res = run_live(job, _EveryStepToggle(low=4, high=8))
+        ref = pagerank_reference(graph, iterations=12)
+        assert np.allclose(res.values_array(), ref, atol=1e-10)
+
+    def test_bc_identical_under_scaling(self, graph):
+        roots = range(8)
+        res = run_live(bc_job(graph, roots), _EveryStepToggle(low=2, high=6))
+        ref = betweenness_reference(graph, roots=roots)
+        assert np.allclose(res.values_array(), ref, atol=1e-9)
+
+    def test_bc_with_swath_controller_and_scaling(self, graph):
+        roots = list(range(10))
+        ctrl = SwathController(
+            roots=roots, start_factory=bc_mod.start_messages,
+            sizer=StaticSizer(4),
+        )
+        job = JobSpec(
+            program=BCProgram(), graph=graph, num_workers=4,
+            initially_active=False, observers=[ctrl],
+        )
+        res = run_live(job, _EveryStepToggle(low=3, high=5))
+        ref = betweenness_reference(graph, roots=roots)
+        assert np.allclose(res.values_array(), ref, atol=1e-9)
+        assert ctrl.completed_all
+
+    def test_fixed_policy_equals_plain_engine(self, graph):
+        job1 = JobSpec(program=PageRankProgram(8), graph=graph, num_workers=4)
+        job2 = JobSpec(program=PageRankProgram(8), graph=graph, num_workers=4)
+        live = run_live(job1, LiveFixed(4))
+        plain = run_job(job2)
+        assert live.values == plain.values
+        assert live.total_time == pytest.approx(plain.total_time)
+
+    def test_message_totals_preserved_across_scaling(self, graph):
+        roots = range(6)
+        live = run_live(bc_job(graph, roots), _EveryStepToggle(low=2, high=7))
+        plain = run_job(bc_job(graph, roots))
+        # Local/remote split changes with the fleet; totals must not.
+        assert live.trace.total_messages == plain.trace.total_messages
+
+
+class TestMechanics:
+    def test_fleet_actually_changes(self, graph):
+        job = JobSpec(program=PageRankProgram(10), graph=graph, num_workers=4)
+        engine = LiveElasticEngine(job, _EveryStepToggle(low=4, high=8))
+        res = engine.run()
+        widths = {s.num_workers for s in res.trace}
+        assert widths == {4, 8}
+        assert len(engine.scale_events) >= 5
+
+    def test_scaling_charges_time_and_money(self, graph):
+        job1 = JobSpec(program=PageRankProgram(10), graph=graph, num_workers=4)
+        job2 = JobSpec(program=PageRankProgram(10), graph=graph, num_workers=4)
+        engine = LiveElasticEngine(job1, _EveryStepToggle(low=4, high=8))
+        live = engine.run()
+        plain = run_job(job2)
+        assert engine.scale_overhead_total > 0
+        assert live.total_time > plain.total_time  # paid for the thrashing
+
+    def test_migration_counts_recorded(self, graph):
+        job = JobSpec(program=PageRankProgram(6), graph=graph, num_workers=4)
+        engine = LiveElasticEngine(job, _EveryStepToggle(low=4, high=8))
+        engine.run()
+        # Hash partitions for 4 vs 8 differ for most vertices.
+        ev = engine.scale_events[0]
+        assert ev.old_workers == 4 and ev.new_workers == 8
+        assert ev.overhead_seconds > 0
+
+    def test_cooldown_suppresses_thrash(self, graph):
+        job = JobSpec(program=PageRankProgram(12), graph=graph, num_workers=4)
+        policy = LiveActiveFraction(low=4, high=8, threshold=0.5, cooldown=100)
+        engine = LiveElasticEngine(job, policy)
+        engine.run()
+        assert len(engine.scale_events) <= 1
+
+    def test_invalid_policy_size_rejected(self, graph):
+        class Bad(LiveFixed):
+            def decide(self, engine, stats):
+                return 0
+
+        job = JobSpec(program=PageRankProgram(4), graph=graph, num_workers=2)
+        with pytest.raises(ValueError, match="invalid fleet size"):
+            run_live(job, Bad(2))
+
+    def test_failure_injection_incompatible(self, graph):
+        job = JobSpec(
+            program=PageRankProgram(4), graph=graph, num_workers=2,
+            checkpoint_interval=2, failure_schedule={1: 0},
+        )
+        with pytest.raises(ValueError, match="failure injection"):
+            LiveElasticEngine(job, LiveFixed(2))
+
+    def test_custom_partition_factory(self, graph):
+        from repro.partition import ModuloPartitioner
+
+        job = JobSpec(program=PageRankProgram(6), graph=graph, num_workers=4)
+        engine = LiveElasticEngine(
+            job, _EveryStepToggle(low=4, high=8),
+            partition_for=lambda k: ModuloPartitioner().partition(graph, k),
+        )
+        res = engine.run()
+        ref = pagerank_reference(graph, iterations=6)
+        assert np.allclose(res.values_array(), ref, atol=1e-10)
+
+
+class TestLivePolicyBehaviour:
+    def test_active_fraction_scales_out_at_peak(self, graph):
+        roots = range(12)
+        job = bc_job(graph, roots, perf_model=SCALED_PERF_MODEL)
+        policy = LiveActiveFraction(low=4, high=8, threshold=0.5, cooldown=1)
+        engine = LiveElasticEngine(job, policy)
+        res = engine.run()
+        assert engine.scale_events  # it did react
+        # High-fleet supersteps are the high-activity ones on average.
+        active = res.trace.series_active_vertices().astype(float)
+        widths = np.array([s.num_workers for s in res.trace], dtype=float)
+        if (widths == 8).any() and (widths == 4).any():
+            assert active[widths == 8].mean() > active[widths == 4].mean()
+
+    def test_labels(self):
+        assert "LiveFixed-4" == LiveFixed(4).label
+        assert "50%" in LiveActiveFraction().label

@@ -1,0 +1,105 @@
+"""GraphBuilder: edge accumulation, dedupe, symmetrization."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder, from_edges
+
+
+class TestBasics:
+    def test_single_edge_directed(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 2)
+        g = b.build()
+        assert sorted(g.iter_edges()) == [(0, 2)]
+        assert not g.undirected
+
+    def test_undirected_stores_both_arcs(self):
+        g = from_edges(3, [(0, 1)], undirected=True)
+        assert sorted(g.iter_edges()) == [(0, 1), (1, 0)]
+        assert g.num_edges == 1
+
+    def test_add_edge_iter(self):
+        b = GraphBuilder(4)
+        b.add_edge_iter([(0, 1), (2, 3)])
+        assert b.pending_arcs == 2
+        g = b.build()
+        assert g.num_arcs == 2
+
+    def test_empty_iter_is_noop(self):
+        b = GraphBuilder(4)
+        b.add_edge_iter([])
+        assert b.pending_arcs == 0
+
+    def test_negative_num_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(-1)
+
+    def test_name_is_attached(self):
+        g = from_edges(2, [(0, 1)], name="toy")
+        assert g.name == "toy"
+
+
+class TestValidation:
+    def test_out_of_range_src(self):
+        b = GraphBuilder(3)
+        with pytest.raises(ValueError, match="out of range"):
+            b.add_edge(5, 0)
+
+    def test_out_of_range_dst(self):
+        b = GraphBuilder(3)
+        with pytest.raises(ValueError, match="out of range"):
+            b.add_edge(0, 3)
+
+    def test_negative_vertex(self):
+        b = GraphBuilder(3)
+        with pytest.raises(ValueError, match="out of range"):
+            b.add_edge(-1, 0)
+
+    def test_mismatched_batch_lengths(self):
+        b = GraphBuilder(3)
+        with pytest.raises(ValueError, match="equal length"):
+            b.add_edges([0, 1], [2])
+
+
+class TestDedupe:
+    def test_parallel_edges_removed_by_default(self):
+        g = from_edges(2, [(0, 1), (0, 1), (0, 1)])
+        assert g.num_arcs == 1
+
+    def test_parallel_edges_kept_when_disabled(self):
+        g = from_edges(2, [(0, 1), (0, 1)], dedupe=False)
+        assert g.num_arcs == 2
+
+    def test_self_loops_dropped_by_default(self):
+        g = from_edges(2, [(0, 0), (0, 1)])
+        assert sorted(g.iter_edges()) == [(0, 1)]
+
+    def test_self_loops_kept_when_asked(self):
+        g = from_edges(2, [(0, 0)], drop_self_loops=False)
+        assert sorted(g.iter_edges()) == [(0, 0)]
+
+    def test_undirected_duplicate_both_directions(self):
+        # (0,1) and (1,0) given explicitly collapse to one undirected edge.
+        g = from_edges(2, [(0, 1), (1, 0)], undirected=True)
+        assert g.num_edges == 1
+
+    def test_rows_sorted_within_vertex(self):
+        g = from_edges(4, [(0, 3), (0, 1), (0, 2)])
+        assert g.neighbors(0).tolist() == [1, 2, 3]
+
+
+class TestBatching:
+    def test_multiple_batches_concatenate(self):
+        b = GraphBuilder(10)
+        b.add_edges(np.arange(4), np.arange(4) + 1)
+        b.add_edges(np.arange(5, 8), np.arange(5, 8) + 1)
+        g = b.build()
+        assert g.num_arcs == 7
+
+    def test_build_twice_gives_same_graph(self):
+        b = GraphBuilder(5, undirected=True)
+        b.add_edges([0, 1], [1, 2])
+        g1, g2 = b.build(), b.build()
+        assert np.array_equal(g1.indptr, g2.indptr)
+        assert np.array_equal(g1.indices, g2.indices)

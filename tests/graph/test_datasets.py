@@ -1,0 +1,96 @@
+"""Dataset analogues: Table 1 structure reproduction."""
+
+import pytest
+
+from repro.graph import datasets
+from repro.graph.properties import (
+    clustering_coefficient,
+    connected_components,
+    effective_diameter,
+)
+
+
+@pytest.fixture(scope="module")
+def analogues():
+    return {k: datasets.load(k, scale=0.5) for k in ("SD", "WG", "CP", "LJ")}
+
+
+@pytest.fixture(scope="module")
+def diameters(analogues):
+    return {
+        k: effective_diameter(g, 0.9, sample=40, seed=0)
+        for k, g in analogues.items()
+    }
+
+
+class TestRegistry:
+    def test_all_four_datasets_present(self):
+        assert set(datasets.DATASETS) == {"SD", "WG", "CP", "LJ"}
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            datasets.load("XX")
+
+    def test_names_attached(self, analogues):
+        for key, g in analogues.items():
+            assert g.name == f"{key}-analogue"
+
+    def test_explicit_seed_changes_graph(self):
+        a = datasets.load("SD", scale=0.2, seed=1)
+        b = datasets.load("SD", scale=0.2, seed=2)
+        assert sorted(a.iter_edges()) != sorted(b.iter_edges())
+
+    def test_paper_table1_constants(self):
+        assert datasets.PAPER_TABLE1["WG"]["vertices"] == 875_713
+        assert datasets.PAPER_TABLE1["LJ"]["eff_diameter"] == 6.5
+
+
+class TestTable1Shape:
+    def test_vertex_count_ordering_matches_paper(self, analogues):
+        sizes = {k: g.num_vertices for k, g in analogues.items()}
+        assert sizes["SD"] < sizes["WG"] < sizes["CP"] < sizes["LJ"]
+
+    def test_effective_diameter_ordering_matches_paper(self, diameters):
+        # Paper: SD 4.7 < LJ 6.5 < WG 8.1 < CP 9.4
+        assert diameters["SD"] < diameters["LJ"] < diameters["WG"] < diameters["CP"]
+
+    def test_diameters_in_small_world_band(self, diameters):
+        for key, d in diameters.items():
+            assert 2.0 < d < 14.0, f"{key} diameter {d} outside small-world band"
+
+    def test_sd_is_clustered_social_graph(self, analogues):
+        assert clustering_coefficient(analogues["SD"], sample=128) > 0.2
+
+    def test_wg_is_sparse_with_hubs(self, analogues):
+        g = analogues["WG"]
+        deg = g.out_degrees()
+        assert deg.mean() < 4.0
+        assert deg.max() > 8 * deg.mean()
+
+    def test_lj_has_supernodes(self, analogues):
+        deg = analogues["LJ"].out_degrees()
+        assert deg.max() > 6 * deg.mean()
+
+    def test_all_connected_enough(self, analogues):
+        # BC/APSP traversals need one dominant component.
+        import numpy as np
+
+        for key, g in analogues.items():
+            labels = connected_components(g)
+            frac = np.bincount(labels).max() / g.num_vertices
+            assert frac > 0.9, f"{key}: largest component only {frac:.0%}"
+
+
+class TestScaling:
+    def test_scale_grows_graph(self):
+        small = datasets.load("WG", scale=0.2)
+        large = datasets.load("WG", scale=0.6)
+        assert large.num_vertices > small.num_vertices
+
+    def test_minimum_size_floor(self):
+        g = datasets.load("SD", scale=0.001)
+        assert g.num_vertices >= 60
+
+    def test_default_scale_sizes(self):
+        g = datasets.load("CP")
+        assert 2000 <= g.num_vertices <= 4000

@@ -1,0 +1,252 @@
+"""Synthetic graph generators: structure, determinism, error handling."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.properties import (
+    clustering_coefficient,
+    connected_components,
+    effective_diameter,
+)
+
+
+class TestDeterministicToys:
+    def test_ring_structure(self):
+        g = gen.ring(6)
+        assert g.num_edges == 6
+        assert np.all(g.out_degrees() == 2)
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            gen.ring(2)
+
+    def test_path_structure(self):
+        g = gen.path(4)
+        assert g.num_edges == 3
+        assert g.out_degree(0) == 1
+        assert g.out_degree(1) == 2
+
+    def test_complete_structure(self):
+        g = gen.complete(6)
+        assert g.num_edges == 15
+        assert np.all(g.out_degrees() == 5)
+
+    def test_star_structure(self):
+        g = gen.star(5)
+        assert g.out_degree(0) == 4
+        assert g.num_edges == 4
+
+    def test_binary_tree_counts(self):
+        g = gen.binary_tree(3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+
+    def test_binary_tree_root_degree(self):
+        g = gen.binary_tree(2)
+        assert g.out_degree(0) == 2
+        # leaves have degree 1
+        assert g.out_degree(g.num_vertices - 1) == 1
+
+    def test_grid_structure(self):
+        g = gen.grid2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+
+    def test_grid_corner_degree(self):
+        g = gen.grid2d(3, 3)
+        assert g.out_degree(0) == 2
+        assert g.out_degree(4) == 4  # center
+
+    @pytest.mark.parametrize("fn,arg", [
+        (gen.path, 0), (gen.complete, 0), (gen.star, 1), (gen.binary_tree, -1),
+    ])
+    def test_toy_validation(self, fn, arg):
+        with pytest.raises(ValueError):
+            fn(arg)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            gen.grid2d(0, 3)
+
+
+class TestErdosRenyi:
+    def test_p_zero_is_empty(self):
+        g = gen.erdos_renyi(20, 0.0, seed=1)
+        assert g.num_edges == 0
+
+    def test_p_one_is_complete(self):
+        g = gen.erdos_renyi(8, 1.0, seed=1)
+        assert g.num_edges == 28
+
+    def test_expected_density(self):
+        g = gen.erdos_renyi(300, 0.05, seed=3)
+        expected = 300 * 299 / 2 * 0.05
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+    def test_deterministic_for_seed(self):
+        g1 = gen.erdos_renyi(50, 0.1, seed=9)
+        g2 = gen.erdos_renyi(50, 0.1, seed=9)
+        assert np.array_equal(g1.indices, g2.indices)
+
+    def test_seed_changes_graph(self):
+        g1 = gen.erdos_renyi(50, 0.1, seed=9)
+        g2 = gen.erdos_renyi(50, 0.1, seed=10)
+        assert not np.array_equal(g1.indices, g2.indices)
+
+    def test_directed_variant(self):
+        g = gen.erdos_renyi(50, 0.1, seed=4, directed=True)
+        assert not g.undirected
+        # directed slots ~ n^2*p
+        assert 0.5 * 250 < g.num_arcs < 1.5 * 250
+
+    def test_no_self_loops(self):
+        g = gen.erdos_renyi(40, 0.3, seed=2, directed=True)
+        assert all(u != v for u, v in g.iter_edges())
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(10, 1.5, seed=0)
+
+
+class TestWattsStrogatz:
+    def test_beta_zero_is_lattice(self):
+        g = gen.watts_strogatz(20, 4, 0.0, seed=1)
+        assert np.all(g.out_degrees() == 4)
+        assert g.num_edges == 40
+
+    def test_high_clustering_low_beta(self):
+        g = gen.watts_strogatz(200, 8, 0.05, seed=2)
+        assert clustering_coefficient(g) > 0.4
+
+    def test_rewiring_shrinks_diameter(self):
+        lattice = gen.watts_strogatz(200, 4, 0.0, seed=3)
+        rewired = gen.watts_strogatz(200, 4, 0.3, seed=3)
+        assert effective_diameter(rewired, sample=40) < effective_diameter(
+            lattice, sample=40
+        )
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            gen.watts_strogatz(10, 3, 0.1, seed=0)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(10, 10, 0.1, seed=0)
+
+    def test_beta_out_of_range(self):
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(10, 4, 1.5, seed=0)
+
+    def test_deterministic(self):
+        a = gen.watts_strogatz(50, 4, 0.2, seed=5)
+        b = gen.watts_strogatz(50, 4, 0.2, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = gen.barabasi_albert(100, 2, seed=1)
+        # ~ m*(n-m) edges, some dedupe slack
+        assert 180 <= g.num_edges <= 196
+
+    def test_has_hubs(self):
+        g = gen.barabasi_albert(300, 2, seed=2)
+        deg = g.out_degrees()
+        assert deg.max() > 6 * deg.mean()
+
+    def test_connected(self):
+        g = gen.barabasi_albert(100, 1, seed=3)
+        assert len(set(connected_components(g))) == 1
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(10, 0, seed=0)
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(10, 10, seed=0)
+
+    def test_mixed_variant_sparser_than_m2(self):
+        g1 = gen.barabasi_albert_mixed(200, seed=4, p_single=0.7)
+        g2 = gen.barabasi_albert(200, 2, seed=4)
+        assert g1.num_edges < g2.num_edges
+
+    def test_mixed_p_single_validation(self):
+        with pytest.raises(ValueError):
+            gen.barabasi_albert_mixed(10, seed=0, p_single=2.0)
+
+    def test_mixed_connected(self):
+        g = gen.barabasi_albert_mixed(150, seed=5)
+        assert len(set(connected_components(g))) == 1
+
+
+class TestRMAT:
+    def test_vertex_count_power_of_two(self):
+        g = gen.rmat(8, 4, seed=1)
+        assert g.num_vertices == 256
+
+    def test_skewed_degrees(self):
+        g = gen.rmat(10, 8, seed=2)
+        deg = g.out_degrees()
+        assert deg.max() > 5 * deg.mean()
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            gen.rmat(5, 2, seed=0, a=0.5, b=0.4, c=0.3)
+
+    def test_directed_mode(self):
+        g = gen.rmat(6, 2, seed=3, undirected=False)
+        assert not g.undirected
+
+    def test_deterministic(self):
+        a = gen.rmat(7, 3, seed=9)
+        b = gen.rmat(7, 3, seed=9)
+        assert np.array_equal(a.indices, b.indices)
+
+
+class TestPlantedPartition:
+    def test_total_vertices(self):
+        g = gen.planted_partition([10, 20, 30], 0.3, 0.01, seed=1)
+        assert g.num_vertices == 60
+
+    def test_intra_denser_than_inter(self):
+        sizes = [40, 40]
+        g = gen.planted_partition(sizes, 0.3, 0.005, seed=2)
+        intra = inter = 0
+        for u, v in g.iter_edges():
+            if (u < 40) == (v < 40):
+                intra += 1
+            else:
+                inter += 1
+        assert intra > 5 * inter
+
+    def test_zero_p_out_disconnects(self):
+        g = gen.planted_partition([20, 20], 0.5, 0.0, seed=3)
+        labels = connected_components(g)
+        assert len(set(labels[:20]) & set(labels[20:])) == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            gen.planted_partition([10, 0], 0.1, 0.1, seed=0)
+
+
+class TestCommunityChain:
+    def test_block_sizes_skewed(self):
+        g = gen.community_chain(6, 50, seed=1)
+        assert g.num_vertices == 50 * (1 + 2 + 3) * 2
+
+    def test_chain_has_large_diameter(self):
+        chain = gen.community_chain(6, 60, seed=2)
+        ws = gen.watts_strogatz(chain.num_vertices, 6, 0.15, seed=2)
+        assert effective_diameter(chain, sample=32) > effective_diameter(
+            ws, sample=32
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.community_chain(1, 50, seed=0)
+        with pytest.raises(ValueError):
+            gen.community_chain(4, 4, seed=0)
+
+    def test_connected(self):
+        g = gen.community_chain(5, 40, seed=3)
+        assert len(set(connected_components(g))) == 1

@@ -1,0 +1,86 @@
+"""Graph serialization round trips and SNAP edge-list parsing."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph import io
+
+
+def assert_same_graph(a, b):
+    assert a.num_vertices == b.num_vertices
+    assert a.undirected == b.undirected
+    assert sorted(a.iter_edges()) == sorted(b.iter_edges())
+
+
+class TestEdgeList:
+    def test_round_trip_undirected(self, tmp_path, small_world):
+        p = tmp_path / "g.txt"
+        io.write_edge_list(small_world, p)
+        back = io.read_edge_list(p)
+        assert_same_graph(small_world, back)
+
+    def test_round_trip_directed(self, tmp_path):
+        g = gen.erdos_renyi(30, 0.1, seed=1, directed=True)
+        p = tmp_path / "g.txt"
+        io.write_edge_list(g, p)
+        assert_same_graph(g, io.read_edge_list(p))
+
+    def test_round_trip_preserves_name(self, tmp_path, ring10):
+        ring10.name = "myring"
+        p = tmp_path / "g.txt"
+        io.write_edge_list(ring10, p)
+        assert io.read_edge_list(p).name == "myring"
+
+    def test_round_trip_isolated_vertices(self, tmp_path):
+        from repro.graph.builder import from_edges
+        g = from_edges(10, [(0, 1)], undirected=True)
+        p = tmp_path / "g.txt"
+        io.write_edge_list(g, p)
+        assert io.read_edge_list(p).num_vertices == 10
+
+    def test_headerless_snap_format(self):
+        data = b"# SNAP comment\n0\t1\n1\t2\n4\t2\n"
+        g = io.from_edge_list_bytes(data)
+        assert g.num_vertices == 5
+        assert not g.undirected
+        assert sorted(g.iter_edges()) == [(0, 1), (1, 2), (4, 2)]
+
+    def test_space_separated_accepted(self):
+        g = io.from_edge_list_bytes(b"0 1\n1 2\n")
+        assert g.num_arcs == 2
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            io.from_edge_list_bytes(b"0\n")
+
+    def test_empty_input(self):
+        g = io.from_edge_list_bytes(b"")
+        assert g.num_vertices == 0
+
+    def test_bytes_round_trip(self, k5):
+        data = io.to_edge_list_bytes(k5)
+        assert_same_graph(k5, io.from_edge_list_bytes(data))
+
+    def test_undirected_file_stores_each_edge_once(self, ring10):
+        data = io.to_edge_list_bytes(ring10).decode()
+        edges = [l for l in data.splitlines() if not l.startswith("#")]
+        assert len(edges) == 10
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path, small_world):
+        p = tmp_path / "g.npz"
+        io.write_npz(small_world, p)
+        back = io.read_npz(p)
+        assert_same_graph(small_world, back)
+        assert np.array_equal(back.indptr, small_world.indptr)
+
+    def test_round_trip_directed_with_name(self, tmp_path):
+        g = gen.erdos_renyi(20, 0.2, seed=2, directed=True)
+        g.name = "er-directed"
+        p = tmp_path / "g.npz"
+        io.write_npz(g, p)
+        back = io.read_npz(p)
+        assert back.name == "er-directed"
+        assert not back.undirected

@@ -1,0 +1,182 @@
+"""Weighted graphs and induced subgraphs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.builder import GraphBuilder, from_edges
+
+
+class TestWeightedGraphs:
+    def test_weights_stored_and_aligned(self):
+        g = from_edges(3, [(0, 1), (1, 2)], weights=[2.5, 7.0])
+        assert g.weighted
+        assert g.edge_weight(0, 1) == 2.5
+        assert g.edge_weight(1, 2) == 7.0
+
+    def test_unweighted_reports_units(self, ring10):
+        assert not ring10.weighted
+        assert ring10.edge_weight(0, 1) == 1.0
+        assert np.all(ring10.neighbor_weights(0) == 1.0)
+
+    def test_missing_edge_raises(self):
+        g = from_edges(3, [(0, 1)], weights=[1.0])
+        with pytest.raises(KeyError):
+            g.edge_weight(0, 2)
+
+    def test_undirected_weights_symmetric(self):
+        g = from_edges(3, [(0, 1), (1, 2)], undirected=True, weights=[3.0, 4.0])
+        assert g.edge_weight(0, 1) == g.edge_weight(1, 0) == 3.0
+        assert g.edge_weight(2, 1) == 4.0
+
+    def test_neighbor_weights_align_with_neighbors(self):
+        g = from_edges(4, [(0, 3), (0, 1), (0, 2)], weights=[30.0, 10.0, 20.0])
+        nbrs = g.neighbors(0).tolist()
+        ws = g.neighbor_weights(0).tolist()
+        assert dict(zip(nbrs, ws)) == {1: 10.0, 2: 20.0, 3: 30.0}
+
+    def test_dedupe_keeps_first_weight(self):
+        g = from_edges(2, [(0, 1), (0, 1)], weights=[5.0, 9.0])
+        assert g.num_arcs == 1
+        assert g.edge_weight(0, 1) == 5.0
+
+    def test_self_loop_weight_dropped_with_loop(self):
+        g = from_edges(2, [(0, 0), (0, 1)], weights=[42.0, 1.5])
+        assert g.num_arcs == 1
+        assert g.edge_weight(0, 1) == 1.5
+
+    def test_mixing_weighted_unweighted_rejected(self):
+        b = GraphBuilder(3)
+        b.add_edges([0], [1], [1.0])
+        with pytest.raises(ValueError, match="mix"):
+            b.add_edges([1], [2])
+
+    def test_weight_length_mismatch_rejected(self):
+        b = GraphBuilder(3)
+        with pytest.raises(ValueError, match="weights"):
+            b.add_edges([0, 1], [1, 2], [1.0])
+
+    def test_misaligned_weights_array_rejected(self):
+        from repro.graph.csr import CSRGraph
+
+        with pytest.raises(ValueError, match="align"):
+            CSRGraph(
+                2, np.array([0, 1, 1]), np.array([1], dtype=np.int32),
+                weights=np.array([1.0, 2.0]),
+            )
+
+
+class TestWeightedSSSP:
+    def test_matches_dijkstra(self):
+        from repro.algorithms import SSSPProgram, dijkstra_reference
+        from repro.bsp import JobSpec, run_job
+
+        rng = np.random.default_rng(3)
+        base = gen.watts_strogatz(50, 4, 0.2, seed=6)
+        e = base.edge_array()
+        half = e[e[:, 0] < e[:, 1]]
+        w = rng.uniform(0.5, 5.0, size=len(half))
+        g = from_edges(50, half, undirected=True, weights=w)
+        res = run_job(JobSpec(program=SSSPProgram(0), graph=g, num_workers=4))
+        ref = dijkstra_reference(g, 0)
+        assert np.allclose(res.values_array(), ref)
+
+    def test_weight_fn_overrides_graph_weights(self):
+        from repro.algorithms import SSSPProgram
+        from repro.bsp import JobSpec, run_job
+
+        g = from_edges(3, [(0, 1), (1, 2)], undirected=True, weights=[10.0, 10.0])
+        res = run_job(
+            JobSpec(
+                program=SSSPProgram(0, weight_fn=lambda u, v: 1.0),
+                graph=g, num_workers=2,
+            )
+        )
+        assert res.values[2] == 2.0
+
+
+class TestInducedSubgraph:
+    def test_basic_extraction(self, ring10):
+        sub, mapping = ring10.induced_subgraph([0, 1, 2, 5])
+        assert sub.num_vertices == 4
+        assert mapping.tolist() == [0, 1, 2, 5]
+        # ring edges 0-1, 1-2 survive; 5 is isolated in the subgraph.
+        assert sorted(sub.iter_edges()) == [(0, 1), (1, 0), (1, 2), (2, 1)]
+
+    def test_full_selection_is_identity(self, small_world):
+        sub, mapping = small_world.induced_subgraph(range(60))
+        assert sorted(sub.iter_edges()) == sorted(small_world.iter_edges())
+
+    def test_empty_selection(self, ring10):
+        sub, mapping = ring10.induced_subgraph([])
+        assert sub.num_vertices == 0
+        assert len(mapping) == 0
+
+    def test_duplicates_collapsed(self, ring10):
+        sub, mapping = ring10.induced_subgraph([3, 3, 4])
+        assert sub.num_vertices == 2
+
+    def test_out_of_range_rejected(self, ring10):
+        with pytest.raises(ValueError):
+            ring10.induced_subgraph([0, 99])
+
+    def test_degrees_consistent(self, small_world):
+        keep = list(range(0, 60, 2))
+        sub, mapping = small_world.induced_subgraph(keep)
+        keep_set = set(keep)
+        for new_v, old_v in enumerate(mapping):
+            expected = sum(
+                1 for u in small_world.neighbors(int(old_v)) if int(u) in keep_set
+            )
+            assert sub.out_degree(new_v) == expected
+
+    def test_largest_component_extraction_use_case(self):
+        from repro.graph.properties import largest_component
+
+        g = from_edges(8, [(0, 1), (1, 2), (3, 4)], undirected=True)
+        comp = largest_component(g)
+        sub, mapping = g.induced_subgraph(comp)
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+
+
+class TestWeightedIO:
+    def test_edge_list_round_trip(self, tmp_path):
+        from repro.graph import io as gio
+
+        g = from_edges(
+            4, [(0, 1), (1, 2), (2, 3)], undirected=True, weights=[1.5, 2.25, 0.125]
+        )
+        back = gio.from_edge_list_bytes(gio.to_edge_list_bytes(g))
+        assert back.weighted
+        for u, v in g.iter_edges():
+            assert back.edge_weight(u, v) == g.edge_weight(u, v)
+
+    def test_npz_round_trip(self, tmp_path):
+        from repro.graph import io as gio
+
+        g = from_edges(3, [(0, 1), (1, 2)], weights=[3.5, 4.5])
+        p = tmp_path / "w.npz"
+        gio.write_npz(g, p)
+        back = gio.read_npz(p)
+        assert back.weighted
+        assert np.array_equal(back.weights, g.weights)
+
+    def test_third_column_parsed_as_weight(self):
+        from repro.graph import io as gio
+
+        g = gio.from_edge_list_bytes(b"0 1 2.5\n1 2 0.5\n")
+        assert g.weighted
+        assert g.edge_weight(0, 1) == 2.5
+
+    def test_mixed_weight_presence_rejected(self):
+        from repro.graph import io as gio
+
+        with pytest.raises(ValueError, match="missing weight"):
+            gio.from_edge_list_bytes(b"0 1 2.5\n1 2\n")
+
+    def test_unweighted_round_trip_stays_unweighted(self, ring10):
+        from repro.graph import io as gio
+
+        back = gio.from_edge_list_bytes(gio.to_edge_list_bytes(ring10))
+        assert not back.weighted

@@ -1,0 +1,33 @@
+"""Every example script must run cleanly end to end (no rot)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples print tables/summaries; just require a clean exit and output.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{script.name} produced almost no output"
+
+
+def test_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "swath_scheduling",
+        "partitioning_study",
+        "elastic_scaling",
+        "fault_tolerance",
+        "capacity_planning",
+        "custom_program",
+    } <= names

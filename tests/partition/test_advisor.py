@@ -1,0 +1,94 @@
+"""Partitioning advisor (the paper's §IX future work, implemented)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import datasets
+from repro.graph import generators as gen
+from repro.partition import (
+    HashPartitioner,
+    MultilevelPartitioner,
+    PartitioningAdvisor,
+)
+from repro.partition.base import Partition
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return PartitioningAdvisor(seed=0)
+
+
+class TestFrontierConcentration:
+    def test_single_part_is_one(self, advisor, small_world):
+        p = Partition(1, np.zeros(60, dtype=np.int32))
+        # max/mean over one part is identically 1.
+        assert advisor.frontier_concentration(small_world, p) == pytest.approx(1.0)
+
+    def test_hash_is_nearly_even(self, advisor):
+        g = gen.watts_strogatz(400, 6, 0.2, seed=3)
+        p = HashPartitioner().partition(g, 4)
+        assert advisor.frontier_concentration(g, p) < 1.6
+
+    def test_community_chain_concentrates_under_mincut(self, advisor):
+        g = datasets.load("CP", scale=0.3)
+        mincut = MultilevelPartitioner(seed=1, imbalance=1.15).partition(g, 8)
+        hashed = HashPartitioner().partition(g, 8)
+        cm = advisor.frontier_concentration(g, mincut)
+        ch = advisor.frontier_concentration(g, hashed)
+        assert cm > 1.6 * ch
+
+    def test_bounded_by_num_parts(self, advisor, small_world):
+        p = HashPartitioner().partition(small_world, 4)
+        c = advisor.frontier_concentration(small_world, p)
+        assert 1.0 <= c <= 4.0
+
+
+class TestPredictedCost:
+    def test_remote_fraction_raises_cost(self, advisor):
+        assert advisor.predicted_cost(1.0, 0.9) > advisor.predicted_cost(1.0, 0.1)
+
+    def test_concentration_scales_cost(self, advisor):
+        assert advisor.predicted_cost(2.0, 0.5) == pytest.approx(
+            2 * advisor.predicted_cost(1.0, 0.5)
+        )
+
+
+class TestAdvice:
+    def test_wg_analogue_gets_mincut(self, advisor):
+        g = datasets.load("WG", scale=0.3)
+        advice = advisor.advise(g, 8)
+        assert advice.recommendation == "min-cut"
+        assert advice.predicted_ratio < 0.85
+
+    def test_cp_analogue_gets_hash(self, advisor):
+        g = datasets.load("CP", scale=0.3)
+        advice = advisor.advise(g, 8)
+        assert advice.recommendation == "hash"
+
+    def test_advice_matches_measured_fig8_ordering(self, advisor):
+        """Predicted ratio ordering matches the measured Fig. 8 ordering."""
+        wg = advisor.advise(datasets.load("WG", scale=0.3), 8)
+        cp = advisor.advise(datasets.load("CP", scale=0.3), 8)
+        assert wg.predicted_ratio < cp.predicted_ratio
+
+    def test_summary_renders(self, advisor, small_world):
+        advice = advisor.advise(small_world, 4)
+        s = advice.summary()
+        assert "recommend" in s and "%" in s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitioningAdvisor(remote_factor=0)
+        with pytest.raises(ValueError):
+            PartitioningAdvisor(num_probes=0)
+        with pytest.raises(ValueError):
+            PartitioningAdvisor(threshold=0.0)
+
+    def test_advise_needs_multiple_parts(self, advisor, small_world):
+        with pytest.raises(ValueError):
+            advisor.advise(small_world, 1)
+
+    def test_deterministic(self, small_world):
+        a = PartitioningAdvisor(seed=5).advise(small_world, 4)
+        b = PartitioningAdvisor(seed=5).advise(small_world, 4)
+        assert a == b

@@ -1,0 +1,63 @@
+"""Partition assignment object invariants."""
+
+import numpy as np
+import pytest
+
+from repro.partition.base import Partition
+
+
+class TestValidation:
+    def test_valid_partition(self):
+        p = Partition(2, np.array([0, 1, 0, 1]))
+        assert p.num_vertices == 4
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(0, np.array([0]))
+
+    def test_out_of_range_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(2, np.array([0, 2]))
+
+    def test_negative_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(2, np.array([-1, 0]))
+
+    def test_2d_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(2, np.zeros((2, 2)))
+
+    def test_empty_assignment_ok(self):
+        p = Partition(3, np.empty(0, dtype=np.int32))
+        assert p.num_vertices == 0
+
+
+class TestAccessors:
+    @pytest.fixture
+    def part(self):
+        return Partition(3, np.array([0, 1, 2, 0, 1, 0]))
+
+    def test_part_of(self, part):
+        assert part.part_of(0) == 0
+        assert part.part_of(2) == 2
+
+    def test_vertices_of(self, part):
+        assert part.vertices_of(0).tolist() == [0, 3, 5]
+        assert part.vertices_of(2).tolist() == [2]
+
+    def test_vertices_of_out_of_range(self, part):
+        with pytest.raises(ValueError):
+            part.vertices_of(3)
+
+    def test_sizes(self, part):
+        assert part.sizes().tolist() == [3, 2, 1]
+
+    def test_sizes_include_empty_parts(self):
+        p = Partition(4, np.array([0, 0, 1]))
+        assert p.sizes().tolist() == [2, 1, 0, 0]
+
+    def test_renumbered(self, part):
+        perm = np.array([5, 4, 3, 2, 1, 0])
+        r = part.renumbered(perm)
+        assert r.part_of(0) == part.part_of(5)
+        assert r.part_of(5) == part.part_of(0)

@@ -1,0 +1,112 @@
+"""Fennel and spectral partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.partition import (
+    FennelPartitioner,
+    HashPartitioner,
+    SpectralPartitioner,
+    balance,
+    edge_cut,
+)
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    return gen.planted_partition([30, 30, 30, 30], 0.3, 0.01, seed=5)
+
+
+class TestFennel:
+    def test_covers_all_vertices(self, community_graph):
+        p = FennelPartitioner().partition(community_graph, 4)
+        assert p.sizes().sum() == community_graph.num_vertices
+
+    def test_beats_hash_on_communities(self, community_graph):
+        fp = FennelPartitioner().partition(community_graph, 4)
+        hp = HashPartitioner().partition(community_graph, 4)
+        assert edge_cut(community_graph, fp) < 0.65 * edge_cut(community_graph, hp)
+
+    def test_respects_slack(self, community_graph):
+        p = FennelPartitioner(slack=1.1).partition(community_graph, 4)
+        assert balance(community_graph, p) <= 1.1 + 1e-9
+
+    def test_alpha_override(self, community_graph):
+        # A huge balance weight forces near-perfect balance.
+        p = FennelPartitioner(alpha=1e6).partition(community_graph, 4)
+        sizes = p.sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_deterministic(self, community_graph):
+        a = FennelPartitioner(seed=3, order="random").partition(community_graph, 4)
+        b = FennelPartitioner(seed=3, order="random").partition(community_graph, 4)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FennelPartitioner(gamma=1.0)
+        with pytest.raises(ValueError):
+            FennelPartitioner(alpha=0)
+        with pytest.raises(ValueError):
+            FennelPartitioner(slack=0.9)
+
+    def test_invalid_num_parts(self, community_graph):
+        with pytest.raises(ValueError):
+            FennelPartitioner().partition(community_graph, 0)
+
+    def test_single_part(self, community_graph):
+        p = FennelPartitioner().partition(community_graph, 1)
+        assert np.all(p.assignment == 0)
+
+
+class TestSpectral:
+    def test_bisects_two_communities_exactly(self):
+        g = gen.planted_partition([25, 25], 0.4, 0.01, seed=7)
+        p = SpectralPartitioner().partition(g, 2)
+        # Each planted block lands (almost) wholly in one part.
+        left = p.assignment[:25]
+        right = p.assignment[25:]
+        assert np.bincount(left, minlength=2).max() >= 24
+        assert np.bincount(right, minlength=2).max() >= 24
+        assert left[0] != right[0] or edge_cut(g, p) < 10
+
+    def test_low_cut_on_community_graph(self, community_graph):
+        sp = SpectralPartitioner().partition(community_graph, 4)
+        hp = HashPartitioner().partition(community_graph, 4)
+        assert edge_cut(community_graph, sp) < 0.3 * edge_cut(community_graph, hp)
+
+    def test_non_power_of_two_parts(self, community_graph):
+        p = SpectralPartitioner().partition(community_graph, 3)
+        sizes = p.sizes()
+        assert sizes.sum() == 120
+        assert sizes.min() > 0
+        assert balance(community_graph, p) < 1.3
+
+    def test_quota_split_is_balanced(self):
+        g = gen.watts_strogatz(100, 4, 0.2, seed=2)
+        p = SpectralPartitioner().partition(g, 4)
+        assert balance(g, p) < 1.15
+
+    def test_size_guard(self):
+        g = gen.ring(50)
+        with pytest.raises(ValueError, match="capped"):
+            SpectralPartitioner(max_vertices=10).partition(g, 2)
+
+    def test_single_part(self, community_graph):
+        p = SpectralPartitioner().partition(community_graph, 1)
+        assert np.all(p.assignment == 0)
+
+    def test_directed_graph_symmetrized(self):
+        g = gen.erdos_renyi(40, 0.15, seed=4, directed=True)
+        p = SpectralPartitioner().partition(g, 2)
+        assert p.sizes().sum() == 40
+
+    def test_deterministic(self, community_graph):
+        a = SpectralPartitioner().partition(community_graph, 4)
+        b = SpectralPartitioner().partition(community_graph, 4)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpectralPartitioner(max_vertices=1)

@@ -1,0 +1,104 @@
+"""Partition metrics vs. brute-force computation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.builder import from_edges
+from repro.partition import (
+    HashPartitioner,
+    balance,
+    edge_cut,
+    evaluate,
+    part_degrees,
+    remote_edge_fraction,
+)
+from repro.partition.base import Partition
+
+
+def brute_force_cut(graph, partition):
+    cut = 0
+    for u, v in graph.iter_edges():
+        if partition.part_of(u) != partition.part_of(v):
+            cut += 1
+    return cut // 2 if graph.undirected else cut
+
+
+class TestEdgeCut:
+    def test_matches_brute_force_undirected(self, small_world):
+        p = HashPartitioner().partition(small_world, 4)
+        assert edge_cut(small_world, p) == brute_force_cut(small_world, p)
+
+    def test_matches_brute_force_directed(self):
+        g = gen.erdos_renyi(40, 0.1, seed=3, directed=True)
+        p = HashPartitioner().partition(g, 3)
+        assert edge_cut(g, p) == brute_force_cut(g, p)
+
+    def test_all_one_part_zero_cut(self, ring10):
+        p = Partition(1, np.zeros(10, dtype=np.int32))
+        assert edge_cut(ring10, p) == 0
+
+    def test_alternating_ring_cut(self, ring10):
+        p = Partition(2, np.arange(10) % 2)
+        assert edge_cut(ring10, p) == 10  # every ring edge crosses
+
+    def test_half_split_ring(self, ring10):
+        p = Partition(2, (np.arange(10) >= 5).astype(int))
+        assert edge_cut(ring10, p) == 2
+
+
+class TestRemoteFraction:
+    def test_range(self, small_world):
+        p = HashPartitioner().partition(small_world, 4)
+        assert 0.0 <= remote_edge_fraction(small_world, p) <= 1.0
+
+    def test_zero_for_single_part(self, small_world):
+        p = Partition(1, np.zeros(60, dtype=np.int32))
+        assert remote_edge_fraction(small_world, p) == 0.0
+
+    def test_empty_graph(self):
+        g = from_edges(3, [])
+        p = Partition(2, np.array([0, 1, 0]))
+        assert remote_edge_fraction(g, p) == 0.0
+
+    def test_consistent_with_edge_cut(self, small_world):
+        p = HashPartitioner().partition(small_world, 4)
+        frac = remote_edge_fraction(small_world, p)
+        assert frac == pytest.approx(
+            edge_cut(small_world, p) / small_world.num_edges
+        )
+
+
+class TestBalance:
+    def test_perfect_balance(self, ring10):
+        p = Partition(2, np.arange(10) % 2)
+        assert balance(ring10, p) == pytest.approx(1.0)
+
+    def test_skewed_balance(self, ring10):
+        p = Partition(2, np.array([0] * 8 + [1] * 2))
+        assert balance(ring10, p) == pytest.approx(1.6)
+
+    def test_empty_graph_balance(self):
+        g = from_edges(0, [])
+        p = Partition(2, np.empty(0, dtype=np.int32))
+        assert balance(g, p) == 1.0
+
+
+class TestPartDegrees:
+    def test_sums_to_total_arcs(self, small_world):
+        p = HashPartitioner().partition(small_world, 4)
+        assert part_degrees(small_world, p).sum() == small_world.num_arcs
+
+    def test_star_concentration(self, star8):
+        p = Partition(2, np.array([0] + [1] * 7))
+        d = part_degrees(star8, p)
+        assert d[0] == 7 and d[1] == 7
+
+
+class TestReport:
+    def test_evaluate_renders(self, small_world):
+        p = HashPartitioner().partition(small_world, 4)
+        rep = evaluate(small_world, p, "Hash")
+        assert rep.strategy == "Hash"
+        assert "remote=" in rep.row()
+        assert rep.num_parts == 4

@@ -1,0 +1,216 @@
+"""Hash, streaming and multilevel partitioners: coverage, balance, quality."""
+
+import numpy as np
+import pytest
+
+from repro.graph import datasets
+from repro.graph import generators as gen
+from repro.partition import (
+    HashPartitioner,
+    ModuloPartitioner,
+    MultilevelPartitioner,
+    StreamingBalanced,
+    StreamingChunking,
+    StreamingGreedy,
+    balance,
+    edge_cut,
+    remote_edge_fraction,
+)
+from repro.partition.streaming import stream_order
+
+ALL_PARTITIONERS = [
+    HashPartitioner(),
+    ModuloPartitioner(),
+    MultilevelPartitioner(seed=3),
+    StreamingBalanced(),
+    StreamingChunking(),
+    StreamingGreedy(),
+    StreamingGreedy(weight="unweighted"),
+    StreamingGreedy(weight="exponential"),
+]
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    return gen.planted_partition([30, 30, 30, 30], 0.3, 0.01, seed=5)
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("part", ALL_PARTITIONERS, ids=lambda p: repr(p))
+    def test_every_vertex_assigned(self, part, community_graph):
+        p = part.partition(community_graph, 4)
+        assert p.num_vertices == community_graph.num_vertices
+        assert p.assignment.min() >= 0
+        assert p.assignment.max() < 4
+
+    @pytest.mark.parametrize("part", ALL_PARTITIONERS, ids=lambda p: repr(p))
+    def test_deterministic(self, part, community_graph):
+        a = part.partition(community_graph, 4)
+        b = part.partition(community_graph, 4)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    @pytest.mark.parametrize("part", ALL_PARTITIONERS, ids=lambda p: repr(p))
+    def test_single_part_trivial(self, part, community_graph):
+        p = part.partition(community_graph, 1)
+        assert np.all(p.assignment == 0)
+
+    @pytest.mark.parametrize("part", ALL_PARTITIONERS, ids=lambda p: repr(p))
+    def test_invalid_num_parts(self, part, community_graph):
+        with pytest.raises(ValueError):
+            part.partition(community_graph, 0)
+
+
+class TestHash:
+    def test_near_uniform_balance(self):
+        g = gen.erdos_renyi(4000, 0.002, seed=1)
+        p = HashPartitioner().partition(g, 8)
+        assert balance(g, p) < 1.12
+
+    def test_salt_changes_assignment(self, community_graph):
+        a = HashPartitioner(salt=0).partition(community_graph, 4)
+        b = HashPartitioner(salt=1).partition(community_graph, 4)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_modulo_is_round_robin(self, community_graph):
+        p = ModuloPartitioner().partition(community_graph, 4)
+        assert p.part_of(0) == 0 and p.part_of(5) == 1
+
+    def test_hash_scatters_consecutive_ids(self, community_graph):
+        p = HashPartitioner().partition(community_graph, 8)
+        # Consecutive ids should not all map to the same worker.
+        assert len(set(p.assignment[:16].tolist())) > 2
+
+
+class TestStreaming:
+    def test_balanced_is_perfectly_balanced(self, community_graph):
+        p = StreamingBalanced().partition(community_graph, 4)
+        sizes = p.sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_chunking_is_contiguous(self):
+        g = gen.ring(12)
+        p = StreamingChunking().partition(g, 3)
+        assert p.assignment.tolist() == [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_greedy_beats_hash_on_communities(self, community_graph):
+        hp = HashPartitioner().partition(community_graph, 4)
+        sp = StreamingGreedy().partition(community_graph, 4)
+        assert edge_cut(community_graph, sp) < 0.6 * edge_cut(community_graph, hp)
+
+    def test_greedy_respects_capacity(self, community_graph):
+        p = StreamingGreedy(slack=1.1).partition(community_graph, 4)
+        assert balance(community_graph, p) <= 1.1 + 1e-9
+
+    def test_linear_weight_balances_better_than_unweighted(self, community_graph):
+        lin = StreamingGreedy(weight="linear").partition(community_graph, 4)
+        unw = StreamingGreedy(weight="unweighted", slack=10.0).partition(
+            community_graph, 4
+        )
+        assert balance(community_graph, lin) <= balance(community_graph, unw)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            StreamingGreedy(weight="bogus")
+
+    def test_invalid_slack(self):
+        with pytest.raises(ValueError):
+            StreamingGreedy(slack=0.5)
+
+    def test_stream_orders(self, community_graph):
+        for order in ("natural", "random", "bfs"):
+            seq = stream_order(community_graph, order, seed=2)
+            assert sorted(seq.tolist()) == list(range(community_graph.num_vertices))
+
+    def test_bfs_order_starts_at_zero(self, community_graph):
+        seq = stream_order(community_graph, "bfs")
+        assert seq[0] == 0
+
+    def test_bfs_order_covers_disconnected(self):
+        from repro.graph.builder import from_edges
+        g = from_edges(6, [(0, 1), (3, 4)], undirected=True)
+        seq = stream_order(g, "bfs")
+        assert sorted(seq.tolist()) == list(range(6))
+
+    def test_unknown_order_raises(self, community_graph):
+        with pytest.raises(ValueError):
+            stream_order(community_graph, "zigzag")
+
+
+class TestMultilevel:
+    def test_respects_imbalance_on_degree(self, community_graph):
+        part = MultilevelPartitioner(seed=1, imbalance=1.05)
+        p = part.partition(community_graph, 4)
+        deg = community_graph.out_degrees()
+        loads = np.bincount(p.assignment, weights=deg + 1, minlength=4)
+        ideal = loads.sum() / 4
+        assert loads.max() <= 1.10 * ideal  # small tolerance over 1.05
+
+    def test_beats_hash_on_cut(self, community_graph):
+        hp = HashPartitioner().partition(community_graph, 4)
+        mp = MultilevelPartitioner(seed=1).partition(community_graph, 4)
+        assert edge_cut(community_graph, mp) < 0.5 * edge_cut(community_graph, hp)
+
+    def test_recovers_planted_communities(self, community_graph):
+        p = MultilevelPartitioner(seed=1).partition(community_graph, 4)
+        # Most vertices of each planted block should share a part.
+        for b in range(4):
+            block = p.assignment[b * 30 : (b + 1) * 30]
+            dominant = np.bincount(block).max()
+            assert dominant >= 24
+
+    def test_unit_vertex_weight_mode(self, community_graph):
+        part = MultilevelPartitioner(seed=1, vertex_weight="unit")
+        p = part.partition(community_graph, 4)
+        assert balance(community_graph, p) <= 1.1
+
+    def test_invalid_vertex_weight(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(vertex_weight="mass")
+
+    def test_invalid_imbalance(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(imbalance=0.9)
+
+    def test_star_graph_does_not_hang(self):
+        # Heavy-edge matching stalls on stars; coarsening must bail out.
+        g = gen.star(64)
+        p = MultilevelPartitioner(seed=1).partition(g, 4)
+        assert p.num_vertices == 64
+
+    def test_disconnected_graph(self):
+        from repro.graph.builder import from_edges
+        g = from_edges(20, [(i, i + 1) for i in range(0, 18, 2)], undirected=True)
+        p = MultilevelPartitioner(seed=2).partition(g, 4)
+        assert p.assignment.min() >= 0
+
+    def test_seed_changes_partition(self):
+        g = datasets.load("WG", scale=0.2)
+        a = MultilevelPartitioner(seed=1).partition(g, 4)
+        b = MultilevelPartitioner(seed=2).partition(g, 4)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+
+class TestPaperQualityGap:
+    """§VII's measured orderings on the dataset analogues."""
+
+    @pytest.mark.parametrize("key", ["WG", "CP"])
+    def test_hash_remote_fraction_near_paper(self, key):
+        g = datasets.load(key, scale=0.3)
+        p = HashPartitioner().partition(g, 8)
+        # Paper: 87% (WG), 86% (CP).
+        assert 0.80 < remote_edge_fraction(g, p) < 0.93
+
+    @pytest.mark.parametrize("key", ["WG", "CP"])
+    def test_metis_cut_dominates_hash(self, key):
+        g = datasets.load(key, scale=0.3)
+        hp = HashPartitioner().partition(g, 8)
+        mp = MultilevelPartitioner(seed=1, imbalance=1.15, refine_passes=12).partition(g, 8)
+        assert remote_edge_fraction(g, mp) < 0.45 * remote_edge_fraction(g, hp)
+
+    def test_streaming_between_hash_and_metis_on_wg(self):
+        g = datasets.load("WG", scale=0.3)
+        hp = HashPartitioner().partition(g, 8)
+        mp = MultilevelPartitioner(seed=1, imbalance=1.15, refine_passes=12).partition(g, 8)
+        sp = StreamingGreedy(order="random").partition(g, 8)
+        rf = lambda p: remote_edge_fraction(g, p)
+        assert rf(mp) < rf(sp) < rf(hp)

@@ -1,0 +1,120 @@
+"""Property-based tests: engine semantics and algorithm correctness on
+random graphs and random schedules."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    BCProgram,
+    PageRankProgram,
+    betweenness_reference,
+    pagerank_reference,
+)
+from repro.algorithms import bc as bc_mod
+from repro.bsp import JobSpec, VertexProgram, run_job
+from repro.graph.builder import from_edges
+from repro.scheduling import (
+    DynamicPeakDetect,
+    SequentialInitiation,
+    StaticEveryN,
+    StaticSizer,
+    SwathController,
+)
+
+
+@st.composite
+def connected_graphs(draw, max_n=24):
+    """Random connected undirected graph (spanning tree + extra edges)."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    edges = [
+        (draw(st.integers(0, i - 1)), i) for i in range(1, n)
+    ]  # random spanning tree
+    extra = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=2 * n,
+        )
+    )
+    return from_edges(n, edges + extra, undirected=True)
+
+
+class _MessageConservation(VertexProgram):
+    """Every vertex sends `fanout` messages in step 0; receivers count."""
+
+    def __init__(self, fanout):
+        self.fanout = fanout
+
+    def compute(self, ctx, state, messages):
+        got = (state or 0) + len(messages)
+        if ctx.superstep == 0:
+            for u in list(ctx.out_neighbors)[: self.fanout]:
+                ctx.send(int(u), 1)
+        ctx.vote_to_halt()
+        return got
+
+
+class TestEngineProperties:
+    @given(connected_graphs(), st.integers(1, 5), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_message_conservation(self, g, workers, fanout):
+        """Every sent message is delivered exactly once."""
+        res = run_job(
+            JobSpec(
+                program=_MessageConservation(fanout), graph=g, num_workers=workers
+            )
+        )
+        sent = sum(
+            min(fanout, g.out_degree(v)) for v in range(g.num_vertices)
+        )
+        received = sum(res.values.values())
+        assert received == sent
+        assert res.trace.total_messages == sent
+
+    @given(connected_graphs(), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_pagerank_matches_reference_any_worker_count(self, g, workers):
+        res = run_job(
+            JobSpec(program=PageRankProgram(6), graph=g, num_workers=workers)
+        )
+        ref = pagerank_reference(g, iterations=6)
+        assert np.allclose(res.values_array(), ref, atol=1e-10)
+
+
+class TestBCProperties:
+    @given(connected_graphs(max_n=16), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_bc_matches_reference(self, g, workers):
+        res = run_job(
+            JobSpec(
+                program=BCProgram(), graph=g, num_workers=workers,
+                initially_active=False,
+                initial_messages=bc_mod.start_messages(range(g.num_vertices)),
+            )
+        )
+        ref = betweenness_reference(g)
+        assert np.allclose(res.values_array(), ref, atol=1e-9)
+
+    @given(connected_graphs(max_n=16), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_bc_invariant_under_random_swath_schedule(self, g, data):
+        n = g.num_vertices
+        roots = list(range(min(n, 8)))
+        swath = data.draw(st.integers(1, len(roots)))
+        policy = data.draw(
+            st.sampled_from(
+                [SequentialInitiation(), StaticEveryN(2), DynamicPeakDetect()]
+            )
+        )
+        ctrl = SwathController(
+            roots=roots, start_factory=bc_mod.start_messages,
+            sizer=StaticSizer(swath), initiation=policy,
+        )
+        res = run_job(
+            JobSpec(
+                program=BCProgram(), graph=g, num_workers=3,
+                initially_active=False, observers=[ctrl],
+            )
+        )
+        ref = betweenness_reference(g, roots=roots)
+        assert ctrl.completed_all
+        assert np.allclose(res.values_array(), ref, atol=1e-9)

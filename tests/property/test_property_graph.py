@@ -1,0 +1,135 @@
+"""Property-based tests: graph substrate invariants under random inputs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import generators as gen
+from repro.graph import io as gio
+from repro.graph.builder import from_edges
+from repro.graph.properties import bfs_levels
+
+
+@st.composite
+def edge_lists(draw, max_n=30, max_m=80):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            min_size=m, max_size=m,
+        )
+    )
+    return n, edges
+
+
+class TestCSRInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_structure_valid(self, ne):
+        n, edges = ne
+        g = from_edges(n, edges)
+        assert len(g.indptr) == n + 1
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == len(g.indices)
+        assert np.all(np.diff(g.indptr) >= 0)
+        if len(g.indices):
+            assert 0 <= g.indices.min() and g.indices.max() < n
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_dedupe_yields_simple_graph(self, ne):
+        n, edges = ne
+        g = from_edges(n, edges)
+        seen = set()
+        for u, v in g.iter_edges():
+            assert u != v, "self-loop survived"
+            assert (u, v) not in seen, "parallel arc survived"
+            seen.add((u, v))
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_undirected_graph_is_symmetric(self, ne):
+        n, edges = ne
+        g = from_edges(n, edges, undirected=True)
+        arcs = set(g.iter_edges())
+        assert all((v, u) in arcs for u, v in arcs)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sum_equals_arcs(self, ne):
+        n, edges = ne
+        g = from_edges(n, edges)
+        assert g.out_degrees().sum() == g.num_arcs
+        assert g.in_degrees().sum() == g.num_arcs
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_adjacency_consistent(self, ne):
+        n, edges = ne
+        g = from_edges(n, edges)
+        fwd = set(g.iter_edges())
+        rev = {(int(u), v) for v in range(n) for u in g.in_neighbors(v)}
+        assert fwd == rev
+
+
+class TestIORoundTrips:
+    @given(edge_lists(), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_list_round_trip(self, ne, undirected):
+        n, edges = ne
+        g = from_edges(n, edges, undirected=undirected)
+        back = gio.from_edge_list_bytes(gio.to_edge_list_bytes(g))
+        assert back.num_vertices == g.num_vertices
+        assert back.undirected == g.undirected
+        assert sorted(back.iter_edges()) == sorted(g.iter_edges())
+
+
+class TestBFSInvariants:
+    @given(edge_lists(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_triangle_inequality_on_edges(self, ne, data):
+        n, edges = ne
+        g = from_edges(n, edges, undirected=True)
+        src = data.draw(st.integers(0, n - 1))
+        dist = bfs_levels(g, src)
+        for u, v in g.iter_edges():
+            if dist[u] >= 0:
+                assert dist[v] >= 0  # neighbor of reached vertex is reached
+                assert abs(int(dist[u]) - int(dist[v])) <= 1
+
+    @given(edge_lists(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_source_zero_everything_else_positive(self, ne, data):
+        n, edges = ne
+        g = from_edges(n, edges)
+        src = data.draw(st.integers(0, n - 1))
+        dist = bfs_levels(g, src)
+        assert dist[src] == 0
+        others = np.delete(dist, src)
+        assert np.all((others == -1) | (others >= 1))
+
+
+class TestGeneratorProperties:
+    @given(st.integers(3, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_ring_regularity(self, n):
+        g = gen.ring(n)
+        assert np.all(g.out_degrees() == 2)
+
+    @given(st.integers(4, 64), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_ba_connectivity(self, n, m):
+        if m >= n:
+            return
+        g = gen.barabasi_albert(n, m, seed=1)
+        dist = bfs_levels(g, 0)
+        assert np.all(dist >= 0)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_ws_seed_determinism(self, seed):
+        a = gen.watts_strogatz(30, 4, 0.3, seed=seed)
+        b = gen.watts_strogatz(30, 4, 0.3, seed=seed)
+        assert np.array_equal(a.indices, b.indices)

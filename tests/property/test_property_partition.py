@@ -1,0 +1,80 @@
+"""Property-based tests: partitioners on random graphs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.builder import from_edges
+from repro.partition import (
+    HashPartitioner,
+    MultilevelPartitioner,
+    StreamingBalanced,
+    StreamingChunking,
+    StreamingGreedy,
+    balance,
+    edge_cut,
+    remote_edge_fraction,
+)
+
+PARTITIONER_FACTORIES = [
+    lambda: HashPartitioner(),
+    lambda: MultilevelPartitioner(seed=7),
+    lambda: StreamingBalanced(),
+    lambda: StreamingChunking(),
+    lambda: StreamingGreedy(),
+]
+
+
+@st.composite
+def graphs(draw, max_n=40):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m, max_size=m,
+        )
+    )
+    return from_edges(n, edges, undirected=True)
+
+
+class TestPartitionInvariants:
+    @given(graphs(), st.integers(1, 6), st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_every_vertex_assigned_exactly_once(self, g, k, which):
+        part = PARTITIONER_FACTORIES[which]()
+        p = part.partition(g, k)
+        assert len(p.assignment) == g.num_vertices
+        covered = np.concatenate(
+            [p.vertices_of(i) for i in range(k)]
+        ) if g.num_vertices else np.empty(0)
+        assert sorted(covered.tolist()) == list(range(g.num_vertices))
+
+    @given(graphs(), st.integers(1, 6), st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_sizes_sum_to_n(self, g, k, which):
+        p = PARTITIONER_FACTORIES[which]().partition(g, k)
+        assert p.sizes().sum() == g.num_vertices
+
+    @given(graphs(), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_cut_metrics_consistent(self, g, k):
+        p = HashPartitioner().partition(g, k)
+        cut = edge_cut(g, p)
+        frac = remote_edge_fraction(g, p)
+        assert 0 <= cut <= g.num_edges
+        if g.num_edges:
+            assert frac == cut / g.num_edges
+        assert balance(g, p) >= 1.0 - 1e-12
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_single_part_zero_cut(self, g):
+        p = MultilevelPartitioner(seed=1).partition(g, 1)
+        assert edge_cut(g, p) == 0
+
+    @given(graphs(), st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_streaming_balanced_near_perfect(self, g, k):
+        p = StreamingBalanced().partition(g, k)
+        sizes = p.sizes()
+        assert sizes.max() - sizes.min() <= 1

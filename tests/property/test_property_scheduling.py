@@ -1,0 +1,132 @@
+"""Property-based tests: scheduling heuristics and elastic model invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud import LARGE_VM
+from repro.elastic import (
+    ActiveFractionPolicy,
+    AlignedTraces,
+    ElasticityModel,
+    FixedWorkers,
+    OraclePolicy,
+)
+from repro.scheduling import (
+    AdaptiveSizer,
+    DynamicPeakDetect,
+    InitiationContext,
+    SamplingSizer,
+    SizerObservation,
+    StaticEveryN,
+    StaticSizer,
+)
+
+
+class TestSizerProperties:
+    @given(
+        st.integers(1, 50),
+        st.lists(
+            st.tuples(st.integers(1, 40), st.floats(1.0, 1e9)),
+            min_size=0, max_size=10,
+        ),
+        st.integers(1, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sizers_always_return_valid_sizes(self, init, observations, remaining):
+        for sizer in (
+            StaticSizer(init),
+            SamplingSizer(target_bytes=1e6, probe_size=min(init, 10)),
+            AdaptiveSizer(target_bytes=1e6, initial_size=init),
+        ):
+            for size, peak in observations:
+                sizer.observe(
+                    SizerObservation(swath_size=size, peak_memory=peak,
+                                     baseline_memory=0.0)
+                )
+            out = sizer.next_size(remaining=remaining)
+            assert 1 <= out <= max(remaining, 1)
+
+    @given(st.floats(1e3, 1e9), st.integers(1, 30), st.floats(1.0, 1e12))
+    @settings(max_examples=60, deadline=None)
+    def test_adaptive_moves_toward_target(self, target, size, peak):
+        sizer = AdaptiveSizer(target_bytes=target, initial_size=size)
+        sizer.observe(SizerObservation(size, peak, 0.0))
+        nxt = sizer.next_size(10_000)
+        if peak > target:
+            assert nxt <= size  # over target: never grow
+        else:
+            assert nxt >= min(size, 10_000) or nxt == 1
+
+
+class TestInitiationProperties:
+    @given(
+        st.lists(st.integers(0, 10**6), min_size=0, max_size=30),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quiescence_always_fires(self, history, n):
+        ctx = InitiationContext(
+            superstep=len(history), steps_since_initiation=len(history),
+            messages_history=history, quiescent=True,
+        )
+        for policy in (StaticEveryN(n), DynamicPeakDetect()):
+            assert policy.should_initiate(ctx)
+
+    @given(st.lists(st.integers(0, 10**6), min_size=2, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_dynamic_fires_only_after_rise(self, history):
+        policy = DynamicPeakDetect()
+        fired_at = None
+        seen_rise = False
+        for i in range(1, len(history) + 1):
+            ctx = InitiationContext(
+                superstep=i, steps_since_initiation=i,
+                messages_history=history[:i], quiescent=False,
+            )
+            if policy.should_initiate(ctx):
+                fired_at = i
+                break
+            if i >= 2 and history[i - 1] > history[i - 2]:
+                seen_rise = True
+        if fired_at is not None:
+            assert seen_rise
+            assert history[fired_at - 1] < history[fired_at - 2]
+
+
+@st.composite
+def aligned(draw, max_len=20):
+    n = draw(st.integers(1, max_len))
+    lows = draw(st.lists(st.floats(0.01, 100.0), min_size=n, max_size=n))
+    highs = draw(st.lists(st.floats(0.01, 100.0), min_size=n, max_size=n))
+    active = draw(st.lists(st.integers(0, 1000), min_size=n, max_size=n))
+    return AlignedTraces(
+        low=4, high=8,
+        time_low=np.array(lows), time_high=np.array(highs),
+        active=np.array(active), num_graph_vertices=1000,
+    )
+
+
+class TestElasticModelProperties:
+    @given(aligned())
+    @settings(max_examples=60, deadline=None)
+    def test_oracle_is_global_lower_bound(self, traces):
+        em = ElasticityModel(traces)
+        oracle = em.evaluate(OraclePolicy()).total_time
+        for p in (FixedWorkers(4), FixedWorkers(8), ActiveFractionPolicy(0.5)):
+            assert oracle <= em.evaluate(p).total_time + 1e-9
+
+    @given(aligned())
+    @settings(max_examples=60, deadline=None)
+    def test_oracle_equals_pointwise_min(self, traces):
+        em = ElasticityModel(traces)
+        oracle = em.evaluate(OraclePolicy()).total_time
+        assert oracle == np.minimum(traces.time_low, traces.time_high).sum()
+
+    @given(aligned())
+    @settings(max_examples=40, deadline=None)
+    def test_costs_consistent_with_vm_seconds(self, traces):
+        em = ElasticityModel(traces, vm_spec=LARGE_VM)
+        for p in (FixedWorkers(4), ActiveFractionPolicy(0.5)):
+            out = em.evaluate(p)
+            assert out.cost == out.vm_seconds * LARGE_VM.price_per_second
+            assert out.vm_seconds >= 4 * out.step_times.sum() - 1e-9

@@ -1,0 +1,145 @@
+"""SwathController: root coverage, correctness-invariance, event log."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BCProgram, betweenness_reference
+from repro.algorithms import bc as bc_mod
+from repro.bsp import JobSpec, run_job
+from repro.scheduling import (
+    AdaptiveSizer,
+    DynamicPeakDetect,
+    SamplingSizer,
+    SequentialInitiation,
+    StaticEveryN,
+    StaticSizer,
+    SwathController,
+)
+
+
+def run_with(graph, roots, sizer, initiation, workers=4):
+    ctrl = SwathController(
+        roots=list(roots), start_factory=bc_mod.start_messages,
+        sizer=sizer, initiation=initiation,
+    )
+    res = run_job(
+        JobSpec(
+            program=BCProgram(), graph=graph, num_workers=workers,
+            initially_active=False, observers=[ctrl],
+        )
+    )
+    return res, ctrl
+
+
+class TestRootCoverage:
+    def test_every_root_started_exactly_once(self, small_world):
+        roots = list(range(17))
+        res, ctrl = run_with(
+            small_world, roots, StaticSizer(5), SequentialInitiation()
+        )
+        started = [r for e in ctrl.events for r in e.roots]
+        assert sorted(started) == roots
+        assert ctrl.completed_all
+
+    def test_duplicate_roots_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SwathController(roots=[1, 1], start_factory=bc_mod.start_messages)
+
+    def test_empty_roots_job_ends_immediately(self, small_world):
+        res, ctrl = run_with(small_world, [], StaticSizer(5), SequentialInitiation())
+        assert res.supersteps == 0
+        assert ctrl.num_swaths == 0
+
+    @pytest.mark.parametrize(
+        "initiation",
+        [SequentialInitiation(), StaticEveryN(3), DynamicPeakDetect()],
+        ids=["seq", "static3", "dynamic"],
+    )
+    def test_no_roots_stranded_under_any_policy(self, small_world, initiation):
+        res, ctrl = run_with(small_world, range(12), StaticSizer(4), initiation)
+        assert ctrl.completed_all
+        assert res.halted
+
+
+class TestCorrectnessInvariance:
+    """Scheduling must not change results — only resource profiles."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        from repro.graph import generators as gen
+
+        g = gen.watts_strogatz(60, 4, 0.3, seed=7)
+        return g, betweenness_reference(g, roots=range(15))
+
+    @pytest.mark.parametrize(
+        "sizer_fn,initiation_fn",
+        [
+            (lambda: StaticSizer(15), SequentialInitiation),
+            (lambda: StaticSizer(4), SequentialInitiation),
+            (lambda: StaticSizer(4), lambda: StaticEveryN(2)),
+            (lambda: StaticSizer(4), DynamicPeakDetect),
+            (lambda: SamplingSizer(1 << 19), SequentialInitiation),
+            (lambda: AdaptiveSizer(1 << 19), DynamicPeakDetect),
+        ],
+        ids=["one-swath", "seq4", "static2", "dynamic", "sampling", "adaptive"],
+    )
+    def test_bc_results_invariant(self, reference, sizer_fn, initiation_fn):
+        g, ref = reference
+        res, ctrl = run_with(g, range(15), sizer_fn(), initiation_fn())
+        assert np.allclose(res.values_array(), ref, atol=1e-9)
+        assert ctrl.completed_all
+
+    def test_total_messages_invariant_across_schedules(self, reference):
+        g, _ = reference
+        a, _ = run_with(g, range(15), StaticSizer(15), SequentialInitiation())
+        b, _ = run_with(g, range(15), StaticSizer(3), DynamicPeakDetect())
+        assert a.trace.total_messages == b.trace.total_messages
+
+
+class TestEvents:
+    def test_event_metadata(self, small_world):
+        res, ctrl = run_with(
+            small_world, range(10), StaticSizer(4), SequentialInitiation()
+        )
+        sizes = [e.size for e in ctrl.events]
+        assert sizes == [4, 4, 2]
+        assert ctrl.events[0].superstep == -1  # initial injection
+        assert ctrl.events[-1].remaining_after == 0
+
+    def test_smaller_swaths_mean_more_swaths(self, small_world):
+        _, big = run_with(small_world, range(12), StaticSizer(12), SequentialInitiation())
+        _, small = run_with(small_world, range(12), StaticSizer(3), SequentialInitiation())
+        assert small.num_swaths == 4 > big.num_swaths == 1
+
+    def test_overlap_reduces_supersteps(self, small_world):
+        seq, _ = run_with(small_world, range(12), StaticSizer(3), SequentialInitiation())
+        dyn, _ = run_with(small_world, range(12), StaticSizer(3), DynamicPeakDetect())
+        assert dyn.supersteps < seq.supersteps
+
+    def test_smaller_swaths_lower_peak_memory(self, small_world):
+        big, _ = run_with(small_world, range(12), StaticSizer(12), SequentialInitiation())
+        small, _ = run_with(small_world, range(12), StaticSizer(3), SequentialInitiation())
+        assert small.trace.peak_memory < big.trace.peak_memory
+
+
+class TestWithAPSP:
+    def test_apsp_under_swaths_matches_reference(self, small_world):
+        from repro.algorithms import APSPProgram, apsp_reference
+        from repro.algorithms import apsp as apsp_mod
+
+        ctrl = SwathController(
+            roots=list(range(8)), start_factory=apsp_mod.start_messages,
+            sizer=StaticSizer(3), initiation=DynamicPeakDetect(),
+        )
+        res = run_job(
+            JobSpec(
+                program=APSPProgram(), graph=small_world, num_workers=4,
+                initially_active=False, observers=[ctrl],
+            )
+        )
+        ref = apsp_reference(small_world, roots=range(8))
+        for v in range(small_world.num_vertices):
+            for r in range(8):
+                expected = ref[r][v]
+                got = res.values[v].get(r, -1)
+                assert got == expected

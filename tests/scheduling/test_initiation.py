@@ -1,0 +1,90 @@
+"""Swath-initiation policies: sequential, static-N, dynamic peak detection."""
+
+import pytest
+
+from repro.scheduling import (
+    DynamicPeakDetect,
+    InitiationContext,
+    SequentialInitiation,
+    StaticEveryN,
+)
+
+
+def ctx(history, steps_since=None, quiescent=False, superstep=None):
+    return InitiationContext(
+        superstep=superstep if superstep is not None else len(history),
+        steps_since_initiation=(
+            steps_since if steps_since is not None else len(history)
+        ),
+        messages_history=list(history),
+        quiescent=quiescent,
+    )
+
+
+class TestSequential:
+    def test_only_on_quiescence(self):
+        p = SequentialInitiation()
+        assert not p.should_initiate(ctx([10, 20, 5]))
+        assert p.should_initiate(ctx([10, 20, 0], quiescent=True))
+
+    def test_label(self):
+        assert SequentialInitiation().label == "Sequential"
+
+
+class TestStaticEveryN:
+    def test_fires_every_n(self):
+        p = StaticEveryN(4)
+        assert not p.should_initiate(ctx([1, 2, 3], steps_since=3))
+        assert p.should_initiate(ctx([1, 2, 3, 4], steps_since=4))
+
+    def test_fires_on_quiescence_regardless(self):
+        p = StaticEveryN(100)
+        assert p.should_initiate(ctx([1], steps_since=1, quiescent=True))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticEveryN(0)
+
+    def test_label(self):
+        assert StaticEveryN(6).label == "Static-6"
+
+
+class TestDynamicPeakDetect:
+    def test_detects_rise_then_fall(self):
+        p = DynamicPeakDetect()
+        assert not p.should_initiate(ctx([10]))
+        assert not p.should_initiate(ctx([10, 50]))  # rising
+        assert p.should_initiate(ctx([10, 50, 30]))  # fell: peak passed
+
+    def test_no_fire_on_monotone_rise(self):
+        p = DynamicPeakDetect()
+        for i in range(2, 8):
+            assert not p.should_initiate(ctx(list(range(i))))
+
+    def test_no_fire_without_prior_rise(self):
+        # Strictly decreasing from the start: no phase change detected
+        # (but quiescence will eventually fire).
+        p = DynamicPeakDetect()
+        assert not p.should_initiate(ctx([50, 30]))
+        assert not p.should_initiate(ctx([50, 30, 10]))
+
+    def test_reset_clears_rise_memory(self):
+        p = DynamicPeakDetect()
+        p.should_initiate(ctx([10, 50]))
+        p.reset()
+        assert not p.should_initiate(ctx([40, 20]))  # fall without rise
+
+    def test_fires_on_quiescence(self):
+        p = DynamicPeakDetect()
+        assert p.should_initiate(ctx([5, 0], quiescent=True))
+
+    def test_plateau_then_fall(self):
+        p = DynamicPeakDetect()
+        p.should_initiate(ctx([10, 50]))
+        assert not p.should_initiate(ctx([10, 50, 50]))  # plateau: no fall
+        assert p.should_initiate(ctx([10, 50, 50, 20]))
+
+    def test_short_history_never_fires(self):
+        p = DynamicPeakDetect()
+        assert not p.should_initiate(ctx([]))
+        assert not p.should_initiate(ctx([100]))

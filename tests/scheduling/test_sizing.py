@@ -1,0 +1,121 @@
+"""Swath-size heuristics: static, sampling, adaptive."""
+
+import pytest
+
+from repro.scheduling import AdaptiveSizer, SamplingSizer, SizerObservation, StaticSizer
+
+
+def obs(size, peak, baseline=0.0):
+    return SizerObservation(swath_size=size, peak_memory=peak, baseline_memory=baseline)
+
+
+class TestStaticSizer:
+    def test_constant_size(self):
+        s = StaticSizer(7)
+        assert s.next_size(remaining=100) == 7
+
+    def test_clamped_to_remaining(self):
+        assert StaticSizer(7).next_size(remaining=3) == 3
+
+    def test_observe_is_noop(self):
+        s = StaticSizer(7)
+        s.observe(obs(7, 1e9))
+        assert s.next_size(100) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticSizer(0)
+
+    def test_label(self):
+        assert StaticSizer(7).label == "Static(7)"
+
+
+class TestSamplingSizer:
+    def test_probes_first(self):
+        s = SamplingSizer(target_bytes=1000.0, probe_size=2, probes=2)
+        assert s.next_size(100) == 2
+        assert s.committed_size is None
+
+    def test_commits_after_probes(self):
+        s = SamplingSizer(target_bytes=1000.0, probe_size=2, probes=2)
+        s.observe(obs(2, 100.0))  # 50 bytes/root
+        s.observe(obs(2, 80.0))
+        assert s.next_size(100) == 20  # 1000 / 50 (worst probe)
+        assert s.committed_size == 20
+
+    def test_uses_worst_probe(self):
+        s = SamplingSizer(target_bytes=1000.0, probe_size=2, probes=2)
+        s.observe(obs(2, 40.0))
+        s.observe(obs(2, 200.0))  # 100 bytes/root dominates
+        assert s.next_size(1000) == 10
+
+    def test_subtracts_baseline(self):
+        s = SamplingSizer(target_bytes=1000.0, probe_size=2, probes=1)
+        s.observe(obs(2, 600.0, baseline=400.0))  # 100/root over baseline
+        assert s.next_size(100) == 6  # (1000-400)/100
+
+    def test_zero_memory_probe_commits_max(self):
+        s = SamplingSizer(target_bytes=1000.0, probes=1, max_size=64)
+        s.observe(obs(2, 0.0))
+        assert s.next_size(10_000) == 64
+
+    def test_observations_after_commit_ignored(self):
+        s = SamplingSizer(target_bytes=1000.0, probes=1)
+        s.observe(obs(2, 100.0))
+        first = s.next_size(1000)
+        s.observe(obs(first, 1e12))
+        assert s.next_size(1000) == first
+
+    def test_committed_size_at_least_one(self):
+        s = SamplingSizer(target_bytes=10.0, probes=1)
+        s.observe(obs(2, 1e9))
+        assert s.next_size(100) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingSizer(target_bytes=0)
+        with pytest.raises(ValueError):
+            SamplingSizer(target_bytes=10, probe_size=0)
+
+
+class TestAdaptiveSizer:
+    def test_initial_size(self):
+        assert AdaptiveSizer(1000.0, initial_size=3).next_size(100) == 3
+
+    def test_scales_toward_target(self):
+        s = AdaptiveSizer(1000.0, initial_size=2)
+        s.observe(obs(2, 250.0))  # used 1/4 of target -> grow 4x (capped)
+        assert s.next_size(100) == 8
+
+    def test_growth_capped(self):
+        s = AdaptiveSizer(1e9, initial_size=2, max_growth=4.0)
+        s.observe(obs(2, 1.0))
+        assert s.next_size(10_000) == 8  # 2 * max_growth
+
+    def test_shrinks_when_over_target(self):
+        s = AdaptiveSizer(1000.0, initial_size=10)
+        s.observe(obs(10, 2000.0))
+        assert s.next_size(100) == 5
+
+    def test_never_below_one(self):
+        s = AdaptiveSizer(10.0, initial_size=1)
+        s.observe(obs(1, 1e9))
+        assert s.next_size(100) == 1
+
+    def test_baseline_subtracted(self):
+        s = AdaptiveSizer(1000.0, initial_size=4)
+        s.observe(obs(4, 900.0, baseline=800.0))  # headroom 200, used 100
+        assert s.next_size(100) == 8
+
+    def test_max_size_cap(self):
+        s = AdaptiveSizer(1e12, initial_size=100, max_growth=1e6, max_size=500)
+        s.observe(obs(100, 1.0))
+        assert s.next_size(10_000) == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSizer(0.0)
+        with pytest.raises(ValueError):
+            AdaptiveSizer(10.0, initial_size=0)
+        with pytest.raises(ValueError):
+            AdaptiveSizer(10.0, max_growth=1.0)
