@@ -18,7 +18,9 @@ paper's contributions built on top of it:
 * :mod:`repro.cloud` — the simulated Azure-like substrate (VM specs,
   cost model, network/memory/billing, elastic provisioning);
 * :mod:`repro.analysis` — experiment harness regenerating every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation;
+* :mod:`repro.obs` — observability layer: engine phase spans, metrics
+  registry with Prometheus/JSON exporters, live run telemetry.
 
 Quickstart::
 
@@ -35,7 +37,17 @@ Quickstart::
     print(run.total_time, run.result.values[0])
 """
 
-from . import algorithms, analysis, bsp, cloud, elastic, graph, partition, scheduling
+from . import (
+    algorithms,
+    analysis,
+    bsp,
+    cloud,
+    elastic,
+    graph,
+    obs,
+    partition,
+    scheduling,
+)
 
 __version__ = "1.0.0"
 
@@ -46,6 +58,7 @@ __all__ = [
     "cloud",
     "elastic",
     "graph",
+    "obs",
     "partition",
     "scheduling",
     "__version__",

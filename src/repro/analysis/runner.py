@@ -11,6 +11,7 @@ for the simulated engine too).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any, Sequence
 
 from ..algorithms import apsp as apsp_mod
 from ..algorithms import bc as bc_mod
@@ -40,6 +41,9 @@ class RunConfig:
     vm_spec: VMSpec = LARGE_VM
     perf_model: PerfModel = DEFAULT_PERF_MODEL
     max_supersteps: int = 100_000
+    #: optional observability sinks (repro.obs), threaded into every job
+    tracer: Any = None
+    metrics: Any = None
 
     def with_memory(self, memory_bytes: int) -> "RunConfig":
         """Same config with the worker VM memory replaced (scaled regime)."""
@@ -54,6 +58,8 @@ class RunConfig:
             vm_spec=self.vm_spec,
             perf_model=self.perf_model,
             max_supersteps=self.max_supersteps,
+            tracer=self.tracer,
+            metrics=self.metrics,
             **kwargs,
         )
 
@@ -75,11 +81,15 @@ class TraversalRun:
 
 
 def run_pagerank(
-    graph: CSRGraph, cfg: RunConfig, iterations: int = 30, use_combiner: bool = True
+    graph: CSRGraph,
+    cfg: RunConfig,
+    iterations: int = 30,
+    use_combiner: bool = True,
+    observers: Sequence = (),
 ) -> JobResult:
     """PageRank over all vertices for a fixed iteration count (paper: 30)."""
     program = PageRankProgram(iterations=iterations, use_combiner=use_combiner)
-    return BSPEngine(cfg.job(program, graph)).run()
+    return BSPEngine(cfg.job(program, graph, observers=list(observers))).run()
 
 
 def _traversal_pieces(kind: str):
@@ -97,11 +107,14 @@ def run_traversal(
     kind: str = "bc",
     sizer: SwathSizer | None = None,
     initiation: InitiationPolicy | None = None,
+    extra_observers: Sequence = (),
 ) -> TraversalRun:
     """Run BC or APSP over ``roots`` under a swath controller.
 
     Defaults reproduce the paper's baseline: one swath holding every root
     (``StaticSizer(len(roots))``) with sequential initiation.
+    ``extra_observers`` ride along after the controller (progress
+    reporters, invariant checkers).
     """
     roots = [int(r) for r in roots]
     program, start_factory = _traversal_pieces(kind)
@@ -110,8 +123,12 @@ def run_traversal(
         start_factory=start_factory,
         sizer=sizer if sizer is not None else StaticSizer(max(1, len(roots))),
         initiation=initiation if initiation is not None else SequentialInitiation(),
+        metrics=cfg.metrics,
     )
-    job = cfg.job(program, graph, initially_active=False, observers=[controller])
+    job = cfg.job(
+        program, graph, initially_active=False,
+        observers=[controller, *extra_observers],
+    )
     result = BSPEngine(job).run()
     if not controller.completed_all:
         raise RuntimeError(

@@ -3,7 +3,14 @@
 The paper's figures are all per-superstep series; this module serializes a
 :class:`~repro.bsp.superstep.JobTrace` to JSON or CSV so traces can be
 archived next to bench output, plotted with any tool, or diffed across
-cost-model revisions.  JSON round-trips losslessly (tests assert it).
+cost-model revisions.  JSON round-trips losslessly (tests assert it,
+including disk-buffered and jittered runs).
+
+Format history: version 2 added ``disk_time`` and ``jitter_factor`` to
+worker rows and ``injected`` to step rows — version-1 files silently
+dropped them.  :func:`trace_from_dict` still reads version-1 files; the
+missing fields take their dataclass defaults (no disk I/O, no jitter, no
+injections).
 """
 
 from __future__ import annotations
@@ -15,7 +22,17 @@ from pathlib import Path
 
 from ..bsp.superstep import JobTrace, SuperstepStats, WorkerStepStats
 
-__all__ = ["trace_to_dict", "trace_from_dict", "write_json", "read_json", "write_csv"]
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "trace_to_dict",
+    "trace_from_dict",
+    "write_json",
+    "read_json",
+    "write_csv",
+    "to_csv_text",
+]
+
+TRACE_FORMAT_VERSION = 2
 
 _WORKER_FIELDS = [
     "worker",
@@ -30,8 +47,10 @@ _WORKER_FIELDS = [
     "compute_time",
     "serialize_time",
     "network_time",
+    "disk_time",
     "memory_bytes",
     "mem_slowdown",
+    "jitter_factor",
     "restarted",
 ]
 
@@ -40,6 +59,7 @@ _STEP_FIELDS = [
     "num_workers",
     "active_begin",
     "active_end",
+    "injected",
     "barrier_time",
     "restart_time",
     "elapsed",
@@ -50,7 +70,7 @@ _STEP_FIELDS = [
 def trace_to_dict(trace: JobTrace) -> dict:
     """Plain-data representation of a trace (JSON-serializable)."""
     return {
-        "version": 1,
+        "version": TRACE_FORMAT_VERSION,
         "steps": [
             {
                 **{f: getattr(s, f) for f in _STEP_FIELDS},
@@ -64,16 +84,21 @@ def trace_to_dict(trace: JobTrace) -> dict:
 
 
 def trace_from_dict(data: dict) -> JobTrace:
-    """Inverse of :func:`trace_to_dict`."""
-    if data.get("version") != 1:
-        raise ValueError(f"unsupported trace version {data.get('version')!r}")
+    """Inverse of :func:`trace_to_dict`; reads format versions 1 and 2."""
+    version = data.get("version")
+    if version not in (1, TRACE_FORMAT_VERSION):
+        raise ValueError(f"unsupported trace version {version!r}")
+    if "steps" not in data:
+        raise ValueError("not a trace dump: no 'steps' key (is this a spans file?)")
     trace = JobTrace()
     for sd in data["steps"]:
         stats = SuperstepStats(
-            **{f: sd[f] for f in _STEP_FIELDS},
+            **{f: sd[f] for f in _STEP_FIELDS if f in sd},
         )
         for wd in sd["workers"]:
-            stats.workers.append(WorkerStepStats(**wd))
+            stats.workers.append(
+                WorkerStepStats(**{f: wd[f] for f in _WORKER_FIELDS if f in wd})
+            )
         trace.append(stats)
     return trace
 

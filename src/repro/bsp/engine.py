@@ -15,7 +15,8 @@ inject control-plane activation messages and keep the job alive via
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from time import perf_counter
+from typing import Any
 
 import numpy as np
 
@@ -44,6 +45,9 @@ class SuperstepObserver:
     def has_pending_work(self) -> bool:
         """True while the observer still plans to inject work."""
         return False
+
+    def on_job_end(self, engine: "BSPEngine", result: "JobResult") -> None:
+        """Called once after the halting condition, with the final result."""
 
 
 class BSPEngine:
@@ -77,6 +81,13 @@ class BSPEngine:
             else None
         )
         self._observers: list[SuperstepObserver] = list(job.observers)
+        # Observability sinks (both optional; every instrumentation site is
+        # guarded by an `is None` check so unobserved runs pay ~nothing).
+        self.tracer = job.tracer
+        self.metrics = job.metrics
+        self._em = (
+            _EngineInstruments(self.metrics) if self.metrics is not None else None
+        )
 
         active_ids = job.initial_active_ids()
         assignment = self.partition.assignment
@@ -91,6 +102,7 @@ class BSPEngine:
                 model=self.model,
                 assignment=assignment,
                 initially_active=active_ids is None,
+                metrics=self.metrics,
             )
             self.workers.append(worker)
         if active_ids is not None and len(active_ids):
@@ -151,6 +163,13 @@ class BSPEngine:
                 "workers": [w.snapshot() for w in self.workers],
             }
 
+        tracer = self.tracer
+        job_span = (
+            tracer.start("job", sim=self.sim_time, category="engine",
+                         workers=self.num_workers)
+            if tracer is not None
+            else None
+        )
         halted = False
         while self.superstep < job.max_supersteps:
             if not self.buffered_messages and self.active_vertices == 0:
@@ -159,31 +178,49 @@ class BSPEngine:
                     break
                 # Observers still hold work but injected nothing runnable:
                 # give them a boundary callback on an empty step.
-            step_queue.put(("superstep", self.superstep))
-            stats = self._run_one_superstep()
-            step_queue.try_get()
-            barrier_queue.put(("checkin", self.superstep, stats.active_end))
-            barrier_queue.try_get()
+            # The superstep span closes after checkpoints, recovery, observers
+            # and the post-superstep hook so its simulated duration covers
+            # every cost charged to this superstep (== stats.elapsed).
+            span = (
+                tracer.start("superstep", sim=self.sim_time,
+                             superstep=self.superstep)
+                if tracer is not None
+                else None
+            )
+            stats = None
+            try:
+                step_queue.put(("superstep", self.superstep))
+                stats = self._run_one_superstep()
+                step_queue.try_get()
+                barrier_queue.put(("checkin", self.superstep, stats.active_end))
+                barrier_queue.try_get()
 
-            self._maybe_checkpoint(stats)
-            failed = self._maybe_fail(stats)
-            for obs in self._observers:
-                obs.on_superstep_end(self, stats)
-            if self._master_halt and not failed:
-                halted = True
-                self.superstep += 1
-                break
-            if not failed:
-                self._post_superstep(stats)
-                self.superstep += 1
+                self._maybe_checkpoint(stats)
+                failed = self._maybe_fail(stats)
+                for obs in self._observers:
+                    obs.on_superstep_end(self, stats)
+                if self._master_halt and not failed:
+                    halted = True
+                    self.superstep += 1
+                    break
+                if not failed:
+                    self._post_superstep(stats)
+                    self.superstep += 1
+            finally:
+                if span is not None:
+                    if stats is not None:
+                        span.attrs["active_end"] = stats.active_end
+                    tracer.end(span, sim=self.sim_time)
         else:
             halted = False
+        if job_span is not None:
+            tracer.end(job_span, sim=self.sim_time, supersteps=len(self.trace))
 
         values = {}
         for w in self.workers:
             for v, st in w.states.items():
                 values[v] = job.program.extract(v, st)
-        return JobResult(
+        result = JobResult(
             values=values,
             trace=self.trace,
             meter=self.meter,
@@ -192,10 +229,17 @@ class BSPEngine:
             aggregates=dict(self._agg_values),
             recoveries=list(self.recoveries),
         )
+        for obs in self._observers:
+            on_job_end = getattr(obs, "on_job_end", None)
+            if on_job_end is not None:
+                on_job_end(self, result)
+        return result
 
     # ------------------------------------------------------------------
     def _run_one_superstep(self) -> SuperstepStats:
         model = self.model
+        tracer = self.tracer
+        host_t0 = perf_counter() if self._em is not None else 0.0
         stats = SuperstepStats(
             index=self.superstep,
             num_workers=self.num_workers,
@@ -205,11 +249,21 @@ class BSPEngine:
         self._injected_count = 0
 
         # Compute phase: every worker drains its input buffer.
+        compute_span = (
+            tracer.start("compute", sim=self.sim_time)
+            if tracer is not None else None
+        )
         for w in self.workers:
             w.begin_superstep(self.superstep, self._agg_values)
         self._compute_phase()
+        if compute_span is not None:
+            tracer.end(compute_span)
 
         # Flush phase: move bulk remote buffers between workers.
+        flush_span = (
+            tracer.start("flush", sim=self.sim_time)
+            if tracer is not None else None
+        )
         recv_msgs = np.zeros(self.num_workers, dtype=np.int64)
         recv_bytes = np.zeros(self.num_workers)
         peers_in = [set() for _ in range(self.num_workers)]
@@ -223,8 +277,14 @@ class BSPEngine:
                     recv_msgs[dst_worker] += len(payloads)
                 peers_in[dst_worker].add(w.worker_id)
             w.stats.bytes_out = w.out_remote_wire_bytes
+        if flush_span is not None:
+            tracer.end(flush_span)
 
         # Aggregator merge at the barrier.
+        agg_span = (
+            tracer.start("aggregate-merge", sim=self.sim_time)
+            if tracer is not None else None
+        )
         new_aggs: dict[str, Any] = {}
         for name, agg in self._aggregators.items():
             acc = agg.identity()
@@ -233,12 +293,20 @@ class BSPEngine:
                     acc = agg.merge(acc, w._agg_partials[name])
             new_aggs[name] = acc
         self._agg_values = new_aggs
+        if agg_span is not None:
+            tracer.end(agg_span)
 
         # GPS-style global computation at the barrier.
+        master_span = (
+            tracer.start("master-compute", sim=self.sim_time)
+            if tracer is not None else None
+        )
         master_ctx = MasterContext(self)
         self.job.program.master_compute(master_ctx)
         if master_ctx._halt:
             self._master_halt = True
+        if master_span is not None:
+            tracer.end(master_span)
 
         # Timing phase: convert true counts into simulated seconds.
         eff = model.effective_cores(self.vm_spec.cores)
@@ -291,9 +359,29 @@ class BSPEngine:
         slowest = max((ws.elapsed for ws in stats.workers), default=0.0)
         stats.elapsed = slowest + stats.barrier_time + restart_total
         stats.active_end = self.active_vertices
+        if tracer is not None:
+            # Attribute simulated seconds to the already-closed phase spans:
+            # the cost model prices them in one lump after the fact.  The
+            # superstep span (closed by run()) stays authoritative.
+            compute_span.set_sim_duration(
+                max((ws.compute_time for ws in stats.workers), default=0.0)
+            )
+            flush_span.set_sim_duration(
+                max(
+                    (ws.serialize_time + ws.network_time + ws.disk_time
+                     for ws in stats.workers),
+                    default=0.0,
+                )
+            )
+            tracer.record(
+                "barrier", sim=self.sim_time + slowest,
+                sim_duration=stats.barrier_time, workers=self.num_workers,
+            )
         self.sim_time += stats.elapsed
         stats.sim_time_end = self.sim_time
         self.trace.append(stats)
+        if self._em is not None:
+            self._em.observe_superstep(stats, perf_counter() - host_t0)
 
         # Pay-as-you-go: every allocated VM bills for the whole superstep.
         self.meter.charge(
@@ -337,6 +425,10 @@ class BSPEngine:
         interval = self.job.checkpoint_interval
         if interval <= 0 or (self.superstep + 1) % interval != 0:
             return
+        span = (
+            self.tracer.start("checkpoint", sim=self.sim_time)
+            if self.tracer is not None else None
+        )
         snap = {
             "superstep": self.superstep + 1,
             "agg_values": dict(self._agg_values),
@@ -351,6 +443,11 @@ class BSPEngine:
         self.meter.charge(
             self.vm_spec, self.num_workers, write_time, label="checkpoint"
         )
+        if span is not None:
+            self.tracer.end(span, sim=self.sim_time)
+        if self._em is not None:
+            self._em.checkpoints.inc()
+            self._em.checkpoint_sim.inc(write_time)
 
     def _maybe_fail(self, stats: SuperstepStats) -> bool:
         worker_id = self._failure_schedule.pop(self.superstep, None)
@@ -361,6 +458,11 @@ class BSPEngine:
         # Coordinated rollback: every worker reloads the last checkpoint
         # (or the initial state when none was taken yet).
         assert self._checkpoint is not None  # taken at job start
+        span = (
+            self.tracer.start("recovery", sim=self.sim_time,
+                              failed_worker=worker_id)
+            if self.tracer is not None else None
+        )
         resume_from = self._checkpoint["superstep"]
         for w, snap in zip(self.workers, self._checkpoint["workers"]):
             w.restore(snap)
@@ -384,8 +486,104 @@ class BSPEngine:
                 recovery_seconds=restore_time,
             )
         )
+        if span is not None:
+            self.tracer.end(span, sim=self.sim_time, resumed_from=resume_from)
+        if self._em is not None:
+            self._em.recoveries.inc()
+            self._em.recovery_sim.inc(restore_time)
         self.superstep = resume_from
         return True
+
+
+class _EngineInstruments:
+    """Engine metrics, resolved once so the superstep loop stays cheap.
+
+    Names and labels are documented in ``docs/observability.md``; the
+    registry is duck-typed (:class:`repro.obs.MetricsRegistry`) so the
+    engine keeps zero imports from the observability package.
+    """
+
+    def __init__(self, registry) -> None:
+        self.supersteps = registry.counter(
+            "bsp_supersteps_total",
+            help="Supersteps executed (replayed ones after recovery included)",
+        )
+        self.msgs_local = registry.counter(
+            "bsp_messages_total",
+            help="Messages emitted, post-combine, by delivery plane",
+            kind="local",
+        )
+        self.msgs_remote = registry.counter("bsp_messages_total", kind="remote")
+        self.remote_bytes = registry.counter(
+            "bsp_remote_bytes_total",
+            help="Wire bytes moved between workers at flush",
+        )
+        self.injected = registry.counter(
+            "bsp_injected_messages_total",
+            help="Control-plane activation messages injected at boundaries",
+        )
+        self.compute_calls = registry.counter(
+            "bsp_compute_calls_total", help="Vertex compute() invocations"
+        )
+        self.active = registry.gauge(
+            "bsp_active_vertices", help="Active vertices after the last barrier"
+        )
+        self.workers = registry.gauge(
+            "bsp_workers", help="Partition workers in the fleet"
+        )
+        self.sim_time = registry.gauge(
+            "bsp_sim_time_seconds", help="Cumulative simulated job time"
+        )
+        self.peak_memory = registry.gauge(
+            "bsp_superstep_peak_memory_bytes",
+            help="Peak per-worker memory in the last superstep",
+        )
+        self.step_sim = registry.histogram(
+            "bsp_superstep_sim_seconds",
+            help="Simulated superstep durations",
+        )
+        self.step_host = registry.histogram(
+            "bsp_superstep_host_seconds",
+            help="Host wall-clock superstep durations",
+        )
+        self.barrier_sim = registry.counter(
+            "bsp_barrier_sim_seconds_total",
+            help="Simulated seconds spent in barriers",
+        )
+        self.restarts = registry.counter(
+            "bsp_worker_restarts_total",
+            help="Fabric-initiated VM restarts from memory overflow",
+        )
+        self.checkpoints = registry.counter(
+            "bsp_checkpoints_total", help="Checkpoints written"
+        )
+        self.checkpoint_sim = registry.counter(
+            "bsp_checkpoint_sim_seconds_total",
+            help="Simulated seconds spent writing checkpoints",
+        )
+        self.recoveries = registry.counter(
+            "bsp_recoveries_total", help="Coordinated rollbacks executed"
+        )
+        self.recovery_sim = registry.counter(
+            "bsp_recovery_sim_seconds_total",
+            help="Simulated seconds spent restoring checkpoints",
+        )
+
+    def observe_superstep(self, stats: SuperstepStats, host_seconds: float) -> None:
+        self.supersteps.inc()
+        self.msgs_local.inc(sum(w.msgs_out_local for w in stats.workers))
+        self.msgs_remote.inc(sum(w.msgs_out_remote for w in stats.workers))
+        self.remote_bytes.inc(sum(w.bytes_out for w in stats.workers))
+        self.injected.inc(stats.injected)
+        self.compute_calls.inc(stats.compute_calls)
+        self.active.set(stats.active_end)
+        self.workers.set(stats.num_workers)
+        self.sim_time.set(stats.sim_time_end)
+        self.peak_memory.set(stats.peak_memory)
+        self.step_sim.observe(stats.elapsed)
+        self.step_host.observe(host_seconds)
+        self.barrier_sim.inc(stats.barrier_time)
+        self.restarts.inc(sum(1 for w in stats.workers if w.restarted))
 
 
 def run_job(job: JobSpec) -> JobResult:

@@ -47,6 +47,10 @@ class JobSpec:
     checkpoint_interval: int = 0
     failure_schedule: dict[int, int] = field(default_factory=dict)
     observers: Sequence[Any] = ()
+    #: optional :class:`repro.obs.SpanTracer` recording engine phase spans
+    tracer: Any = None
+    #: optional :class:`repro.obs.MetricsRegistry` the engine reports into
+    metrics: Any = None
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:

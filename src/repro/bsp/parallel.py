@@ -22,6 +22,7 @@ NumPy-heavy ``compute()`` releases the GIL and genuinely scales.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 
 from .engine import BSPEngine
 from .job import JobSpec
@@ -36,15 +37,40 @@ class ThreadedBSPEngine(BSPEngine):
         super().__init__(job)
         if max_threads is not None and max_threads < 1:
             raise ValueError("max_threads must be >= 1")
+        pool_size = max_threads or min(8, self.num_workers)
         self._pool = ThreadPoolExecutor(
-            max_workers=max_threads or min(8, self.num_workers),
+            max_workers=pool_size,
             thread_name_prefix="bsp-worker",
         )
+        # Real-concurrency profiling: per-worker host time inside the pooled
+        # compute phase, the number the simulated clock cannot show.
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "bsp_compute_pool_threads", help="Compute thread-pool size"
+            ).set(pool_size)
+            self._m_task_host = self.metrics.histogram(
+                "bsp_worker_compute_host_seconds",
+                help="Host wall time of each worker's pooled compute task",
+            )
+        else:
+            self._m_task_host = None
 
     def _compute_phase(self) -> None:
-        futures = [self._pool.submit(w.run_compute) for w in self.workers]
+        if self._m_task_host is None:
+            futures = [self._pool.submit(w.run_compute) for w in self.workers]
+            for f in futures:
+                f.result()  # propagate worker exceptions
+            return
+
+        def timed(worker) -> float:
+            t0 = perf_counter()
+            worker.run_compute()
+            return perf_counter() - t0
+
+        futures = [self._pool.submit(timed, w) for w in self.workers]
+        # Observe serially after the join: Histogram is not thread-safe.
         for f in futures:
-            f.result()  # propagate worker exceptions
+            self._m_task_host.observe(f.result())
 
     def run(self):
         try:

@@ -37,6 +37,7 @@ class PartitionWorker:
         model: PerfModel,
         assignment: np.ndarray,
         initially_active: bool = True,
+        metrics: Any = None,
     ) -> None:
         self.worker_id = worker_id
         self.graph = graph
@@ -94,6 +95,22 @@ class PartitionWorker:
         self._ctx = VertexContext()
         self.stats = WorkerStepStats(worker=worker_id)
 
+        # Per-worker instruments (optional registry, resolved once here so
+        # run_compute() pays two counter bumps per superstep, not per vertex).
+        if metrics is not None:
+            wl = str(worker_id)
+            self._m_compute_calls = metrics.counter(
+                "bsp_worker_compute_calls_total",
+                help="compute() invocations per worker", worker=wl,
+            )
+            self._m_msgs_in = metrics.counter(
+                "bsp_worker_messages_in_total",
+                help="Messages drained by compute() per worker", worker=wl,
+            )
+        else:
+            self._m_compute_calls = None
+            self._m_msgs_in = None
+
     # ------------------------------------------------------------------
     # Superstep lifecycle
     # ------------------------------------------------------------------
@@ -135,6 +152,9 @@ class PartitionWorker:
             self.stats.compute_calls += 1
             self.stats.msgs_in += len(msgs)
         self.in_cur = {}
+        if self._m_compute_calls is not None:
+            self._m_compute_calls.inc(self.stats.compute_calls)
+            self._m_msgs_in.inc(self.stats.msgs_in)
 
     # ------------------------------------------------------------------
     # Topology mutation (Pregel edge mutations, self-scope)

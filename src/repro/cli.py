@@ -10,9 +10,20 @@ location, application, worker count, partitioning scheme) as a CLI::
     python -m repro run --graph cp.txt --app pagerank --workers 8
     python -m repro run --dataset WG --app bc --roots 20 --workers 8 \\
         --sizer adaptive --initiation dynamic --trace-out trace.json
+    python -m repro run --dataset WG --app pagerank --workers 4 \\
+        --metrics-out m.prom --spans-out s.json --progress
+    python -m repro trace summarize trace.json
 
 ``run`` prints the simulated runtime/cost summary and optionally dumps the
-per-superstep trace (JSON) for plotting.
+per-superstep trace (JSON) for plotting.  The observability flags attach
+the :mod:`repro.obs` layer: ``--metrics-out`` writes the metrics registry
+(Prometheus text, or JSON when the path ends in ``.json``),
+``--spans-out``/``--chrome-out`` write engine phase spans (plain JSON /
+Chrome ``trace_event``), ``--progress`` streams live telemetry to stderr,
+and ``--check-invariants`` rides an
+:class:`~repro.bsp.debug.InvariantChecker` along and fails the run (exit
+code 1) on any violation.  ``trace summarize`` prints the paper-style
+utilization/breakdown tables from a saved trace file.
 """
 
 from __future__ import annotations
@@ -21,8 +32,17 @@ import argparse
 import sys
 
 from .analysis import RunConfig, run_pagerank, run_traversal
-from .analysis.traces import write_json
+from .analysis.traces import read_json, write_json
+from .bsp.debug import InvariantChecker
 from .cloud.costmodel import SCALED_PERF_MODEL
+from .obs import (
+    MetricsRegistry,
+    RunReporter,
+    SpanTracer,
+    summarize_trace,
+    write_metrics_json,
+    write_prometheus,
+)
 from .graph import datasets, io as graph_io, summarize
 from .partition import (
     HashPartitioner,
@@ -115,6 +135,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker memory cap in MB (default: unconstrained)",
     )
     p.add_argument("--trace-out", help="write per-superstep trace JSON here")
+    p.add_argument(
+        "--metrics-out",
+        help="write run metrics here (Prometheus text; JSON if path "
+             "ends in .json)",
+    )
+    p.add_argument(
+        "--spans-out", help="write engine phase spans here (JSON)"
+    )
+    p.add_argument(
+        "--chrome-out",
+        help="write phase spans in Chrome trace_event format "
+             "(open in chrome://tracing or Perfetto)",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="stream live per-superstep telemetry to stderr",
+    )
+    p.add_argument(
+        "--check-invariants", action="store_true",
+        help="run the engine invariant checker; exit 1 on any violation",
+    )
+
+    p = sub.add_parser("trace", help="inspect saved per-superstep trace files")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ps = tsub.add_parser(
+        "summarize",
+        help="print the utilization/breakdown tables of a saved trace",
+    )
+    ps.add_argument("path", help="trace JSON written by run --trace-out")
+    ps.add_argument(
+        "--max-rows", type=int, default=24,
+        help="per-superstep digest rows before eliding the middle",
+    )
 
     p = sub.add_parser(
         "report", help="regenerate the headline experiments as markdown"
@@ -177,16 +230,28 @@ def _make_initiation(args):
 
 def _cmd_run(args) -> int:
     g = _load_graph(args)
+    metrics = MetricsRegistry() if args.metrics_out else None
+    tracer = SpanTracer() if (args.spans_out or args.chrome_out) else None
+    extra_observers = []
+    if args.progress:
+        extra_observers.append(RunReporter())
+    checker = InvariantChecker() if args.check_invariants else None
+    if checker is not None:
+        extra_observers.append(checker)
     cfg = RunConfig(
         num_workers=args.workers,
         partitioner=_STRATEGIES[args.strategy](args.seed),
         perf_model=SCALED_PERF_MODEL,
+        tracer=tracer,
+        metrics=metrics,
     )
     cfg = cfg.with_memory(
         int(args.memory_mb * 1e6) if args.memory_mb else (1 << 62)
     )
     if args.app == "pagerank":
-        res = run_pagerank(g, cfg, iterations=args.iterations)
+        res = run_pagerank(
+            g, cfg, iterations=args.iterations, observers=extra_observers
+        )
         trace = res.trace
         print(f"pagerank: {res.supersteps} supersteps")
     else:
@@ -194,6 +259,7 @@ def _cmd_run(args) -> int:
             g, cfg, range(min(args.roots, g.num_vertices)), kind=args.app,
             sizer=_make_sizer(args, args.roots),
             initiation=_make_initiation(args),
+            extra_observers=extra_observers,
         )
         res = run.result
         trace = res.trace
@@ -206,6 +272,35 @@ def _cmd_run(args) -> int:
     if args.trace_out:
         write_json(trace, args.trace_out)
         print(f"trace written to {args.trace_out}")
+    if metrics is not None:
+        if args.metrics_out.endswith(".json"):
+            write_metrics_json(metrics, args.metrics_out)
+        else:
+            write_prometheus(metrics, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if tracer is not None:
+        if args.spans_out:
+            tracer.write_json(args.spans_out)
+            print(f"spans written to {args.spans_out}")
+        if args.chrome_out:
+            tracer.write_chrome_trace(args.chrome_out)
+            print(f"chrome trace written to {args.chrome_out}")
+    if checker is not None:
+        if checker.violations:
+            print(
+                f"invariants: {len(checker.violations)} violation(s)",
+                file=sys.stderr,
+            )
+            for v in checker.violations:
+                print(f"  {v}", file=sys.stderr)
+            return 1
+        print("invariants: ok")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    trace = read_json(args.path)
+    print(summarize_trace(trace, max_rows=args.max_rows))
     return 0
 
 
@@ -228,6 +323,7 @@ _COMMANDS = {
     "partition": _cmd_partition,
     "advise": _cmd_advise,
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "report": _cmd_report,
 }
 

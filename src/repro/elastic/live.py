@@ -133,6 +133,12 @@ class LiveElasticEngine(BSPEngine):
             raise ValueError(f"policy requested invalid fleet size {want}")
         if want == self.num_workers:
             return
+        before = self.num_workers
+        span = (
+            self.tracer.start("elastic-resize", sim=self.sim_time,
+                              from_workers=before, to_workers=want)
+            if self.tracer is not None else None
+        )
         moved = self._resize_fleet(want)
         overhead = self.provisioner.scale_to(
             want, superstep=self.superstep, vertices_moved=moved
@@ -142,6 +148,23 @@ class LiveElasticEngine(BSPEngine):
         stats.elapsed += overhead
         stats.sim_time_end = self.sim_time
         self.scale_overhead_total += overhead
+        if span is not None:
+            self.tracer.end(span, sim=self.sim_time, vertices_moved=moved)
+        if self.metrics is not None:
+            direction = "up" if want > before else "down"
+            self.metrics.counter(
+                "elastic_scale_events_total",
+                help="Fleet resizes at superstep boundaries",
+                direction=direction,
+            ).inc()
+            self.metrics.counter(
+                "elastic_vertices_moved_total",
+                help="Vertices migrated across resizes",
+            ).inc(moved)
+            self.metrics.counter(
+                "elastic_overhead_sim_seconds_total",
+                help="Simulated seconds the job stalled for scaling",
+            ).inc(overhead)
 
     def _resize_fleet(self, new_count: int) -> int:
         """Repartition and migrate vertex data; returns vertices moved."""
@@ -162,6 +185,7 @@ class LiveElasticEngine(BSPEngine):
                 model=self.model,
                 assignment=new_partition.assignment,
                 initially_active=False,
+                metrics=self.metrics,
             )
             for w in range(new_count)
         ]

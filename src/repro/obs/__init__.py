@@ -1,0 +1,68 @@
+"""Observability layer: phase spans, metrics, exporters, live telemetry.
+
+The paper's entire analysis (§V-§VII) rests on per-superstep
+instrumentation of the BSP engine; this package is the runtime side of
+that — always-available, near-zero-cost-when-off instrumentation the
+engine stack reports into:
+
+* :mod:`repro.obs.spans` — :class:`SpanTracer`, nested engine-phase spans
+  on both the simulated and the host (``perf_counter``) clock, exportable
+  as JSON or Chrome ``trace_event`` files;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters, gauges
+  and fixed-bucket histograms populated by the engine, workers, swath
+  controller and elastic engine;
+* :mod:`repro.obs.export` — Prometheus text-format and JSON exporters for
+  the registry;
+* :mod:`repro.obs.progress` — :class:`RunReporter`, a superstep observer
+  emitting throttled live progress lines to stderr;
+* :mod:`repro.obs.summary` — utilization/breakdown tables from saved
+  traces (backs ``repro trace summarize``).
+
+Attach instruments through the job spec and read them after the run::
+
+    from repro.obs import MetricsRegistry, SpanTracer, to_prometheus_text
+
+    metrics, tracer = MetricsRegistry(), SpanTracer()
+    run_job(JobSpec(..., metrics=metrics, tracer=tracer))
+    print(to_prometheus_text(metrics))
+    tracer.write_chrome_trace("run.trace.json")
+
+A job with neither attached runs exactly as before: every instrumentation
+site in the engine is guarded by a single ``is None`` check.
+"""
+
+from .export import (
+    to_json_dict,
+    to_prometheus_text,
+    write_metrics_json,
+    write_prometheus,
+)
+from .metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .progress import RunReporter
+from .spans import Span, SpanTracer
+from .summary import summarize_spans, summarize_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Span",
+    "SpanTracer",
+    "RunReporter",
+    "to_prometheus_text",
+    "to_json_dict",
+    "write_prometheus",
+    "write_metrics_json",
+    "summarize_trace",
+    "summarize_spans",
+]

@@ -1,0 +1,107 @@
+"""Live run telemetry: a throttled progress reporter for long jobs.
+
+:class:`RunReporter` is a superstep observer (duck-typed against
+:class:`~repro.bsp.engine.SuperstepObserver` so this module stays free of
+engine imports) that prints one status line per superstep to stderr —
+active vertices, message throughput, peak worker memory, swath progress,
+simulated time — throttled to at most one line per ``min_interval`` host
+seconds so tight simulated loops don't flood the terminal.  The first
+superstep and the end-of-job summary always print.
+
+Attach it like any observer::
+
+    reporter = RunReporter()
+    run_job(JobSpec(..., observers=[controller, reporter]))
+
+or from the CLI with ``repro run ... --progress``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, TextIO
+
+__all__ = ["RunReporter"]
+
+
+def _si(n: float) -> str:
+    """Compact human number: 1234567 -> '1.23M'."""
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(n) >= factor:
+            return f"{n / factor:.2f}{suffix}"
+    return f"{n:.0f}" if float(n).is_integer() else f"{n:.2f}"
+
+
+class RunReporter:
+    """Throttled per-superstep progress lines (see module docstring)."""
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        min_interval: float = 0.5,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if min_interval < 0:
+            raise ValueError("min_interval must be >= 0")
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._clock = clock
+        self._last_emit = -float("inf")
+        self._host_start = 0.0
+        self.lines_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Observer protocol (duck-typed SuperstepObserver)
+    # ------------------------------------------------------------------
+    def on_job_start(self, engine) -> None:
+        self._host_start = self._clock()
+        self._emit(
+            f"[repro] job start | {engine.graph.num_vertices:,} vertices | "
+            f"{engine.num_workers} workers | "
+            f"program {type(engine.job.program).__name__}"
+        )
+
+    def on_superstep_end(self, engine, stats) -> None:
+        now = self._clock()
+        if stats.index > 0 and now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        msg_rate = stats.total_messages / stats.elapsed if stats.elapsed > 0 else 0.0
+        line = (
+            f"[repro] step {stats.index} | active {stats.active_end:,} | "
+            f"msgs {_si(stats.total_messages)} ({_si(msg_rate)}/s sim) | "
+            f"peak mem {stats.peak_memory / 1e6:.1f}MB | "
+            f"workers {stats.num_workers} | sim {stats.sim_time_end:.2f}s"
+        )
+        swath = self._swath_phase(engine)
+        if swath:
+            line += f" | {swath}"
+        self._emit(line)
+
+    def has_pending_work(self) -> bool:
+        return False
+
+    def on_job_end(self, engine, result) -> None:
+        host = self._clock() - self._host_start
+        trace = result.trace
+        self._emit(
+            f"[repro] done | {result.supersteps} supersteps | "
+            f"sim {trace.total_time:.2f}s | host {host:.2f}s | "
+            f"msgs {_si(trace.total_messages)} | "
+            f"util {trace.utilization():.0%} | cost ${result.total_cost:.4f}"
+        )
+
+    # ------------------------------------------------------------------
+    def _swath_phase(self, engine) -> str:
+        """Swath progress when a swath controller rides the same job."""
+        for obs in getattr(engine, "_observers", ()):
+            events = getattr(obs, "events", None)
+            if events and hasattr(obs, "num_swaths"):
+                remaining = events[-1].remaining_after
+                return f"swath {obs.num_swaths} ({remaining} roots left)"
+        return ""
+
+    def _emit(self, line: str) -> None:
+        print(line, file=self.stream)
+        self.lines_emitted += 1

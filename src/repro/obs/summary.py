@@ -1,0 +1,110 @@
+"""Human-readable summaries of saved run telemetry.
+
+Backs ``repro trace summarize <trace.json>``: turns a persisted
+:class:`~repro.bsp.superstep.JobTrace` into the paper's utilization and
+runtime-breakdown tables (Figs. 9/12 style) plus a per-superstep digest,
+without re-running anything.  Long traces are elided around the middle so
+the output stays terminal-sized.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import table
+from ..bsp.superstep import JobTrace
+
+__all__ = ["summarize_trace", "summarize_spans"]
+
+
+def _rows_with_elision(steps, max_rows: int):
+    if len(steps) <= max_rows:
+        return list(steps), None
+    head = max_rows // 2
+    tail = max_rows - head
+    return list(steps[:head]) + list(steps[-tail:]), len(steps) - max_rows
+
+
+def summarize_trace(trace: JobTrace, max_rows: int = 24) -> str:
+    """Utilization/breakdown tables plus a per-superstep digest."""
+    bd = trace.breakdown()
+    total = bd["total"] or 1.0
+    sections = []
+
+    sections.append(
+        table(
+            ["metric", "value"],
+            [
+                ["supersteps", len(trace)],
+                ["simulated time (s)", trace.total_time],
+                ["total messages", trace.total_messages],
+                ["peak worker memory (MB)", trace.peak_memory / 1e6],
+                ["barrier time (s)", trace.total_barrier_time],
+                ["VM restarts", trace.num_restarts],
+            ],
+            title="run summary",
+        )
+    )
+
+    sections.append(
+        table(
+            ["component", "seconds", "share"],
+            [
+                ["compute + I/O", bd["compute_io"],
+                 f"{bd['compute_io'] / total:.1%}"],
+                ["barrier wait", bd["barrier_wait"],
+                 f"{bd['barrier_wait'] / total:.1%}"],
+                ["total", bd["total"], "100.0%"],
+            ],
+            title="runtime breakdown (utilization "
+                  f"{bd['utilization']:.1%})",
+        )
+    )
+
+    shown, elided = _rows_with_elision(list(trace), max_rows)
+    rows = [
+        [
+            s.index,
+            s.num_workers,
+            s.active_end,
+            s.total_messages,
+            s.peak_memory / 1e6,
+            s.barrier_time,
+            s.elapsed,
+            s.sim_time_end,
+        ]
+        for s in shown
+    ]
+    per_step = table(
+        ["step", "workers", "active", "msgs", "peak MB",
+         "barrier s", "elapsed s", "cum sim s"],
+        rows,
+        title="per-superstep digest",
+    )
+    if elided:
+        per_step += f"\n({elided} middle supersteps elided)"
+    sections.append(per_step)
+    return "\n\n".join(sections)
+
+
+def summarize_spans(data: dict) -> str:
+    """Aggregate a spans-JSON dump (one row per phase name)."""
+    spans = data.get("spans", [])
+    agg: dict[str, list[float]] = {}
+    order: list[str] = []
+    for s in spans:
+        name = s["name"]
+        if name not in agg:
+            agg[name] = [0, 0.0, 0.0]
+            order.append(name)
+        entry = agg[name]
+        entry[0] += 1
+        entry[1] += s["sim_duration"]
+        entry[2] += s["host_duration"]
+    rows = [
+        [name, agg[name][0], agg[name][1], agg[name][2] * 1e3]
+        for name in order
+    ]
+    return table(
+        ["phase", "count", "sim s", "host ms"],
+        rows,
+        title="phase spans",
+    )

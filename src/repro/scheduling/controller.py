@@ -22,7 +22,7 @@ factory (BC and APSP do).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from ..bsp.engine import BSPEngine, SuperstepObserver
 from ..bsp.superstep import SuperstepStats
@@ -53,6 +53,8 @@ class SwathController(SuperstepObserver):
     sizer: SwathSizer = field(default_factory=lambda: StaticSizer(1))
     initiation: InitiationPolicy = field(default_factory=SequentialInitiation)
     events: list[SwathEvent] = field(default_factory=list)
+    #: optional :class:`repro.obs.MetricsRegistry` for swath telemetry
+    metrics: Any = None
 
     def __post_init__(self) -> None:
         self._pending: list[int] = [int(r) for r in self.roots]
@@ -109,6 +111,11 @@ class SwathController(SuperstepObserver):
                     baseline_memory=self._baseline_memory,
                 )
             )
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "swath_window_peak_memory_bytes",
+                    help="Peak per-worker memory in the last swath window",
+                ).set(max(self._window_peak, self._baseline_memory))
         self._window_peak = 0.0
 
     def _initiate(self, engine: BSPEngine, superstep: int) -> None:
@@ -130,6 +137,18 @@ class SwathController(SuperstepObserver):
         self._messages_history = []
         self.initiation.reset()
         self._started_any = True
+        if self.metrics is not None:
+            self.metrics.counter(
+                "swath_initiations_total",
+                help="Swaths started by the controller",
+            ).inc()
+            self.metrics.gauge(
+                "swath_size", help="Roots started in the most recent swath"
+            ).set(len(swath))
+            self.metrics.gauge(
+                "swath_pending_roots",
+                help="Traversal roots not yet started",
+            ).set(len(self._pending))
 
     # ------------------------------------------------------------------
     @property

@@ -104,3 +104,107 @@ class TestCLI:
 
         with pytest.raises(SystemExit):
             main(["generate", "--graph", "x", "--out", str(tmp_path / "o")])
+
+
+class TestFullFieldFidelity:
+    """Version-2 format: disk/jitter/injection fields survive the trip."""
+
+    @pytest.fixture(scope="class")
+    def rich_trace(self):
+        from repro.analysis import RunConfig, run_traversal
+        from repro.cloud.costmodel import DEFAULT_PERF_MODEL
+        from dataclasses import replace
+
+        g = gen.watts_strogatz(48, 4, 0.2, seed=7)
+        model = replace(
+            DEFAULT_PERF_MODEL, disk_buffering=True, jitter=0.3, jitter_seed=5
+        )
+        cfg = RunConfig(num_workers=3, perf_model=model)
+        run = run_traversal(g, cfg, roots=range(6), kind="bc")
+        return run.result.trace
+
+    def test_fields_are_exercised(self, rich_trace):
+        workers = [w for s in rich_trace for w in s.workers]
+        assert any(w.disk_time > 0 for w in workers)
+        assert any(w.jitter_factor != 1.0 for w in workers)
+        assert any(s.injected > 0 for s in rich_trace)
+
+    def test_round_trip_full_field_equality(self, rich_trace):
+        from repro.analysis.traces import _STEP_FIELDS, _WORKER_FIELDS
+
+        back = trace_from_dict(trace_to_dict(rich_trace))
+        assert len(back) == len(rich_trace)
+        for orig, copy in zip(rich_trace, back):
+            for f in _STEP_FIELDS:
+                assert getattr(copy, f) == getattr(orig, f), f
+            assert len(copy.workers) == len(orig.workers)
+            for ow, cw in zip(orig.workers, copy.workers):
+                for f in _WORKER_FIELDS:
+                    assert getattr(cw, f) == getattr(ow, f), f
+
+    def test_version_2_is_declared(self, rich_trace):
+        data = trace_to_dict(rich_trace)
+        assert data["version"] == 2
+        assert "disk_time" in data["steps"][0]["workers"][0]
+        assert "jitter_factor" in data["steps"][0]["workers"][0]
+        assert "injected" in data["steps"][0]
+
+    def test_version_1_files_still_read(self, rich_trace):
+        data = trace_to_dict(rich_trace)
+        data["version"] = 1
+        for sd in data["steps"]:
+            sd.pop("injected")
+            for wd in sd["workers"]:
+                wd.pop("disk_time")
+                wd.pop("jitter_factor")
+        back = trace_from_dict(data)
+        assert len(back) == len(rich_trace)
+        # the dropped fields come back as their dataclass defaults
+        assert all(s.injected == 0 for s in back)
+        assert all(w.disk_time == 0.0 for s in back for w in s.workers)
+        assert all(w.jitter_factor == 1.0 for s in back for w in s.workers)
+        # everything else is preserved
+        assert back.total_time == pytest.approx(rich_trace.total_time)
+        assert np.array_equal(
+            back.series_messages(), rich_trace.series_messages()
+        )
+
+    def test_csv_includes_new_columns(self, rich_trace):
+        header = to_csv_text(rich_trace).splitlines()[0].split(",")
+        assert "disk_time" in header
+        assert "jitter_factor" in header
+        assert "injected" in header
+
+
+class TestElasticCsv:
+    def test_csv_on_elastic_trace_with_varying_workers(self):
+        from repro.elastic.live import LiveElasticEngine, LivePolicy
+
+        class Alternate(LivePolicy):
+            def decide(self, engine, stats):
+                return 2 if stats.index % 2 else 4
+
+        g = gen.watts_strogatz(40, 4, 0.2, seed=4)
+        job = JobSpec(program=PageRankProgram(6), graph=g, num_workers=4)
+        trace = LiveElasticEngine(job, Alternate()).run().trace
+
+        text = to_csv_text(trace)
+        lines = text.strip().splitlines()
+        header = lines[0].split(",")
+        wcol = header.index("num_workers")
+        widcol = header.index("worker")
+        sizes = {int(row.split(",")[wcol]) for row in lines[1:]}
+        assert sizes == {2, 4}  # the fleet really varied
+        expected_rows = sum(max(1, len(s.workers)) for s in trace)
+        assert len(lines) == expected_rows + 1
+        # per-step worker rows match that step's fleet size
+        by_step = {}
+        for row in lines[1:]:
+            cells = row.split(",")
+            by_step.setdefault(int(cells[0]), []).append(int(cells[widcol]))
+        for idx, ids in by_step.items():
+            assert ids == list(range(len(ids)))
+            assert len(ids) == trace[idx].num_workers
+
+        back = trace_from_dict(trace_to_dict(trace))
+        assert [s.num_workers for s in back] == [s.num_workers for s in trace]

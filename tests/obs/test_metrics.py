@@ -1,0 +1,160 @@
+"""Metrics registry semantics and exporter formats."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    to_json_dict,
+    to_prometheus_text,
+    write_metrics_json,
+    write_prometheus,
+)
+
+# One Prometheus text-format line: comment or `name{labels} value`.
+_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" [-+]?[0-9.eE+-]+$"
+)
+
+
+def assert_valid_prometheus(text: str) -> None:
+    for line in text.strip().splitlines():
+        assert _COMMENT.match(line) or _SAMPLE.match(line), f"bad line: {line!r}"
+
+
+class TestRegistrySemantics:
+    def test_get_or_create_identity(self):
+        r = MetricsRegistry()
+        a = r.counter("x_total", help="x", kind="a")
+        assert r.counter("x_total", kind="a") is a
+        assert r.counter("x_total", kind="b") is not a
+        assert len(r) == 2
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            r.histogram("x_total")
+
+    def test_histogram_bucket_conflict_raises(self):
+        r = MetricsRegistry()
+        r.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="bucket"):
+            r.histogram("h", buckets=(1.0, 3.0), worker="1")
+
+    def test_counter_monotonic(self):
+        r = MetricsRegistry()
+        c = r.counter("c_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+    def test_invalid_names_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError, match="metric name"):
+            r.counter("bad name")
+        with pytest.raises(ValueError, match="label name"):
+            r.counter("ok_total", **{"bad-label": "v"})
+
+    def test_histogram_boundaries(self):
+        r = MetricsRegistry()
+        h = r.histogram("h_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.1, 0.5, 10.0, 11.0):
+            h.observe(v)
+        # le semantics: a value equal to a boundary lands in that bucket
+        assert h.counts == [2, 1, 1, 1]
+        assert h.cumulative_counts() == [2, 3, 4, 5]
+        assert h.count == 5
+        assert h.sum == pytest.approx(21.65)
+
+    def test_histogram_rejects_bad_buckets(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            r.histogram("h2", buckets=(2.0, 1.0))
+
+    def test_lookup_without_create(self):
+        r = MetricsRegistry()
+        assert r.get("nope") is None
+        r.counter("yes_total", kind="x").inc()
+        assert r.get("yes_total", kind="x").value == 1.0
+
+
+class TestPrometheusExport:
+    def make_registry(self):
+        r = MetricsRegistry()
+        r.counter("msgs_total", help="messages", kind="remote").inc(42)
+        r.counter("msgs_total", kind="local").inc(7)
+        r.gauge("fleet", help="workers").set(8)
+        h = r.histogram("step_seconds", help="durations", buckets=(0.5, 5.0))
+        h.observe(0.1)
+        h.observe(1.0)
+        h.observe(50.0)
+        return r
+
+    def test_syntax_valid(self):
+        assert_valid_prometheus(to_prometheus_text(self.make_registry()))
+
+    def test_counter_and_gauge_lines(self):
+        text = to_prometheus_text(self.make_registry())
+        assert "# TYPE msgs_total counter" in text
+        assert 'msgs_total{kind="remote"} 42' in text
+        assert 'msgs_total{kind="local"} 7' in text
+        assert "# TYPE fleet gauge" in text
+        assert "fleet 8" in text
+
+    def test_histogram_expansion(self):
+        text = to_prometheus_text(self.make_registry())
+        assert 'step_seconds_bucket{le="0.5"} 1' in text
+        assert 'step_seconds_bucket{le="5.0"} 2' in text
+        assert 'step_seconds_bucket{le="+Inf"} 3' in text
+        assert "step_seconds_sum 51.1" in text
+        assert "step_seconds_count 3" in text
+
+    def test_label_escaping(self):
+        r = MetricsRegistry()
+        r.counter("c_total", path='a"b\\c\nd').inc()
+        text = to_prometheus_text(r)
+        assert r'\"' in text and r"\\" in text and r"\n" in text
+
+    def test_empty_registry(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_file(self, tmp_path):
+        p = tmp_path / "m.prom"
+        write_prometheus(self.make_registry(), p)
+        assert_valid_prometheus(p.read_text())
+
+
+class TestJsonExport:
+    def test_round_trip_values(self, tmp_path):
+        r = MetricsRegistry()
+        r.counter("c_total", kind="x").inc(3)
+        h = r.histogram("h_seconds", buckets=(1.0,))
+        h.observe(0.5)
+        p = tmp_path / "m.json"
+        write_metrics_json(r, p)
+        data = json.loads(p.read_text())
+        assert data == to_json_dict(r)
+        by_name = {f["name"]: f for f in data["metrics"]}
+        assert by_name["c_total"]["series"][0]["value"] == 3.0
+        assert by_name["c_total"]["series"][0]["labels"] == {"kind": "x"}
+        assert by_name["h_seconds"]["series"][0]["counts"] == [1, 0]
+        assert by_name["h_seconds"]["kind"] == "histogram"

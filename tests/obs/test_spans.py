@@ -1,0 +1,152 @@
+"""Span tracer: nesting discipline, two-clock accounting, exports."""
+
+import json
+
+import pytest
+
+from repro.obs import Span, SpanTracer
+
+
+class FakeClock:
+    """Deterministic host clock; advance() moves time forward."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return SpanTracer(clock=clock)
+
+
+class TestNesting:
+    def test_parent_and_depth(self, tracer):
+        job = tracer.start("job", sim=0.0, category="engine")
+        step = tracer.start("superstep", sim=0.0)
+        compute = tracer.start("compute", sim=0.0)
+        assert (job.parent, job.depth) == (None, 0)
+        assert (step.parent, step.depth) == (job.index, 1)
+        assert (compute.parent, compute.depth) == (step.index, 2)
+        assert tracer.open_spans == 3
+        tracer.end(compute)
+        tracer.end(step)
+        tracer.end(job)
+        assert tracer.open_spans == 0
+
+    def test_lifo_enforced(self, tracer):
+        outer = tracer.start("outer")
+        tracer.start("inner")
+        with pytest.raises(RuntimeError, match="innermost"):
+            tracer.end(outer)
+
+    def test_end_without_start_raises(self, tracer):
+        s = Span(index=0, name="x", category="phase", host_start=0, sim_start=0)
+        with pytest.raises(RuntimeError):
+            tracer.end(s)
+
+
+class TestClocks:
+    def test_host_time_is_epoch_relative(self, tracer, clock):
+        clock.advance(2.0)
+        s = tracer.start("phase")
+        clock.advance(0.5)
+        tracer.end(s)
+        assert s.host_start == pytest.approx(2.0)
+        assert s.host_duration == pytest.approx(0.5)
+
+    def test_sim_duration_from_end(self, tracer):
+        s = tracer.start("superstep", sim=10.0)
+        tracer.end(s, sim=13.5)
+        assert s.sim_duration == pytest.approx(3.5)
+
+    def test_bare_end_means_zero_sim(self, tracer):
+        s = tracer.start("phase", sim=4.0)
+        tracer.end(s)
+        assert s.sim_duration == 0.0
+        assert s.closed
+
+    def test_set_sim_duration_survives_bare_end(self, tracer):
+        s = tracer.start("compute", sim=7.0)
+        s.set_sim_duration(1.25)
+        tracer.end(s)
+        assert s.sim_duration == pytest.approx(1.25)
+        assert s.sim_end == pytest.approx(8.25)
+
+    def test_explicit_end_sim_overrides(self, tracer):
+        s = tracer.start("compute", sim=0.0)
+        s.set_sim_duration(1.0)
+        tracer.end(s, sim=2.0)
+        assert s.sim_duration == pytest.approx(2.0)
+
+    def test_record_leaf(self, tracer, clock):
+        parent = tracer.start("superstep", sim=0.0)
+        leaf = tracer.record(
+            "barrier", sim=5.0, sim_duration=0.75, host_duration=0.01, workers=4
+        )
+        tracer.end(parent, sim=6.0)
+        assert leaf.parent == parent.index
+        assert leaf.depth == 1
+        assert leaf.closed
+        assert leaf.sim_duration == pytest.approx(0.75)
+        assert leaf.host_duration == pytest.approx(0.01)
+        assert leaf.attrs == {"workers": 4}
+
+    def test_totals(self, tracer):
+        for sim in (1.0, 2.0, 3.0):
+            s = tracer.start("superstep", sim=0.0)
+            tracer.end(s, sim=sim)
+        assert tracer.total_sim("superstep") == pytest.approx(6.0)
+        assert tracer.total_sim("absent") == 0.0
+        assert len(tracer.named("superstep")) == 3
+
+
+class TestExports:
+    def build(self, tracer, clock):
+        job = tracer.start("job", sim=0.0, category="engine")
+        step = tracer.start("superstep", sim=0.0, superstep=0)
+        clock.advance(0.25)
+        tracer.end(step, sim=2.0)
+        tracer.end(job, sim=2.0)
+
+    def test_json_export(self, tracer, clock, tmp_path):
+        self.build(tracer, clock)
+        p = tmp_path / "spans.json"
+        tracer.write_json(p)
+        data = json.loads(p.read_text())
+        assert data["version"] == 1
+        assert data == tracer.to_dict()
+        names = [s["name"] for s in data["spans"]]
+        assert names == ["job", "superstep"]
+        step = data["spans"][1]
+        assert step["parent"] == 0
+        assert step["depth"] == 1
+        assert step["sim_duration"] == pytest.approx(2.0)
+        assert step["host_duration"] == pytest.approx(0.25)
+        assert step["attrs"] == {"superstep": 0}
+
+    def test_chrome_trace_export(self, tracer, clock, tmp_path):
+        self.build(tracer, clock)
+        p = tmp_path / "chrome.json"
+        tracer.write_chrome_trace(p)
+        data = json.loads(p.read_text())
+        assert data == tracer.to_chrome_trace()
+        events = data["traceEvents"]
+        assert len(events) == 2
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert set(ev) >= {"name", "cat", "ts", "dur", "pid", "tid", "args"}
+        step = events[1]
+        assert step["dur"] == pytest.approx(0.25e6)  # microseconds
+        assert step["args"]["sim_duration"] == pytest.approx(2.0)
+        assert step["args"]["superstep"] == 0
