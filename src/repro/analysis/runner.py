@@ -86,9 +86,16 @@ def run_pagerank(
     iterations: int = 30,
     use_combiner: bool = True,
     observers: Sequence = (),
+    wrap_program=None,
 ) -> JobResult:
-    """PageRank over all vertices for a fixed iteration count (paper: 30)."""
+    """PageRank over all vertices for a fixed iteration count (paper: 30).
+
+    ``wrap_program`` optionally wraps the constructed program before the
+    job is built (tracing/sanitizing wrappers — ``repro run --sanitize``).
+    """
     program = PageRankProgram(iterations=iterations, use_combiner=use_combiner)
+    if wrap_program is not None:
+        program = wrap_program(program)
     return BSPEngine(cfg.job(program, graph, observers=list(observers))).run()
 
 
@@ -108,16 +115,20 @@ def run_traversal(
     sizer: SwathSizer | None = None,
     initiation: InitiationPolicy | None = None,
     extra_observers: Sequence = (),
+    wrap_program=None,
 ) -> TraversalRun:
     """Run BC or APSP over ``roots`` under a swath controller.
 
     Defaults reproduce the paper's baseline: one swath holding every root
     (``StaticSizer(len(roots))``) with sequential initiation.
     ``extra_observers`` ride along after the controller (progress
-    reporters, invariant checkers).
+    reporters, invariant checkers); ``wrap_program`` optionally wraps the
+    program before the job is built (``repro run --sanitize``).
     """
     roots = [int(r) for r in roots]
     program, start_factory = _traversal_pieces(kind)
+    if wrap_program is not None:
+        program = wrap_program(program)
     controller = SwathController(
         roots=roots,
         start_factory=start_factory,

@@ -176,6 +176,27 @@ class VertexProgram(ABC):
 
     Subclasses implement :meth:`compute` and optionally :meth:`init_state`,
     a :attr:`combiner`, and :meth:`aggregators`.
+
+    **The vertex-program contract.**  One program instance is shared by
+    every partition worker, and ``ThreadedBSPEngine`` runs workers
+    concurrently, so ``compute()`` must behave as a pure function of
+    ``(ctx, state, messages)`` plus read-only configuration set before the
+    run:
+
+    * Treat ``messages`` and their payloads as read-only — a combiner or
+      another receiver may alias them (``repro check`` RPC001).
+    * No unseeded randomness or wall-clock reads inside ``compute()``
+      (RPC002); no writes to ``self``/class/module state (RPC003) — use the
+      returned state and aggregators instead.
+    * ``ctx`` is only valid during the call that received it; sends,
+      votes, and edge mutations happen in ``compute()`` only (RPC004,
+      RPC009), and every program needs a reachable ``vote_to_halt`` /
+      ``halt_job`` / fixed-iteration exit (RPC005).
+    * Resource hooks and ``aggregators()`` must be honest: accounting and
+      the swath heuristics consume them (RPC006-RPC008, RPC010).
+
+    ``docs/vertex-program-contract.md`` spells out each rule; the dynamic
+    half (``repro run --sanitize``) verifies the same contracts at runtime.
     """
 
     #: Optional message combiner applied at the sending worker per

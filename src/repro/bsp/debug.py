@@ -44,21 +44,31 @@ class _TracingContext:
     def _bind_inner(self, ctx: VertexContext) -> None:
         self._inner = ctx
 
+    def _require_bound(self) -> VertexContext:
+        if self._inner is None:
+            raise AttributeError(
+                "tracing context is not bound to a vertex: it is only valid "
+                "inside compute() for the vertex currently being computed — "
+                "do not stash ctx on self or use it from other hooks "
+                "(repro check flags this as RPC009)"
+            )
+        return self._inner
+
     # Recorded operations -------------------------------------------------
     def send(self, dst: int, payload: Any) -> None:
+        inner = self._require_bound()
         self._log.append(
-            MessageRecord(self._inner.superstep, self._inner.vertex_id,
-                          int(dst), payload)
+            MessageRecord(inner.superstep, inner.vertex_id, int(dst), payload)
         )
-        self._inner.send(dst, payload)
+        inner.send(dst, payload)
 
     def send_to_neighbors(self, payload: Any) -> None:
-        for u in self._inner.out_neighbors:
+        for u in self._require_bound().out_neighbors:
             self.send(int(u), payload)
 
     # Everything else passes through.
     def __getattr__(self, name: str):
-        return getattr(self._inner, name)
+        return getattr(self._require_bound(), name)
 
 
 class TracingProgram(VertexProgram):

@@ -1,0 +1,63 @@
+"""Pregel-aware static analyzer + dynamic sanitizer for vertex programs.
+
+The engine's whole analysis (and the paper's swath heuristics, §IV) assume
+vertex programs are true BSP citizens: message-driven, deterministic per
+superstep, no shared state, honest resource hooks.  This package verifies
+those contracts before and during a run:
+
+* **Static pass** — ``repro check [path|module ...]`` runs ~10 AST rules
+  (RPC001..RPC010) over every :class:`~repro.bsp.api.VertexProgram`
+  subclass; importable as :func:`analyze_source` / :func:`analyze_paths`
+  for tests.  Suppress per line with ``# repro: noqa[RPC00X]``; configure
+  defaults in ``[tool.repro.check]`` (pyproject.toml).
+* **Dynamic sanitizer** — :class:`SanitizingProgram` +
+  :class:`SanitizerObserver` fingerprint delivered payloads against
+  in-place mutation, :func:`certify_determinism` diffs 1-vs-N-worker
+  (threaded) outputs, and :func:`check_aggregator_laws` probes declared
+  aggregators for the barrier-merge algebra.  ``repro run --sanitize``
+  and ``repro check --sanitize`` wire them into real runs; violations
+  surface through :mod:`repro.obs` metrics.
+
+The contracts each rule enforces are documented in
+``docs/vertex-program-contract.md``.
+"""
+
+from .analyzer import analyze_file, analyze_paths, analyze_source
+from .config import CheckConfig, DEFAULT_CONFIG, load_config
+from .findings import Finding, Severity
+from .rules import RULES, rule_catalog
+from .sanitizer import (
+    AggregatorLawReport,
+    DeterminismReport,
+    SanitizerObserver,
+    SanitizerViolation,
+    SanitizingProgram,
+    SmokeReport,
+    certify_determinism,
+    check_aggregator_laws,
+    freeze,
+    run_sanitize_smoke,
+)
+
+__all__ = [
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "CheckConfig",
+    "DEFAULT_CONFIG",
+    "load_config",
+    "Finding",
+    "Severity",
+    "RULES",
+    "rule_catalog",
+    "AggregatorLawReport",
+    "DeterminismReport",
+    "SanitizerObserver",
+    "SanitizerViolation",
+    "SanitizingProgram",
+    "SmokeReport",
+    "certify_determinism",
+    "check_aggregator_laws",
+    "freeze",
+    "run_sanitize_smoke",
+]

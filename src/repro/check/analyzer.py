@@ -1,0 +1,191 @@
+"""Static analysis driver: program discovery, rule dispatch, suppression.
+
+Pure-AST (nothing is imported or executed), so ``repro check`` is safe to
+run on untrusted or broken code.  The unit of analysis is a
+:class:`~repro.bsp.api.VertexProgram` subclass: the analyzer finds them by
+base-class name — direct (``class P(VertexProgram)``), attribute-qualified
+(``class P(api.VertexProgram)``), or transitive through bases defined in
+the same module — including classes nested inside functions (test
+fixtures).
+
+Suppression: ``# repro: noqa`` on the flagged line silences every rule
+there; ``# repro: noqa[RPC001]`` (comma-separated ids allowed) silences
+only the listed rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .config import CheckConfig, DEFAULT_CONFIG
+from .findings import Finding, Severity
+from .rules import RULES, ModuleInfo, ProgramInfo
+
+__all__ = [
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[\s*([A-Za-z0-9_,\s]+?)\s*\])?", re.IGNORECASE
+)
+
+#: Syntax errors get a pseudo-rule id so they flow through the same pipe.
+SYNTAX_RULE_ID = "RPC000"
+
+
+def _base_matches(base: ast.expr, program_names: set[str]) -> bool:
+    if isinstance(base, ast.Name):
+        return base.id in program_names
+    if isinstance(base, ast.Attribute):
+        return base.attr in program_names
+    return False
+
+
+def _find_programs(tree: ast.Module) -> list[ProgramInfo]:
+    """All VertexProgram subclasses in the module (transitive, any nesting)."""
+    program_names = {"VertexProgram"}
+    classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    # Fixed point: a class whose base is a known program class is one too.
+    while True:
+        grew = False
+        for cls in classes:
+            if cls.name in program_names:
+                continue
+            if any(_base_matches(b, program_names) for b in cls.bases):
+                program_names.add(cls.name)
+                grew = True
+        if not grew:
+            break
+    out = []
+    for cls in classes:
+        if cls.name not in program_names:
+            continue
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        out.append(ProgramInfo(node=cls, methods=methods))
+    return out
+
+
+def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    m = _NOQA_RE.search(lines[finding.line - 1])
+    if m is None:
+        return False
+    if m.group(1) is None:
+        return True  # bare noqa: everything on this line
+    ids = {part.strip().upper() for part in m.group(1).split(",")}
+    return finding.rule_id.upper() in ids
+
+
+def analyze_source(
+    source: str,
+    filename: str = "<string>",
+    config: CheckConfig | None = None,
+) -> list[Finding]:
+    """Run the enabled rules over one module's source text."""
+    config = config or DEFAULT_CONFIG
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                file=filename,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                rule_id=SYNTAX_RULE_ID,
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+                hint="fix the syntax error before the rules can run",
+            )
+        ]
+    module = ModuleInfo.build(tree, filename)
+    lines = source.splitlines()
+    findings: list[Finding] = []
+    for program in _find_programs(tree):
+        for rule in RULES:
+            if not config.enabled(rule.id):
+                continue
+            findings.extend(rule.check(program, module))
+    findings = [f for f in findings if not _suppressed(f, lines)]
+    findings.sort()
+    return findings
+
+
+def analyze_file(path: str | Path, config: CheckConfig | None = None) -> list[Finding]:
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                file=str(path),
+                line=1,
+                col=1,
+                rule_id=SYNTAX_RULE_ID,
+                severity=Severity.ERROR,
+                message=f"cannot read file: {exc}",
+            )
+        ]
+    return analyze_source(source, filename=str(path), config=config)
+
+
+_MODULE_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*$")
+
+
+def _resolve_target(target: str) -> list[Path]:
+    """One CLI target -> python files (path, directory, or dotted module)."""
+    path = Path(target)
+    if path.is_dir():
+        return sorted(
+            p
+            for p in path.rglob("*.py")
+            if "__pycache__" not in p.parts
+        )
+    if path.is_file():
+        return [path]
+    if _MODULE_NAME_RE.match(target):
+        import importlib.util
+
+        try:
+            spec = importlib.util.find_spec(target)
+        except (ImportError, ValueError):
+            spec = None
+        if spec is not None and spec.origin and spec.origin.endswith(".py"):
+            return [Path(spec.origin)]
+    raise FileNotFoundError(
+        f"check target {target!r} is neither a path nor an importable module"
+    )
+
+
+def iter_python_files(targets: Iterable[str]) -> list[Path]:
+    """Expand CLI targets to a de-duplicated, ordered file list."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for target in targets:
+        for p in _resolve_target(str(target)):
+            rp = p.resolve()
+            if rp not in seen:
+                seen.add(rp)
+                out.append(p)
+    return out
+
+
+def analyze_paths(
+    targets: Iterable[str], config: CheckConfig | None = None
+) -> list[Finding]:
+    """Analyze every python file under the given paths/modules."""
+    findings: list[Finding] = []
+    for path in iter_python_files(targets):
+        findings.extend(analyze_file(path, config=config))
+    findings.sort()
+    return findings

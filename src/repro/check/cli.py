@@ -1,0 +1,121 @@
+"""The ``repro check`` subcommand: argument wiring and report rendering.
+
+Kept separate from :mod:`repro.cli` so the top-level CLI only pays the
+import when the subcommand actually runs, and so tests can drive
+:func:`run_check` with a plain namespace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .analyzer import analyze_paths
+from .config import DEFAULT_CONFIG, load_config
+from .findings import Severity
+
+__all__ = ["add_check_arguments", "run_check"]
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro/algorithms", "examples"],
+        help="files, directories, or dotted modules to analyze "
+             "(default: src/repro/algorithms examples)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="PREFIX",
+        help="rule-id prefixes to enable (overrides [tool.repro.check])",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="PREFIX",
+        help="rule-id prefixes to disable",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="skip pyproject.toml [tool.repro.check] discovery",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) on WARNING findings too, not just ERROR",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="also run the dynamic sanitizer smoke "
+             "(PageRank + BC at 1 vs N threaded workers)",
+    )
+    parser.add_argument(
+        "--sanitize-workers", type=int, default=4,
+        help="worker count for the sanitizer determinism diff",
+    )
+    parser.add_argument(
+        "--sanitize-scale", type=float, default=0.05,
+        help="dataset scale for the sanitizer smoke graph",
+    )
+
+
+def run_check(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        from .rules import rule_catalog
+
+        if args.format == "json":
+            print(json.dumps(rule_catalog(), indent=2))
+        else:
+            for rule in rule_catalog():
+                print(
+                    f"{rule['id']} [{rule['severity']}] {rule['summary']}\n"
+                    f"    fix: {rule['hint']}"
+                )
+        return 0
+
+    config = DEFAULT_CONFIG if args.no_config else load_config()
+    config = config.with_overrides(select=args.select, ignore=args.ignore)
+
+    try:
+        findings = analyze_paths(args.paths, config=config)
+    except FileNotFoundError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+
+    smoke = None
+    if args.sanitize:
+        from .sanitizer import run_sanitize_smoke
+
+        smoke = run_sanitize_smoke(
+            scale=args.sanitize_scale, num_workers=args.sanitize_workers
+        )
+
+    if args.format == "json":
+        payload = {
+            "findings": [f.as_dict() for f in findings],
+            "errors": errors,
+            "warnings": warnings,
+            "sanitize": smoke.as_dict() if smoke is not None else None,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        summary = f"repro check: {errors} error(s), {warnings} warning(s)"
+        if not findings:
+            summary += " — all programs honor the Pregel contract"
+        print(summary)
+        if smoke is not None:
+            print(smoke.summary())
+
+    failed = errors > 0 or (args.strict and warnings > 0)
+    if smoke is not None and not smoke.ok:
+        failed = True
+    return 1 if failed else 0

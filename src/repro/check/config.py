@@ -1,0 +1,112 @@
+"""Rule-selection configuration, loadable from ``[tool.repro.check]``.
+
+``select`` / ``ignore`` are lists of rule-id *prefixes* (ruff-style): a
+rule is enabled when some select prefix matches and no ignore prefix does.
+The defaults enable the whole RPC set.  CLI flags override the table.
+
+``tomllib`` only exists on 3.11+; on 3.10 a minimal line parser reads just
+the ``[tool.repro.check]`` table (its values are plain strings/lists, well
+within ``ast.literal_eval`` territory).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["CheckConfig", "DEFAULT_CONFIG", "load_config"]
+
+_TABLE = "tool.repro.check"
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Which rules run (prefix match, ruff-style)."""
+
+    select: tuple[str, ...] = ("RPC",)
+    ignore: tuple[str, ...] = ()
+
+    def enabled(self, rule_id: str) -> bool:
+        if not any(rule_id.startswith(p) for p in self.select):
+            return False
+        return not any(rule_id.startswith(p) for p in self.ignore)
+
+    def with_overrides(
+        self,
+        select: list[str] | None = None,
+        ignore: list[str] | None = None,
+    ) -> "CheckConfig":
+        return CheckConfig(
+            select=tuple(select) if select else self.select,
+            ignore=tuple(ignore) if ignore is not None and ignore else self.ignore,
+        )
+
+
+DEFAULT_CONFIG = CheckConfig()
+
+
+def _parse_table_fallback(text: str) -> dict:
+    """Tiny TOML-table reader for 3.10 (no tomllib): one flat table only."""
+    values: dict = {}
+    in_table = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("["):
+            in_table = line == f"[{_TABLE}]"
+            continue
+        if in_table and "=" in line:
+            key, _, value = line.partition("=")
+            try:
+                values[key.strip()] = ast.literal_eval(value.strip())
+            except (ValueError, SyntaxError):
+                continue  # value shapes we don't need (dates, inline tables)
+    return values
+
+
+def _read_table(pyproject: Path) -> dict:
+    text = pyproject.read_text(encoding="utf-8")
+    try:
+        import tomllib  # 3.11+
+    except ImportError:
+        return _parse_table_fallback(text)
+    try:
+        data = tomllib.loads(text)
+    except tomllib.TOMLDecodeError:
+        return {}
+    table = data
+    for part in _TABLE.split("."):
+        table = table.get(part, {}) if isinstance(table, dict) else {}
+    return table if isinstance(table, dict) else {}
+
+
+def load_config(start: str | Path | None = None) -> CheckConfig:
+    """Find the nearest pyproject.toml at/above ``start`` and read the table.
+
+    Missing file or table -> the defaults, never an error: the analyzer
+    must work on any checkout.
+    """
+    directory = Path(start) if start is not None else Path.cwd()
+    if directory.is_file():
+        directory = directory.parent
+    for candidate in (directory, *directory.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            try:
+                table = _read_table(pyproject)
+            except OSError:
+                return DEFAULT_CONFIG
+            select = table.get("select", list(DEFAULT_CONFIG.select))
+            ignore = table.get("ignore", list(DEFAULT_CONFIG.ignore))
+            if not isinstance(select, (list, tuple)) or not all(
+                isinstance(s, str) for s in select
+            ):
+                select = list(DEFAULT_CONFIG.select)
+            if not isinstance(ignore, (list, tuple)) or not all(
+                isinstance(s, str) for s in ignore
+            ):
+                ignore = list(DEFAULT_CONFIG.ignore)
+            return CheckConfig(select=tuple(select), ignore=tuple(ignore))
+    return DEFAULT_CONFIG

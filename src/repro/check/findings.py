@@ -1,0 +1,64 @@
+"""Finding and severity types shared by the rule engine, CLI, and tests.
+
+A :class:`Finding` is one localized contract violation: where it is
+(file/line/col), which rule fired (``rule_id``), how bad it is
+(:class:`Severity`), what went wrong (``message``), and how to fix it
+(``hint``).  Findings are plain frozen dataclasses so the CLI can render
+them as text or JSON and tests can compare them structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(str, Enum):
+    """How strongly a rule's violation threatens a run's correctness.
+
+    ``ERROR`` findings fail ``repro check`` (and CI); ``WARNING`` findings
+    are reported but do not fail the build unless ``--strict`` is given.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR", in output
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    file: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+    hint: str = ""
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (``--format json`` and future CI annotations)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form (``--format text``)."""
+        text = (
+            f"{self.file}:{self.line}:{self.col} {self.rule_id} "
+            f"[{self.severity}] {self.message}"
+        )
+        if self.hint:
+            text += f"  (fix: {self.hint})"
+        return text

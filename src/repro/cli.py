@@ -13,6 +13,8 @@ location, application, worker count, partitioning scheme) as a CLI::
     python -m repro run --dataset WG --app pagerank --workers 4 \\
         --metrics-out m.prom --spans-out s.json --progress
     python -m repro trace summarize trace.json
+    python -m repro check src/repro/algorithms examples --sanitize
+    python -m repro run --dataset SD --app pagerank --sanitize
 
 ``run`` prints the simulated runtime/cost summary and optionally dumps the
 per-superstep trace (JSON) for plotting.  The observability flags attach
@@ -24,6 +26,13 @@ and ``--check-invariants`` rides an
 :class:`~repro.bsp.debug.InvariantChecker` along and fails the run (exit
 code 1) on any violation.  ``trace summarize`` prints the paper-style
 utilization/breakdown tables from a saved trace file.
+
+``check`` is the Pregel-contract analyzer (:mod:`repro.check`): a static
+AST pass (rules RPC001..RPC010) over vertex programs, plus — with
+``--sanitize`` — the dynamic sanitizer smoke (payload-mutation
+fingerprinting, 1-vs-N worker determinism diff, aggregator law probes).
+``run --sanitize`` rides the same sanitizer along a real run and fails it
+(exit code 1) on any violation.
 """
 
 from __future__ import annotations
@@ -156,6 +165,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-invariants", action="store_true",
         help="run the engine invariant checker; exit 1 on any violation",
     )
+    p.add_argument(
+        "--sanitize", action="store_true",
+        help="ride the vertex-program sanitizer along (payload-mutation "
+             "fingerprinting + aggregator law probes); exit 1 on violations",
+    )
+
+    p = sub.add_parser(
+        "check",
+        help="Pregel-contract static analyzer (+ --sanitize dynamic smoke)",
+    )
+    from .check.cli import add_check_arguments
+
+    add_check_arguments(p)
 
     p = sub.add_parser("trace", help="inspect saved per-superstep trace files")
     tsub = p.add_subparsers(dest="trace_command", required=True)
@@ -238,6 +260,15 @@ def _cmd_run(args) -> int:
     checker = InvariantChecker() if args.check_invariants else None
     if checker is not None:
         extra_observers.append(checker)
+    sanitizer = None
+    wrap_program = None
+    if args.sanitize:
+        from .check import SanitizerObserver, SanitizingProgram
+
+        # The observer binds to the wrapped program at job start.
+        sanitizer = SanitizerObserver(metrics=metrics)
+        wrap_program = SanitizingProgram
+        extra_observers.append(sanitizer)
     cfg = RunConfig(
         num_workers=args.workers,
         partitioner=_STRATEGIES[args.strategy](args.seed),
@@ -250,7 +281,8 @@ def _cmd_run(args) -> int:
     )
     if args.app == "pagerank":
         res = run_pagerank(
-            g, cfg, iterations=args.iterations, observers=extra_observers
+            g, cfg, iterations=args.iterations, observers=extra_observers,
+            wrap_program=wrap_program,
         )
         trace = res.trace
         print(f"pagerank: {res.supersteps} supersteps")
@@ -260,6 +292,7 @@ def _cmd_run(args) -> int:
             sizer=_make_sizer(args, args.roots),
             initiation=_make_initiation(args),
             extra_observers=extra_observers,
+            wrap_program=wrap_program,
         )
         res = run.result
         trace = res.trace
@@ -295,7 +328,27 @@ def _cmd_run(args) -> int:
                 print(f"  {v}", file=sys.stderr)
             return 1
         print("invariants: ok")
+    if sanitizer is not None:
+        if sanitizer.violations:
+            print(
+                f"sanitizer: {len(sanitizer.violations)} violation(s)",
+                file=sys.stderr,
+            )
+            for v in sanitizer.violations:
+                print(
+                    f"  [{v.kind}] superstep {v.superstep} vertex "
+                    f"{v.vertex}: {v.detail}",
+                    file=sys.stderr,
+                )
+            return 1
+        print("sanitizer: ok")
     return 0
+
+
+def _cmd_check(args) -> int:
+    from .check.cli import run_check
+
+    return run_check(args)
 
 
 def _cmd_trace(args) -> int:
@@ -323,6 +376,7 @@ _COMMANDS = {
     "partition": _cmd_partition,
     "advise": _cmd_advise,
     "run": _cmd_run,
+    "check": _cmd_check,
     "trace": _cmd_trace,
     "report": _cmd_report,
 }

@@ -64,6 +64,34 @@ class TestTracingProgram:
         assert np.allclose(res.values_array(), ref, atol=1e-9)
         assert tracer.messages  # the waves were recorded
 
+    def test_unbound_context_raises_explicitly(self):
+        from repro.bsp.debug import _TracingContext
+
+        ctx = _TracingContext(log=[])
+        with pytest.raises(AttributeError, match="not bound to a vertex"):
+            ctx.superstep
+        with pytest.raises(AttributeError, match="not bound to a vertex"):
+            ctx.send(0, 1.0)
+        with pytest.raises(AttributeError, match="not bound to a vertex"):
+            ctx.send_to_neighbors(1.0)
+
+    def test_forwards_resource_and_aggregator_hooks(self):
+        class Hooked(PageRankProgram):
+            def aggregators(self):
+                return {"probe": object()}
+
+            def payload_nbytes(self, payload):
+                return 123
+
+            def state_nbytes(self, state):
+                return 456
+
+        tracer = TracingProgram(Hooked(3))
+        assert tracer.payload_nbytes(0.5) == 123
+        assert tracer.state_nbytes(0.5) == 456
+        assert set(tracer.aggregators()) == {"probe"}
+        assert tracer.extract(0, 1.5) == Hooked(3).extract(0, 1.5)
+
 
 class TestInvariantChecker:
     @pytest.mark.parametrize("workers", [1, 3, 8])

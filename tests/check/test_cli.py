@@ -1,0 +1,124 @@
+"""CLI tests for ``repro check``: exit codes, output formats, target
+resolution, and config/flag interplay — driven in-process through
+:func:`repro.check.cli.run_check` with parsed namespaces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.cli import add_check_arguments, run_check
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_SOURCE = """\
+class Bad(VertexProgram):
+    def compute(self, ctx, state, messages):
+        messages.sort()
+        ctx.vote_to_halt()
+        return state
+"""
+
+WARN_ONLY_SOURCE = """\
+class NeverHalts(VertexProgram):
+    def compute(self, ctx, state, messages):
+        ctx.send_to_neighbors(state)
+        return state
+"""
+
+CLEAN_SOURCE = """\
+class Clean(VertexProgram):
+    def compute(self, ctx, state, messages):
+        ctx.vote_to_halt()
+        return state
+"""
+
+
+def check(*argv: str) -> int:
+    parser = argparse.ArgumentParser()
+    add_check_arguments(parser)
+    return run_check(parser.parse_args(list(argv)))
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    p = tmp_path / "bad.py"
+    p.write_text(BAD_SOURCE)
+    return p
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    p = tmp_path / "clean.py"
+    p.write_text(CLEAN_SOURCE)
+    assert check(str(p), "--no-config") == 0
+    assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+
+def test_error_finding_exits_one_and_renders(bad_file, capsys):
+    assert check(str(bad_file), "--no-config") == 1
+    out = capsys.readouterr().out
+    assert "RPC001" in out and "bad.py:3:" in out
+    assert "1 error(s)" in out
+
+
+def test_json_format_is_machine_readable(bad_file, capsys):
+    assert check(str(bad_file), "--no-config", "--format", "json") == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 1 and payload["warnings"] == 0
+    assert payload["sanitize"] is None
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "RPC001"
+    assert finding["severity"] == "error"
+    assert finding["line"] == 3 and finding["hint"]
+
+
+def test_ignore_flag_disables_rule(bad_file):
+    assert check(str(bad_file), "--no-config", "--ignore", "RPC001") == 0
+
+
+def test_select_flag_narrows_rules(bad_file):
+    assert check(str(bad_file), "--no-config", "--select", "RPC002") == 0
+
+
+def test_warnings_only_fail_under_strict(tmp_path):
+    p = tmp_path / "warn.py"
+    p.write_text(WARN_ONLY_SOURCE)
+    assert check(str(p), "--no-config") == 0
+    assert check(str(p), "--no-config", "--strict") == 1
+
+
+def test_missing_target_exits_two(capsys):
+    assert check("no/such/path.py", "--no-config") == 2
+    assert "neither a path nor an importable module" in capsys.readouterr().err
+
+
+def test_dotted_module_target_resolves():
+    assert check("repro.algorithms.pagerank", "--no-config") == 0
+
+
+def test_directory_target_scans_recursively(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "deep.py").write_text(BAD_SOURCE)
+    assert check(str(tmp_path), "--no-config") == 1
+
+
+def test_list_rules_text_and_json(capsys):
+    assert check("--list-rules") == 0
+    text = capsys.readouterr().out
+    assert "RPC001" in text and "RPC010" in text and "fix:" in text
+    assert check("--list-rules", "--format", "json") == 0
+    catalog = json.loads(capsys.readouterr().out)
+    assert len(catalog) == 10
+    assert {r["id"] for r in catalog} == {f"RPC{i:03d}" for i in range(1, 11)}
+
+
+def test_repo_algorithms_and_examples_are_clean():
+    targets = [
+        str(REPO_ROOT / "src" / "repro" / "algorithms"),
+        str(REPO_ROOT / "examples"),
+    ]
+    assert check(*targets) == 0

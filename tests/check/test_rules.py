@@ -1,0 +1,563 @@
+"""Per-rule unit tests: a triggering fixture and a near-miss for each
+RPC rule, plus suppression, discovery, and config behavior.
+
+Fixtures are plain source strings fed to :func:`analyze_source`; the
+analyzer discovers VertexProgram subclasses by base-class *name*, so no
+imports are needed in the fixture modules themselves.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.check import CheckConfig, Severity, analyze_source
+from repro.check.analyzer import SYNTAX_RULE_ID
+from repro.check.rules import RULES, rule_catalog
+
+
+def fired(source: str, **kwargs) -> set[str]:
+    """Rule ids that fire on the (dedented) source."""
+    return {f.rule_id for f in analyze_source(textwrap.dedent(source), **kwargs)}
+
+
+GOOD_PROGRAM = """
+    class GoodProgram(VertexProgram):
+        def __init__(self, damping=0.85):
+            self.damping = damping
+
+        def compute(self, ctx, state, messages):
+            total = sum(messages)
+            if ctx.superstep > 0:
+                ctx.vote_to_halt()
+            ctx.send_to_neighbors(total / max(1, ctx.out_degree))
+            return total
+"""
+
+
+def test_clean_program_has_no_findings():
+    assert fired(GOOD_PROGRAM) == set()
+
+
+def test_rule_catalog_covers_all_rules():
+    catalog = rule_catalog()
+    assert [r["id"] for r in catalog] == [r.id for r in RULES]
+    assert len(catalog) == 10
+    assert all(r["summary"] and r["hint"] for r in catalog)
+
+
+# ----------------------------------------------------------------------
+# RPC001 — message/payload mutation
+# ----------------------------------------------------------------------
+def test_rpc001_fires_on_messages_sort():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                messages.sort()
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC001" in fired(src)
+
+
+def test_rpc001_fires_on_payload_mutation_in_loop():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                for m in messages:
+                    m.append(1)
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC001" in fired(src)
+
+
+def test_rpc001_fires_on_subscript_assignment():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                messages[0] = None
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC001" in fired(src)
+
+
+def test_rpc001_near_miss_sorted_copy():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ordered = sorted(messages)
+                batch = list(messages)
+                batch.append(0)
+                ctx.vote_to_halt()
+                return len(ordered) + len(batch)
+    """
+    assert "RPC001" not in fired(src)
+
+
+def test_rpc001_tracks_aliases():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                msgs = messages
+                msgs.clear()
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC001" in fired(src)
+
+
+# ----------------------------------------------------------------------
+# RPC002 — nondeterminism sources
+# ----------------------------------------------------------------------
+def test_rpc002_fires_on_global_random():
+    src = """
+        import random
+
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return random.random()
+    """
+    assert "RPC002" in fired(src)
+
+
+def test_rpc002_fires_on_numpy_global_rng_and_clock():
+    src = """
+        import numpy as np
+        import time
+
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return np.random.rand() + time.time()
+    """
+    findings = fired(src)
+    assert "RPC002" in findings
+
+
+def test_rpc002_fires_on_from_import():
+    src = """
+        from random import random
+
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return random()
+    """
+    assert "RPC002" in fired(src)
+
+
+def test_rpc002_near_miss_seeded_rng_on_self():
+    src = """
+        import numpy as np
+
+        class P(VertexProgram):
+            def __init__(self, seed=0):
+                self.rng = np.random.default_rng(seed)
+
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return self.rng.random()
+    """
+    assert "RPC002" not in fired(src)
+
+
+# ----------------------------------------------------------------------
+# RPC003 — shared-state writes
+# ----------------------------------------------------------------------
+def test_rpc003_fires_on_self_write_in_compute():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                self.total = state + 1
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC003" in fired(src)
+
+
+def test_rpc003_fires_on_self_container_mutation_and_helper():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return self._tally(state)
+
+            def _tally(self, state):
+                self.seen.append(state)
+                return state
+    """
+    assert "RPC003" in fired(src)
+
+
+def test_rpc003_fires_on_global_declaration():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                global counter
+                counter = 1
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC003" in fired(src)
+
+
+def test_rpc003_near_miss_init_and_master_compute_writes():
+    src = """
+        class P(VertexProgram):
+            def __init__(self):
+                self.converged_at = None
+
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+
+            def master_compute(self, master):
+                self.converged_at = master.superstep
+    """
+    assert "RPC003" not in fired(src)
+
+
+# ----------------------------------------------------------------------
+# RPC004 — send family outside compute
+# ----------------------------------------------------------------------
+def test_rpc004_fires_on_send_from_lifecycle():
+    src = """
+        class P(VertexProgram):
+            def init_state(self, vertex_id, graph):
+                self.ctx.send(0, 1.0)
+                return 0.0
+
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC004" in fired(src)
+
+
+def test_rpc004_fires_on_vote_from_master():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+
+            def master_compute(self, master):
+                master.vote_to_halt()
+    """
+    assert "RPC004" in fired(src)
+
+
+def test_rpc004_near_miss_master_publish_and_halt():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+
+            def master_compute(self, master):
+                master.publish("level", master.superstep)
+                master.halt_job()
+    """
+    findings = fired(src)
+    assert "RPC004" not in findings
+
+
+# ----------------------------------------------------------------------
+# RPC005 — no halting path
+# ----------------------------------------------------------------------
+def test_rpc005_fires_when_nothing_halts():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.send_to_neighbors(state)
+                return state
+    """
+    findings = analyze_source(textwrap.dedent(src))
+    assert {f.rule_id for f in findings} == {"RPC005"}
+    assert findings[0].severity is Severity.WARNING
+
+
+def test_rpc005_near_miss_master_halt_suffices():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.send_to_neighbors(state)
+                return state
+
+            def master_compute(self, master):
+                if master.superstep >= 30:
+                    master.halt_job()
+    """
+    assert "RPC005" not in fired(src)
+
+
+# ----------------------------------------------------------------------
+# RPC006 — resource hooks vs sent payloads
+# ----------------------------------------------------------------------
+def test_rpc006_fires_on_understated_constant():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.send(0, (1.0, 2.0, 3.0))
+                ctx.vote_to_halt()
+                return state
+
+            def payload_nbytes(self, payload):
+                return 8
+    """
+    assert "RPC006" in fired(src)
+
+
+def test_rpc006_fires_error_on_nonpositive_size():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+
+            def state_nbytes(self, state):
+                return 0
+    """
+    findings = [f for f in analyze_source(textwrap.dedent(src)) if f.rule_id == "RPC006"]
+    assert findings and findings[0].severity is Severity.ERROR
+
+
+def test_rpc006_near_miss_derived_size():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.send(0, (1.0, 2.0, 3.0))
+                ctx.vote_to_halt()
+                return state
+
+            def payload_nbytes(self, payload):
+                return 8 * len(payload)
+    """
+    assert "RPC006" not in fired(src)
+
+
+# ----------------------------------------------------------------------
+# RPC007 — undeclared aggregators
+# ----------------------------------------------------------------------
+def test_rpc007_fires_on_undeclared_name():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.aggregate("total", state)
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC007" in fired(src)
+
+
+def test_rpc007_near_miss_declared_name():
+    src = """
+        class P(VertexProgram):
+            def aggregators(self):
+                return {"total": SumAggregator()}
+
+            def compute(self, ctx, state, messages):
+                ctx.aggregate("total", state)
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC007" not in fired(src)
+
+
+def test_rpc007_skips_computed_declarations():
+    src = """
+        class P(VertexProgram):
+            def aggregators(self):
+                return {f"lvl{i}": SumAggregator() for i in range(3)}
+
+            def compute(self, ctx, state, messages):
+                ctx.aggregate("lvl0", state)
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC007" not in fired(src)
+
+
+# ----------------------------------------------------------------------
+# RPC008 — compute never returns
+# ----------------------------------------------------------------------
+def test_rpc008_fires_without_return():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+    """
+    assert "RPC008" in fired(src)
+
+
+def test_rpc008_near_miss_any_valued_return():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                if messages:
+                    return sum(messages)
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC008" not in fired(src)
+
+
+# ----------------------------------------------------------------------
+# RPC009 — ctx/messages retention
+# ----------------------------------------------------------------------
+def test_rpc009_fires_on_returning_messages_as_state():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return messages
+    """
+    assert "RPC009" in fired(src)
+
+
+def test_rpc009_fires_on_stashing_ctx():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                self.last_ctx = ctx
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC009" in fired(src)
+
+
+def test_rpc009_near_miss_copied_values():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                vid = ctx.vertex_id
+                kept = list(messages)
+                ctx.vote_to_halt()
+                return (vid, kept)
+    """
+    assert "RPC009" not in fired(src)
+
+
+# ----------------------------------------------------------------------
+# RPC010 — private engine internals
+# ----------------------------------------------------------------------
+def test_rpc010_fires_on_ctx_private_access():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx._worker.emit(ctx.vertex_id, 0, state)
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC010" in fired(src)
+
+
+def test_rpc010_near_miss_public_surface_and_dunder():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.send(0, state)
+                name = ctx.__class__.__name__
+                ctx.vote_to_halt()
+                return (state, name)
+    """
+    assert "RPC010" not in fired(src)
+
+
+# ----------------------------------------------------------------------
+# Suppression, discovery, config, syntax errors
+# ----------------------------------------------------------------------
+def test_noqa_with_matching_id_suppresses():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                messages.sort()  # repro: noqa[RPC001]
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC001" not in fired(src)
+
+
+def test_bare_noqa_suppresses_everything_on_line():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                messages.sort()  # repro: noqa
+                ctx.vote_to_halt()
+                return state
+    """
+    assert fired(src) == set()
+
+
+def test_noqa_with_wrong_id_does_not_suppress():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                messages.sort()  # repro: noqa[RPC002]
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC001" in fired(src)
+
+
+def test_transitive_and_attribute_base_discovery():
+    src = """
+        from repro.bsp import api
+
+        class Base(api.VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+
+        class Child(Base):
+            def compute(self, ctx, state, messages):
+                messages.sort()
+                ctx.vote_to_halt()
+                return state
+
+        class Unrelated:
+            def compute(self, ctx, state, messages):
+                messages.sort()
+                return state
+    """
+    findings = analyze_source(textwrap.dedent(src))
+    assert {f.rule_id for f in findings} == {"RPC001"}
+    assert len([f for f in findings if f.rule_id == "RPC001"]) == 1  # Child only
+
+
+def test_config_ignore_disables_rule():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                messages.sort()
+                ctx.vote_to_halt()
+                return state
+    """
+    cfg = CheckConfig(select=("RPC",), ignore=("RPC001",))
+    assert fired(src, config=cfg) == set()
+    assert CheckConfig(select=("RPC001",)).enabled("RPC001")
+    assert not CheckConfig(select=("RPC002",)).enabled("RPC001")
+
+
+def test_syntax_error_becomes_rpc000_finding():
+    findings = analyze_source("def broken(:\n")
+    assert len(findings) == 1
+    assert findings[0].rule_id == SYNTAX_RULE_ID
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_finding_render_and_as_dict():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                messages.sort()
+                ctx.vote_to_halt()
+                return state
+    """
+    (f,) = analyze_source(textwrap.dedent(src), filename="prog.py")
+    assert f.render().startswith("prog.py:4:")
+    assert "[error]" in f.render()
+    d = f.as_dict()
+    assert d["rule"] == "RPC001" and d["severity"] == "error"
