@@ -41,6 +41,9 @@ class RunConfig:
     vm_spec: VMSpec = LARGE_VM
     perf_model: PerfModel = DEFAULT_PERF_MODEL
     max_supersteps: int = 100_000
+    #: execution backend: "sim" (sequential), "threaded", or "process"
+    #: (real worker processes, repro.dist) — see docs/runtime.md
+    engine: str = "sim"
     #: optional observability sinks (repro.obs), threaded into every job
     tracer: Any = None
     metrics: Any = None
@@ -62,6 +65,23 @@ class RunConfig:
             metrics=self.metrics,
             **kwargs,
         )
+
+
+def _make_engine(cfg: RunConfig, job: JobSpec) -> BSPEngine:
+    """Instantiate the backend ``cfg.engine`` names for ``job``."""
+    if cfg.engine == "sim":
+        return BSPEngine(job)
+    if cfg.engine == "threaded":
+        from ..bsp.parallel import ThreadedBSPEngine
+
+        return ThreadedBSPEngine(job)
+    if cfg.engine == "process":
+        from ..dist import ProcessBSPEngine
+
+        return ProcessBSPEngine(job)
+    raise ValueError(
+        f"unknown engine {cfg.engine!r}; use 'sim', 'threaded' or 'process'"
+    )
 
 
 @dataclass
@@ -96,7 +116,8 @@ def run_pagerank(
     program = PageRankProgram(iterations=iterations, use_combiner=use_combiner)
     if wrap_program is not None:
         program = wrap_program(program)
-    return BSPEngine(cfg.job(program, graph, observers=list(observers))).run()
+    job = cfg.job(program, graph, observers=list(observers))
+    return _make_engine(cfg, job).run()
 
 
 def _traversal_pieces(kind: str):
@@ -140,7 +161,7 @@ def run_traversal(
         program, graph, initially_active=False,
         observers=[controller, *extra_observers],
     )
-    result = BSPEngine(job).run()
+    result = _make_engine(cfg, job).run()
     if not controller.completed_all:
         raise RuntimeError(
             "traversal ended with pending roots "

@@ -1,6 +1,6 @@
 """Core Pregel-style BSP engine on the simulated cloud (Pregel.NET analogue)."""
 
-from .api import MasterContext, VertexContext, VertexProgram
+from .api import MasterContext, VertexContext, VertexProgram, run_job_process
 from .aggregators import (
     Aggregator,
     AndAggregator,
@@ -36,6 +36,7 @@ __all__ = [
     "BSPEngine",
     "SuperstepObserver",
     "run_job",
+    "run_job_process",
     "ThreadedBSPEngine",
     "run_job_threaded",
     "InvariantChecker",

@@ -157,11 +157,7 @@ class BSPEngine:
         if job.checkpoint_interval > 0:
             # Initial checkpoint so a failure before the first periodic one
             # can still roll back (Pregel checkpoints before superstep 0).
-            self._checkpoint = {
-                "superstep": 0,
-                "agg_values": dict(self._agg_values),
-                "workers": [w.snapshot() for w in self.workers],
-            }
+            self._checkpoint = self._capture_checkpoint(0)
 
         tracer = self.tracer
         job_span = (
@@ -216,10 +212,7 @@ class BSPEngine:
         if job_span is not None:
             tracer.end(job_span, sim=self.sim_time, supersteps=len(self.trace))
 
-        values = {}
-        for w in self.workers:
-            for v, st in w.states.items():
-                values[v] = job.program.extract(v, st)
+        values = self._extract_values()
         result = JobResult(
             values=values,
             trace=self.trace,
@@ -237,7 +230,6 @@ class BSPEngine:
 
     # ------------------------------------------------------------------
     def _run_one_superstep(self) -> SuperstepStats:
-        model = self.model
         tracer = self.tracer
         host_t0 = perf_counter() if self._em is not None else 0.0
         stats = SuperstepStats(
@@ -280,7 +272,27 @@ class BSPEngine:
         if flush_span is not None:
             tracer.end(flush_span)
 
-        # Aggregator merge at the barrier.
+        self._merge_aggregators([w._agg_partials for w in self.workers])
+        self._master_phase()
+        self._account_superstep(
+            stats,
+            views=self.workers,
+            recv_msgs=recv_msgs,
+            recv_bytes=recv_bytes,
+            peers_in=[len(p) for p in peers_in],
+            compute_span=compute_span,
+            flush_span=flush_span,
+            host_t0=host_t0,
+        )
+        return stats
+
+    def _merge_aggregators(self, partials_by_worker: list[dict]) -> None:
+        """Barrier aggregator merge: fold worker partials in worker-id order.
+
+        The worker-id fold order is part of the determinism contract — both
+        execution backends must reassociate float sums identically.
+        """
+        tracer = self.tracer
         agg_span = (
             tracer.start("aggregate-merge", sim=self.sim_time)
             if tracer is not None else None
@@ -288,15 +300,17 @@ class BSPEngine:
         new_aggs: dict[str, Any] = {}
         for name, agg in self._aggregators.items():
             acc = agg.identity()
-            for w in self.workers:
-                if name in w._agg_partials:
-                    acc = agg.merge(acc, w._agg_partials[name])
+            for partials in partials_by_worker:
+                if name in partials:
+                    acc = agg.merge(acc, partials[name])
             new_aggs[name] = acc
         self._agg_values = new_aggs
         if agg_span is not None:
             tracer.end(agg_span)
 
-        # GPS-style global computation at the barrier.
+    def _master_phase(self) -> None:
+        """GPS-style global computation at the barrier."""
+        tracer = self.tracer
         master_span = (
             tracer.start("master-compute", sim=self.sim_time)
             if tracer is not None else None
@@ -308,13 +322,36 @@ class BSPEngine:
         if master_span is not None:
             tracer.end(master_span)
 
-        # Timing phase: convert true counts into simulated seconds.
+    def _account_superstep(
+        self,
+        stats: SuperstepStats,
+        views,
+        recv_msgs,
+        recv_bytes,
+        peers_in,
+        compute_span,
+        flush_span,
+        host_t0: float,
+    ) -> None:
+        """Convert true counts into simulated seconds, then bill and record.
+
+        ``views`` are per-worker resource views in worker-id order: the live
+        :class:`~repro.bsp.worker.PartitionWorker` objects for the in-process
+        engines, or the :mod:`repro.dist` engine's marshalled reports.  Each
+        view exposes ``worker_id``, ``stats`` (a
+        :class:`~repro.bsp.superstep.WorkerStepStats` with the compute-phase
+        counts plus ``bytes_out``/``peers_out`` filled), and the resource
+        hooks ``buffered_message_bytes()``, ``graph_bytes``,
+        ``total_state_bytes``, ``memory_footprint()``.
+        """
+        model = self.model
+        tracer = self.tracer
         eff = model.effective_cores(self.vm_spec.cores)
         restart_total = 0.0
-        for w in self.workers:
+        for w in views:
             ws = w.stats
             ws.bytes_in = float(recv_bytes[w.worker_id])
-            ws.peers_in = len(peers_in[w.worker_id])
+            ws.peers_in = int(peers_in[w.worker_id])
             ws.compute_time = (
                 ws.compute_calls * model.t_compute_vertex
                 + ws.msgs_in * model.t_msg_in
@@ -393,7 +430,6 @@ class BSPEngine:
         self.meter.charge(
             self.job.manager_vm, 1, stats.elapsed, label=f"manager-{stats.index}"
         )
-        return stats
 
     def _compute_phase(self) -> None:
         """Run every worker's compute loop (sequential by default).
@@ -412,6 +448,15 @@ class BSPEngine:
         resize the worker fleet between supersteps.
         """
 
+    def _extract_values(self) -> dict[int, Any]:
+        """Collect the user-facing result values from every worker."""
+        program = self.job.program
+        values: dict[int, Any] = {}
+        for w in self.workers:
+            for v, st in w.states.items():
+                values[v] = program.extract(v, st)
+        return values
+
     # ------------------------------------------------------------------
     # Checkpointing and failure recovery (Pregel-style coordinated rollback)
     # ------------------------------------------------------------------
@@ -421,6 +466,25 @@ class BSPEngine:
             for w in self.workers
         )
 
+    def _capture_checkpoint(self, superstep: int) -> dict:
+        """Snapshot every worker's state; ``superstep`` is the resume point."""
+        return {
+            "superstep": superstep,
+            "agg_values": dict(self._agg_values),
+            "workers": [w.snapshot() for w in self.workers],
+        }
+
+    def _restore_checkpoint(self) -> None:
+        """Reload every worker from :attr:`_checkpoint` (the mechanics only;
+        timing/metering live in :meth:`_recover`)."""
+        for w, snap in zip(self.workers, self._checkpoint["workers"]):
+            w.restore(snap)
+
+    def _fail_worker(self, worker_id: int) -> None:
+        """Make the scheduled failure happen.  The simulated engines model
+        the failure implicitly (rollback is the only observable effect);
+        the process engine overrides this to actually kill the worker."""
+
     def _maybe_checkpoint(self, stats: SuperstepStats) -> None:
         interval = self.job.checkpoint_interval
         if interval <= 0 or (self.superstep + 1) % interval != 0:
@@ -429,12 +493,7 @@ class BSPEngine:
             self.tracer.start("checkpoint", sim=self.sim_time)
             if self.tracer is not None else None
         )
-        snap = {
-            "superstep": self.superstep + 1,
-            "agg_values": dict(self._agg_values),
-            "workers": [w.snapshot() for w in self.workers],
-        }
-        self._checkpoint = snap
+        self._checkpoint = self._capture_checkpoint(self.superstep + 1)
         # Writing states + buffered messages to blob storage takes time.
         write_time = self._state_bytes_total() / self.model.checkpoint_bandwidth
         self.sim_time += write_time
@@ -455,8 +514,13 @@ class BSPEngine:
             return False
         if not 0 <= worker_id < self.num_workers:
             raise ValueError(f"failure_schedule names unknown worker {worker_id}")
-        # Coordinated rollback: every worker reloads the last checkpoint
-        # (or the initial state when none was taken yet).
+        self._fail_worker(worker_id)
+        self._recover(worker_id, stats)
+        return True
+
+    def _recover(self, worker_id: int, stats: SuperstepStats) -> None:
+        """Coordinated rollback: every worker reloads the last checkpoint
+        (or the initial state when none was taken yet)."""
         assert self._checkpoint is not None  # taken at job start
         span = (
             self.tracer.start("recovery", sim=self.sim_time,
@@ -464,8 +528,7 @@ class BSPEngine:
             if self.tracer is not None else None
         )
         resume_from = self._checkpoint["superstep"]
-        for w, snap in zip(self.workers, self._checkpoint["workers"]):
-            w.restore(snap)
+        self._restore_checkpoint()
         self._agg_values = dict(self._checkpoint["agg_values"])
         self._master_halt = False  # a halt decided in the lost epoch is void
         restore_time = (
@@ -492,7 +555,6 @@ class BSPEngine:
             self._em.recoveries.inc()
             self._em.recovery_sim.inc(restore_time)
         self.superstep = resume_from
-        return True
 
 
 class _EngineInstruments:

@@ -21,13 +21,24 @@ NumPy-heavy ``compute()`` releases the GIL and genuinely scales.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 
 from .engine import BSPEngine
 from .job import JobSpec
 
-__all__ = ["ThreadedBSPEngine", "run_job_threaded"]
+__all__ = ["ThreadedBSPEngine", "default_pool_size", "run_job_threaded"]
+
+
+def default_pool_size(num_workers: int) -> int:
+    """Thread-pool size when the caller does not pin one.
+
+    Capped by the host's core count (more threads than cores only adds
+    context-switch overhead for CPU-bound compute) and by 32, the same
+    ceiling ``ThreadPoolExecutor`` applies to its own default.
+    """
+    return max(1, min(32, os.cpu_count() or 1, num_workers))
 
 
 class ThreadedBSPEngine(BSPEngine):
@@ -37,7 +48,7 @@ class ThreadedBSPEngine(BSPEngine):
         super().__init__(job)
         if max_threads is not None and max_threads < 1:
             raise ValueError("max_threads must be >= 1")
-        pool_size = max_threads or min(8, self.num_workers)
+        pool_size = max_threads or default_pool_size(self.num_workers)
         self._pool = ThreadPoolExecutor(
             max_workers=pool_size,
             thread_name_prefix="bsp-worker",
@@ -62,15 +73,16 @@ class ThreadedBSPEngine(BSPEngine):
                 f.result()  # propagate worker exceptions
             return
 
-        def timed(worker) -> float:
+        def timed(worker) -> None:
             t0 = perf_counter()
             worker.run_compute()
-            return perf_counter() - t0
+            # Histogram mutation is lock-protected, so observing from the
+            # pooled task itself is safe (no observe-after-join detour).
+            self._m_task_host.observe(perf_counter() - t0)
 
         futures = [self._pool.submit(timed, w) for w in self.workers]
-        # Observe serially after the join: Histogram is not thread-safe.
         for f in futures:
-            self._m_task_host.observe(f.result())
+            f.result()  # propagate worker exceptions
 
     def run(self):
         try:

@@ -286,6 +286,8 @@ class DeterminismReport:
     mismatches: list[tuple[int, Any, Any]] = field(default_factory=list)
     total_mismatches: int = 0
     supersteps: tuple[int, int] = (0, 0)
+    #: backend the N-worker run used: "sim", "threaded", or "process"
+    engine: str = "threaded"
 
     def summary(self) -> str:
         if self.ok:
@@ -307,6 +309,7 @@ def certify_determinism(
     graph,
     num_workers: int = 4,
     *,
+    engine: str = "threaded",
     threaded: bool = True,
     initially_active: Any = True,
     initial_messages: Sequence[tuple[int, Any]] = (),
@@ -316,7 +319,14 @@ def certify_determinism(
     max_mismatches: int = 10,
     job_kwargs: dict | None = None,
 ) -> DeterminismReport:
-    """Run at 1 worker and at ``num_workers`` (threaded) and diff outputs.
+    """Run at 1 worker and at ``num_workers`` on ``engine``, diff outputs.
+
+    ``engine`` picks the N-worker backend: ``"sim"`` (sequential engine,
+    pure partitioning effects), ``"threaded"``
+    (:class:`~repro.bsp.parallel.ThreadedBSPEngine`, adds real
+    concurrency), or ``"process"`` (:class:`~repro.dist.ProcessBSPEngine`,
+    adds serialization and real process boundaries).  ``threaded=False``
+    is the deprecated spelling of ``engine="sim"``.
 
     ``program_factory`` must build a *fresh* program per call — programs may
     carry instance state (converged_at, caches) that must not leak between
@@ -326,6 +336,8 @@ def certify_determinism(
     """
     if num_workers < 2:
         raise ValueError("num_workers must be >= 2 to exercise partitioning")
+    if not threaded and engine == "threaded":
+        engine = "sim"  # back-compat: threaded=False meant the sim engine
     kwargs = dict(
         initially_active=initially_active,
         initial_messages=list(initial_messages),
@@ -335,7 +347,18 @@ def certify_determinism(
     ref = BSPEngine(
         JobSpec(program=program_factory(), graph=graph, num_workers=1, **kwargs)
     ).run()
-    engine_cls = ThreadedBSPEngine if threaded else BSPEngine
+    if engine == "sim":
+        engine_cls = BSPEngine
+    elif engine == "threaded":
+        engine_cls = ThreadedBSPEngine
+    elif engine == "process":
+        from ..dist import ProcessBSPEngine
+
+        engine_cls = ProcessBSPEngine
+    else:
+        raise ValueError(
+            f"unknown engine {engine!r}; use 'sim', 'threaded' or 'process'"
+        )
     alt = engine_cls(
         JobSpec(
             program=program_factory(), graph=graph, num_workers=num_workers,
@@ -357,6 +380,7 @@ def certify_determinism(
         mismatches=mismatches,
         total_mismatches=total,
         supersteps=(ref.supersteps, alt.supersteps),
+        engine=engine,
     )
 
 

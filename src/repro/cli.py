@@ -130,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=30, help="pagerank rounds")
     p.add_argument("--roots", type=int, default=20, help="bc/apsp traversal roots")
     p.add_argument(
+        "--engine", choices=["sim", "threaded", "process"], default="sim",
+        help="execution backend: sequential simulator, thread pool, or "
+             "real worker processes (repro.dist) — see docs/runtime.md",
+    )
+    p.add_argument(
         "--sizer", choices=["all", "static", "sampling", "adaptive"], default="all",
         help="swath-size heuristic (bc/apsp)",
     )
@@ -273,6 +278,7 @@ def _cmd_run(args) -> int:
         num_workers=args.workers,
         partitioner=_STRATEGIES[args.strategy](args.seed),
         perf_model=SCALED_PERF_MODEL,
+        engine=args.engine,
         tracer=tracer,
         metrics=metrics,
     )

@@ -70,6 +70,14 @@ def spot_failure_schedule(
     The schedule is approximate for the *recovered* run (replayed supersteps
     are not re-sampled), which makes it a slight *underestimate* of spot
     pain — noted by the bench.
+
+    The returned dict feeds ``JobSpec.failure_schedule`` and works on
+    every backend: the in-process engines *model* the eviction (charge
+    rollback time, restore state), while
+    :class:`repro.dist.ProcessBSPEngine` makes it real — the victim
+    worker process is SIGKILLed and a replacement is restarted from the
+    checkpoint (its :meth:`~repro.dist.ProcessBSPEngine.kill_worker_at`
+    writes into the same schedule).
     """
     if evictions_per_hour < 0:
         raise ValueError("evictions_per_hour must be non-negative")

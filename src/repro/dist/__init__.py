@@ -1,0 +1,22 @@
+"""repro.dist: multiprocess BSP runtime (real worker processes).
+
+The third execution backend next to the sequential
+:class:`~repro.bsp.engine.BSPEngine` and the thread-pool
+:class:`~repro.bsp.parallel.ThreadedBSPEngine`:
+:class:`ProcessBSPEngine` runs each partition worker in its own OS
+process with bulk frame transport (:mod:`repro.dist.frames`), heartbeat
+failure detection, and checkpointed recovery that restarts replacement
+processes.  ``docs/runtime.md`` compares the three engines.
+"""
+
+from .engine import ChildError, ProcessBSPEngine, WorkerFailure, run_job_process
+from .frames import pack_frame, unpack_frame
+
+__all__ = [
+    "ProcessBSPEngine",
+    "WorkerFailure",
+    "ChildError",
+    "run_job_process",
+    "pack_frame",
+    "unpack_frame",
+]

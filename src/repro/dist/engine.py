@@ -1,0 +1,648 @@
+"""Multiprocess BSP engine: one OS process per partition worker.
+
+:class:`ProcessBSPEngine` is the reproduction's second *execution backend*
+— the same job model, vertex programs, simulated-cloud accounting, trace
+format, and checkpoint/rollback semantics as the sequential
+:class:`~repro.bsp.engine.BSPEngine`, but with every
+:class:`~repro.bsp.worker.PartitionWorker` running in its own
+``multiprocessing`` process, the way Pregel.NET runs workers as real
+processes on Azure VMs (§III).  Pure-Python ``compute()`` escapes the GIL
+ceiling that caps :class:`~repro.bsp.parallel.ThreadedBSPEngine`.
+
+Architecture (the paper's job-manager/worker split, §III):
+
+* the parent is the coordinator: it drives the barrier protocol (inject →
+  compute → deliver → aggregator merge → master compute → accounting),
+  routes bulk message frames between children, merges aggregator partials
+  in worker-id order, runs ``master_compute``, prices the superstep on the
+  cloud models, and owns the checkpoint;
+* each child owns its partition's state and serves the command loop in
+  :mod:`repro.dist.worker_proc`; messages cross the wire as length-prefixed
+  pickle-5 frames (:mod:`repro.dist.frames`), combiners already applied
+  sender-side.
+
+Determinism: children compute independently, but frames are routed to each
+destination in source-worker-id order and applied in emission order —
+exactly the sequential engine's flush order — and aggregator partials merge
+in worker-id order, so ``extract()`` output is bit-identical to the
+sequential engine (``certify_determinism(engine="process")`` checks this).
+
+Robustness: children heartbeat on a dedicated pipe; the parent detects
+death (``is_alive``/pipe errors) and hangs (heartbeat age beyond
+``heartbeat_timeout``), SIGKILLs the victim if needed, restarts a
+replacement process, and replays Pregel-style coordinated rollback from the
+last checkpoint using the engine's existing checkpoint machinery.
+:meth:`ProcessBSPEngine.kill_worker_at` schedules a *real* SIGKILL through
+the same ``failure_schedule`` dict that
+:func:`repro.cloud.spot.spot_failure_schedule` produces.
+
+Telemetry parity: children keep private metric registries and ship deltas
+at each barrier (:mod:`repro.obs.sync`); the parent folds them into the
+job's registry, records per-child compute host time as ``worker-compute``
+spans, and adds transport (``dist_frames_total``, ``dist_frame_bytes_total``)
+and liveness (``dist_heartbeats_total``, ``dist_workers_alive``) series.
+
+Start method: ``fork`` where available (programs need not be picklable);
+under ``spawn`` the graph, program, and model must pickle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from time import monotonic
+from typing import Any
+
+import numpy as np
+
+from ..bsp.engine import BSPEngine
+from ..bsp.job import JobResult, JobSpec
+from ..bsp.superstep import SuperstepStats
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS
+from ..obs.sync import apply_snapshot
+from .frames import pack_frame, unpack_frame
+from .worker_proc import worker_main
+
+__all__ = ["ProcessBSPEngine", "WorkerFailure", "ChildError", "run_job_process"]
+
+try:
+    from time import perf_counter
+except ImportError:  # pragma: no cover - perf_counter is always there
+    perf_counter = monotonic
+
+
+class WorkerFailure(RuntimeError):
+    """A worker process died or hung (SIGKILL, crash, heartbeat timeout)."""
+
+    def __init__(self, worker_id: int, reason: str) -> None:
+        super().__init__(f"worker {worker_id} failed: {reason}")
+        self.worker_id = worker_id
+        self.reason = reason
+
+
+class ChildError(RuntimeError):
+    """A worker process raised inside a command handler (carries the
+    child's traceback; the process itself is still alive)."""
+
+
+class _WorkerView:
+    """Parent-side mirror of one child's resource numbers and step stats.
+
+    Duck-types the per-worker surface
+    :meth:`BSPEngine._account_superstep` reads; refreshed from the child's
+    barrier report each superstep.
+    """
+
+    __slots__ = (
+        "worker_id", "stats", "active_count", "has_buffered",
+        "graph_bytes", "total_state_bytes", "in_next_payload_bytes",
+        "_buffered_bytes", "_memory",
+    )
+
+    def __init__(self, worker) -> None:
+        # Seeded from the parent's never-computed PartitionWorker, which
+        # carries the correct initial counts and footprints.
+        self.worker_id = worker.worker_id
+        self.stats = worker.stats
+        self.active_count = worker.active_count
+        self.has_buffered = worker.has_buffered_messages
+        self.graph_bytes = worker.graph_bytes
+        self.total_state_bytes = worker.total_state_bytes
+        self.in_next_payload_bytes = worker.in_next_payload_bytes
+        self._buffered_bytes = worker.buffered_message_bytes()
+        self._memory = worker.memory_footprint()
+
+    def apply_report(self, report: dict) -> None:
+        self.active_count = int(report["active"])
+        self.has_buffered = bool(report["buffered"])
+        self.graph_bytes = report["graph_bytes"]
+        self.total_state_bytes = report["state_bytes"]
+        self.in_next_payload_bytes = report["in_next_bytes"]
+        self._buffered_bytes = report["buffered_bytes"]
+        self._memory = report["memory"]
+
+    def buffered_message_bytes(self) -> float:
+        return self._buffered_bytes
+
+    def memory_footprint(self) -> float:
+        return self._memory
+
+
+class _ChildHandle:
+    """One worker process plus its pipes and liveness bookkeeping."""
+
+    __slots__ = (
+        "worker_id", "proc", "conn", "hb_conn", "pending", "last_beat",
+        "alive",
+    )
+
+    def __init__(self, worker_id, proc, conn, hb_conn) -> None:
+        self.worker_id = worker_id
+        self.proc = proc
+        self.conn = conn
+        self.hb_conn = hb_conn
+        self.pending = 0  # replies owed for commands already sent
+        self.last_beat = monotonic()
+        self.alive = True
+
+
+class _DistInstruments:
+    """Transport + liveness metrics (names in ``docs/runtime.md``)."""
+
+    def __init__(self, registry) -> None:
+        self._registry = registry
+        self.frames = registry.counter(
+            "dist_frames_total",
+            help="Bulk message frames routed through the coordinator",
+        )
+        self.frame_bytes = registry.counter(
+            "dist_frame_bytes_total",
+            help="Serialized bytes of routed message frames",
+        )
+        self.frame_size = registry.histogram(
+            "dist_frame_size_bytes",
+            help="Size distribution of routed message frames",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self.failures = registry.counter(
+            "dist_worker_failures_total",
+            help="Worker processes lost (killed, crashed, or hung)",
+        )
+        self.respawns = registry.counter(
+            "dist_worker_respawns_total",
+            help="Replacement worker processes started",
+        )
+        self.alive = registry.gauge(
+            "dist_workers_alive", help="Live worker processes"
+        )
+
+    def heartbeats(self, worker_id: int):
+        return self._registry.counter(
+            "dist_heartbeats_total",
+            help="Heartbeats received from worker processes",
+            worker=str(worker_id),
+        )
+
+
+class ProcessBSPEngine(BSPEngine):
+    """BSPEngine whose workers are real OS processes (see module docs)."""
+
+    def __init__(
+        self,
+        job: JobSpec,
+        heartbeat_interval: float = 0.1,
+        heartbeat_timeout: float | None = 30.0,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(job)
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if heartbeat_timeout is not None and heartbeat_timeout <= heartbeat_interval:
+            raise ValueError("heartbeat_timeout must exceed the interval")
+        self._hb_interval = float(heartbeat_interval)
+        self._hb_timeout = (
+            None if heartbeat_timeout is None else float(heartbeat_timeout)
+        )
+        if start_method is None:
+            # fork keeps unpicklable (e.g. test-local) programs usable.
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else None
+            )
+        self._mp = mp.get_context(start_method)
+        self._epoch = 0
+        self._active_ids = job.initial_active_ids()
+        self._dm = (
+            _DistInstruments(self.metrics) if self.metrics is not None else None
+        )
+        self._views = [_WorkerView(w) for w in self.workers]
+        self._handles: list[_ChildHandle | None] = [None] * self.num_workers
+        try:
+            for w in range(self.num_workers):
+                self._handles[w] = self._spawn_child(w)
+        except Exception:
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+    # Control-plane injection: buffered here, flushed to children at the
+    # next superstep (or checkpoint) boundary — same visibility as the
+    # sequential engine's direct in_next append.
+    # ------------------------------------------------------------------
+    def inject_message(self, dst: int, payload: Any) -> None:
+        if not 0 <= dst < self.graph.num_vertices:
+            raise ValueError(f"inject to unknown vertex {dst}")
+        buf = getattr(self, "_inject_buffer", None)
+        if buf is None:
+            # Lazily created: the base __init__ injects initial messages
+            # before this subclass's __init__ body runs.
+            buf = self._inject_buffer = []
+        buf.append((int(dst), payload))
+        self._injected_count += 1
+
+    def _flush_injections(self) -> None:
+        buf = getattr(self, "_inject_buffer", None)
+        if not buf:
+            return
+        per_worker: dict[int, list] = {}
+        assignment = self.partition.assignment
+        for dst, payload in buf:
+            per_worker.setdefault(int(assignment[dst]), []).append(
+                (dst, payload)
+            )
+        self._inject_buffer = []
+        epoch = self._epoch
+        targets = [self._handles[w] for w in sorted(per_worker)]
+        for h in targets:
+            self._send(h, ("inject", epoch, per_worker[h.worker_id]))
+        for h in targets:
+            self._views[h.worker_id].apply_report(
+                self._expect(h, "ok", epoch)
+            )
+
+    # ------------------------------------------------------------------
+    # Fleet-state properties come from the marshalled views, not the
+    # parent's (never-computed) PartitionWorkers.
+    # ------------------------------------------------------------------
+    @property
+    def active_vertices(self) -> int:
+        return sum(v.active_count for v in self._views)
+
+    @property
+    def buffered_messages(self) -> bool:
+        if getattr(self, "_inject_buffer", None):
+            return True
+        return any(v.has_buffered for v in self._views)
+
+    def _state_bytes_total(self) -> float:
+        return sum(
+            v.graph_bytes + v.total_state_bytes + v.in_next_payload_bytes
+            for v in self._views
+        )
+
+    # ------------------------------------------------------------------
+    # The superstep: the same phases as the sequential engine, executed
+    # over the wire.  Unplanned worker death aborts the attempt, rolls
+    # back, and retries from the restored superstep.
+    # ------------------------------------------------------------------
+    def _run_one_superstep(self) -> SuperstepStats:
+        while True:
+            try:
+                return self._attempt_superstep()
+            except WorkerFailure as failure:
+                if self.job.checkpoint_interval <= 0:
+                    raise RuntimeError(
+                        f"worker {failure.worker_id} died with checkpointing "
+                        "disabled; set JobSpec.checkpoint_interval to enable "
+                        "recovery"
+                    ) from failure
+                # The aborted attempt produced no accounted stats; charge
+                # the rollback on a scratch object (sim clock, meter, and
+                # the recovery log still record it) and retry from the
+                # restored superstep.
+                scratch = SuperstepStats(
+                    index=self.superstep,
+                    num_workers=self.num_workers,
+                    active_begin=0,
+                )
+                self._recover(failure.worker_id, scratch)
+
+    def _attempt_superstep(self) -> SuperstepStats:
+        tracer = self.tracer
+        host_t0 = perf_counter() if self._em is not None else 0.0
+        stats = SuperstepStats(
+            index=self.superstep,
+            num_workers=self.num_workers,
+            active_begin=self.active_vertices,
+            injected=self._injected_count,
+        )
+        self._injected_count = 0
+        self._flush_injections()
+        self._drain_heartbeats()
+        epoch = self._epoch
+        handles = self._handles
+
+        # Compute phase: every child drains its input buffer concurrently.
+        compute_span = (
+            tracer.start("compute", sim=self.sim_time)
+            if tracer is not None else None
+        )
+        for h in handles:
+            self._send(h, ("compute", epoch, (self.superstep, self._agg_values)))
+        computed = [self._expect(h, "computed", epoch) for h in handles]
+        if compute_span is not None:
+            tracer.end(compute_span)
+        if tracer is not None:
+            for h, rep in zip(handles, computed):
+                tracer.record(
+                    "worker-compute", sim=self.sim_time, category="dist",
+                    host_duration=rep["host_seconds"], worker=h.worker_id,
+                )
+
+        # Flush phase: route each source's frames to their destinations in
+        # source-worker-id order (the sequential engine's delivery order).
+        flush_span = (
+            tracer.start("flush", sim=self.sim_time)
+            if tracer is not None else None
+        )
+        inbound: list[list] = [[] for _ in range(self.num_workers)]
+        for h, rep in zip(handles, computed):
+            for dst, frame in sorted(rep["frames"].items()):
+                inbound[dst].append((h.worker_id, frame))
+                if self._dm is not None:
+                    self._dm.frames.inc()
+                    self._dm.frame_bytes.inc(len(frame))
+                    self._dm.frame_size.observe(len(frame))
+        for h in handles:
+            self._send(h, ("deliver", epoch, inbound[h.worker_id]))
+        delivered = [self._expect(h, "delivered", epoch) for h in handles]
+        if flush_span is not None:
+            tracer.end(flush_span)
+
+        recv_msgs = np.array(
+            [d["recv_msgs"] for d in delivered], dtype=np.int64
+        )
+        recv_bytes = np.array([d["recv_bytes"] for d in delivered])
+        peers_in = [len(inbound[w]) for w in range(self.num_workers)]
+        violations = getattr(self.job.program, "violations", None)
+        for view, comp, deliv in zip(self._views, computed, delivered):
+            view.stats = comp["stats"]
+            view.apply_report(deliv["report"])
+            if self.metrics is not None and deliv["metrics"]:
+                apply_snapshot(self.metrics, deliv["metrics"])
+            if isinstance(violations, list) and deliv["violations"]:
+                violations.extend(deliv["violations"])
+
+        self._merge_aggregators([c["agg_partials"] for c in computed])
+        self._master_phase()
+        self._account_superstep(
+            stats,
+            views=self._views,
+            recv_msgs=recv_msgs,
+            recv_bytes=recv_bytes,
+            peers_in=peers_in,
+            compute_span=compute_span,
+            flush_span=flush_span,
+            host_t0=host_t0,
+        )
+        return stats
+
+    # ------------------------------------------------------------------
+    # Checkpointing and recovery: same parent-held checkpoint dict as the
+    # sequential engine; capture/restore cross the wire.
+    # ------------------------------------------------------------------
+    def _capture_checkpoint(self, superstep: int) -> dict:
+        # Buffered injections are part of the snapshot (sim parity: the
+        # sequential engine injects straight into in_next, which
+        # snapshot() captures).
+        self._flush_injections()
+        epoch = self._epoch
+        for h in self._handles:
+            self._send(h, ("snapshot", epoch, None))
+        snaps = [self._expect(h, "snapshotted", epoch) for h in self._handles]
+        return {
+            "superstep": superstep,
+            "agg_values": dict(self._agg_values),
+            "workers": snaps,
+        }
+
+    def _fail_worker(self, worker_id: int) -> None:
+        """The scheduled-failure hook: a real SIGKILL, not a model."""
+        h = self._handles[worker_id]
+        if h.proc.is_alive():
+            h.proc.kill()
+            h.proc.join()
+        self._mark_dead(h)
+
+    def kill_worker_at(self, superstep: int, worker_id: int) -> None:
+        """Schedule a SIGKILL of ``worker_id`` after ``superstep`` completes.
+
+        Feeds the same schedule dict as ``JobSpec.failure_schedule`` /
+        :func:`repro.cloud.spot.spot_failure_schedule`, so spot-eviction
+        scenarios replay on real processes unchanged.
+        """
+        if self.job.checkpoint_interval <= 0:
+            raise ValueError(
+                "failure injection requires checkpointing "
+                "(JobSpec.checkpoint_interval > 0)"
+            )
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"unknown worker {worker_id}")
+        self._failure_schedule[int(superstep)] = int(worker_id)
+
+    def _restore_checkpoint(self) -> None:
+        attempts = self.num_workers + 2
+        for _ in range(attempts):
+            try:
+                self._restore_once()
+                return
+            except WorkerFailure:
+                continue  # the victim is marked dead; retrying respawns it
+        raise RuntimeError(
+            f"checkpoint restore failed {attempts} times; workers keep dying"
+        )
+
+    def _restore_once(self) -> None:
+        self._epoch += 1  # replies from before the rollback are now stale
+        epoch = self._epoch
+        for i, h in enumerate(self._handles):
+            if h is None or not h.alive or not h.proc.is_alive():
+                if h is not None:
+                    self._reap(h)
+                self._handles[i] = self._spawn_child(i)
+                if self._dm is not None:
+                    self._dm.respawns.inc()
+            else:
+                self._drain(h)
+        snaps = self._checkpoint["workers"]
+        for h in self._handles:
+            self._send(h, ("restore", epoch, snaps[h.worker_id]))
+        for h in self._handles:
+            self._views[h.worker_id].apply_report(
+                self._expect(h, "restored", epoch)
+            )
+
+    def _extract_values(self) -> dict[int, Any]:
+        epoch = self._epoch
+        for h in self._handles:
+            self._send(h, ("extract", epoch, None))
+        values: dict[int, Any] = {}
+        for h in self._handles:
+            values.update(self._expect(h, "extracted", epoch))
+        return values
+
+    # ------------------------------------------------------------------
+    # Process management and the request/reply transport
+    # ------------------------------------------------------------------
+    def _spawn_child(self, worker_id: int) -> _ChildHandle:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        hb_recv, hb_send = self._mp.Pipe(duplex=False)
+        proc = self._mp.Process(
+            target=worker_main,
+            name=f"bsp-worker-{worker_id}",
+            args=(
+                worker_id, child_conn, hb_send, self.graph,
+                self.partition.vertices_of(worker_id), self.job.program,
+                self.model, self.partition.assignment, self._active_ids,
+                self._hb_interval, self.metrics is not None,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        hb_send.close()
+        handle = _ChildHandle(worker_id, proc, parent_conn, hb_recv)
+        if self._dm is not None:
+            self._dm.heartbeats(worker_id)  # create the series eagerly
+            self._dm.alive.set(
+                1 + sum(
+                    1 for h in self._handles
+                    if h is not None and h.alive and h.worker_id != worker_id
+                )
+            )
+        return handle
+
+    def _mark_dead(self, h: _ChildHandle) -> None:
+        if not h.alive:
+            return
+        h.alive = False
+        h.pending = 0
+        if self._dm is not None:
+            self._dm.failures.inc()
+            self._dm.alive.set(
+                sum(1 for x in self._handles if x is not None and x.alive)
+            )
+
+    def _reap(self, h: _ChildHandle) -> None:
+        self._mark_dead(h)
+        if h.proc.is_alive():
+            h.proc.kill()
+        h.proc.join()
+        for conn in (h.conn, h.hb_conn):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _send(self, h: _ChildHandle, msg: tuple) -> None:
+        self._drain(h)
+        if not h.alive:
+            raise WorkerFailure(h.worker_id, "process is gone")
+        try:
+            h.conn.send_bytes(pack_frame(msg))
+        except (BrokenPipeError, OSError) as exc:
+            self._mark_dead(h)
+            raise WorkerFailure(h.worker_id, f"pipe closed: {exc}") from exc
+        h.pending += 1
+
+    def _drain(self, h: _ChildHandle) -> None:
+        """Consume replies owed from an aborted exchange (discarded)."""
+        while h.pending and h.alive:
+            self._recv_raw(h)
+
+    def _recv_raw(self, h: _ChildHandle) -> tuple:
+        conn = h.conn
+        while True:
+            try:
+                ready = conn.poll(0.01)
+            except (OSError, EOFError) as exc:
+                self._mark_dead(h)
+                raise WorkerFailure(h.worker_id, "pipe error") from exc
+            if ready:
+                try:
+                    data = conn.recv_bytes()
+                except (EOFError, OSError) as exc:
+                    self._mark_dead(h)
+                    raise WorkerFailure(
+                        h.worker_id, "pipe closed mid-reply"
+                    ) from exc
+                h.pending -= 1
+                return unpack_frame(data)
+            self._check_liveness(h)
+
+    def _drain_heartbeats(self) -> None:
+        now = monotonic()
+        for h in self._handles:
+            if h is None or not h.alive:
+                continue
+            try:
+                while h.hb_conn.poll(0):
+                    h.hb_conn.recv_bytes()
+                    h.last_beat = now
+                    if self._dm is not None:
+                        self._dm.heartbeats(h.worker_id).inc()
+            except (EOFError, OSError):
+                pass  # beats stop when the child dies; is_alive() decides
+
+    def _check_liveness(self, waiting_on: _ChildHandle) -> None:
+        """Drain heartbeats; fail the awaited worker if dead or hung."""
+        self._drain_heartbeats()
+        h = waiting_on
+        if not h.proc.is_alive():
+            self._mark_dead(h)
+            raise WorkerFailure(
+                h.worker_id, f"process exited (code {h.proc.exitcode})"
+            )
+        if (
+            self._hb_timeout is not None
+            and monotonic() - h.last_beat > self._hb_timeout
+        ):
+            h.proc.kill()
+            h.proc.join()
+            self._mark_dead(h)
+            raise WorkerFailure(
+                h.worker_id, f"heartbeat timeout ({self._hb_timeout:g}s)"
+            )
+
+    def _expect(self, h: _ChildHandle, kind: str, epoch: int):
+        while True:
+            r_kind, r_epoch, payload = self._recv_raw(h)
+            if r_epoch != epoch:
+                continue  # stale reply from before a recovery
+            if r_kind == "error":
+                raise ChildError(
+                    f"worker {h.worker_id} failed handling {kind!r}:\n{payload}"
+                )
+            if r_kind != kind:
+                raise RuntimeError(
+                    f"worker {h.worker_id}: expected {kind!r} reply, "
+                    f"got {r_kind!r}"
+                )
+            return payload
+
+    # ------------------------------------------------------------------
+    def run(self) -> JobResult:
+        try:
+            return super().run()
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop and reap every worker process (idempotent)."""
+        handles = getattr(self, "_handles", None)
+        if not handles:
+            return
+        for h in handles:
+            if h is None or not h.alive:
+                continue
+            try:
+                self._drain(h)
+                h.conn.send_bytes(pack_frame(("stop", self._epoch, None)))
+            except (WorkerFailure, BrokenPipeError, OSError):
+                continue
+        for h in handles:
+            if h is None:
+                continue
+            h.proc.join(timeout=5.0)
+            if h.proc.is_alive():
+                h.proc.kill()
+                h.proc.join()
+            for conn in (h.conn, h.hb_conn):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            h.alive = False
+
+
+def run_job_process(job: JobSpec, **engine_kwargs: Any) -> JobResult:
+    """Convenience mirror of ``run_job`` / ``run_job_threaded``."""
+    return ProcessBSPEngine(job, **engine_kwargs).run()

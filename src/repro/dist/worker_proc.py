@@ -1,0 +1,196 @@
+"""Child-process side of the multiprocess BSP runtime.
+
+:func:`worker_main` is the entry point each worker process runs: it builds
+its own :class:`~repro.bsp.worker.PartitionWorker` (and, when the parent
+wants telemetry, a private :class:`~repro.obs.metrics.MetricsRegistry` so
+hot-path instrumentation never crosses the process boundary), then serves
+the coordinator's command loop over a pipe:
+
+``inject``    queue control-plane activation messages
+``compute``   begin the superstep, run compute(), return the per-destination
+              message frames (combiners already applied sender-side by
+              :meth:`PartitionWorker.emit`), step stats, and aggregator
+              partials
+``deliver``   apply inbound frames from other workers in the order given
+              (the coordinator sends them in source-worker-id order, which
+              reproduces the sequential engine's delivery order exactly),
+              and return the barrier report: resource numbers, metric
+              deltas, and any sanitizer violations since the last barrier
+``snapshot``  / ``restore``  checkpointing, reusing the worker's own
+              snapshot()/restore()
+``extract``   map final vertex states through ``program.extract``
+``stop``      exit the loop
+
+Every command is a ``(cmd, epoch, payload)`` frame and every reply echoes
+the epoch, so the coordinator can discard replies that predate a recovery.
+Exceptions inside a handler are returned as ``("error", epoch, traceback)``
+rather than killing the process; actual process death is the parent's
+heartbeat/liveness monitor's business.
+
+A daemon thread sends a heartbeat byte on a dedicated pipe every
+``heartbeat_interval`` seconds; the parent tracks receive times to detect
+hung (not just dead) workers.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from time import perf_counter
+from typing import Any
+
+from ..bsp.worker import PartitionWorker
+from .frames import pack_frame, unpack_frame
+
+__all__ = ["worker_main"]
+
+
+def _heartbeat_loop(conn, interval: float, stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        try:
+            conn.send_bytes(b"\x01")
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _report(worker: PartitionWorker) -> dict[str, Any]:
+    """Resource numbers the parent mirrors into its per-worker view
+    (the duck-typed surface ``BSPEngine._account_superstep`` reads)."""
+    return {
+        "active": worker.active_count,
+        "buffered": worker.has_buffered_messages,
+        "buffered_bytes": worker.buffered_message_bytes(),
+        "graph_bytes": worker.graph_bytes,
+        "state_bytes": worker.total_state_bytes,
+        "in_next_bytes": worker.in_next_payload_bytes,
+        "memory": worker.memory_footprint(),
+    }
+
+
+def worker_main(
+    worker_id: int,
+    conn,
+    hb_conn,
+    graph,
+    vertex_ids,
+    program,
+    model,
+    assignment,
+    active_ids,
+    heartbeat_interval: float,
+    want_metrics: bool,
+) -> None:
+    """Command loop for one worker process (the child's ``main``)."""
+    registry = None
+    snapshot_registry = delta_snapshot = None
+    if want_metrics:
+        from ..obs.metrics import MetricsRegistry
+        from ..obs.sync import delta_snapshot, snapshot_registry
+
+        registry = MetricsRegistry()
+    worker = PartitionWorker(
+        worker_id=worker_id,
+        graph=graph,
+        vertex_ids=vertex_ids,
+        program=program,
+        model=model,
+        assignment=assignment,
+        initially_active=active_ids is None,
+        metrics=registry,
+    )
+    if active_ids is not None:
+        for v in active_ids:
+            v = int(v)
+            if int(assignment[v]) == worker_id:
+                worker.halted[v] = False
+
+    stop = threading.Event()
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(hb_conn, heartbeat_interval, stop),
+        daemon=True,
+    ).start()
+
+    prev_metrics = snapshot_registry(registry) if registry is not None else {}
+    violations_seen = 0
+    try:
+        while True:
+            cmd, epoch, payload = unpack_frame(conn.recv_bytes())
+            if cmd == "stop":
+                conn.send_bytes(pack_frame(("bye", epoch, None)))
+                return
+            try:
+                if cmd == "inject":
+                    for dst, p in payload:
+                        worker.inject(int(dst), p)
+                    reply = ("ok", epoch, _report(worker))
+                elif cmd == "compute":
+                    superstep, agg_values = payload
+                    t0 = perf_counter()
+                    worker.begin_superstep(superstep, agg_values)
+                    worker.run_compute()
+                    host = perf_counter() - t0
+                    worker.stats.peers_out = len(worker.out_remote)
+                    worker.stats.bytes_out = worker.out_remote_wire_bytes
+                    # One frame per destination: the whole post-combine
+                    # bucket in its emission (insertion) order.
+                    frames = {
+                        int(dw): pack_frame(list(pv.items()))
+                        for dw, pv in worker.out_remote.items()
+                    }
+                    reply = ("computed", epoch, {
+                        "frames": frames,
+                        "stats": worker.stats,
+                        "agg_partials": worker._agg_partials,
+                        "host_seconds": host,
+                    })
+                elif cmd == "deliver":
+                    recv_msgs = 0
+                    recv_bytes = 0.0
+                    for _src, frame in payload:
+                        for dst_v, payloads in unpack_frame(frame):
+                            recv_bytes += worker.deliver_remote(
+                                int(dst_v), list(payloads)
+                            )
+                            recv_msgs += len(payloads)
+                    metrics_delta = None
+                    if registry is not None:
+                        cur = snapshot_registry(registry)
+                        metrics_delta = delta_snapshot(cur, prev_metrics)
+                        prev_metrics = cur
+                    # Sanitizer support: a wrapping program (duck-typed via
+                    # its `violations` list) accumulates in this process;
+                    # ship the fresh entries so the parent-side observer
+                    # sees them at the barrier, engine-independent.
+                    fresh: tuple = ()
+                    v_list = getattr(worker.program, "violations", None)
+                    if isinstance(v_list, list):
+                        fresh = tuple(v_list[violations_seen:])
+                        violations_seen = len(v_list)
+                    reply = ("delivered", epoch, {
+                        "recv_msgs": recv_msgs,
+                        "recv_bytes": recv_bytes,
+                        "report": _report(worker),
+                        "metrics": metrics_delta,
+                        "violations": fresh,
+                    })
+                elif cmd == "snapshot":
+                    reply = ("snapshotted", epoch, worker.snapshot())
+                elif cmd == "restore":
+                    worker.restore(payload)
+                    reply = ("restored", epoch, _report(worker))
+                elif cmd == "extract":
+                    prog = worker.program
+                    reply = ("extracted", epoch, {
+                        int(v): prog.extract(int(v), st)
+                        for v, st in worker.states.items()
+                    })
+                else:
+                    raise ValueError(f"unknown command {cmd!r}")
+            except Exception:
+                reply = ("error", epoch, traceback.format_exc())
+            conn.send_bytes(pack_frame(reply))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # coordinator went away; exit quietly
+    finally:
+        stop.set()

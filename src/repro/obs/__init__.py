@@ -48,6 +48,7 @@ from .metrics import (
 from .progress import RunReporter
 from .spans import Span, SpanTracer
 from .summary import summarize_spans, summarize_trace
+from .sync import apply_snapshot, delta_snapshot, snapshot_registry
 
 __all__ = [
     "Counter",
@@ -65,4 +66,7 @@ __all__ = [
     "write_metrics_json",
     "summarize_trace",
     "summarize_spans",
+    "snapshot_registry",
+    "delta_snapshot",
+    "apply_snapshot",
 ]

@@ -16,7 +16,12 @@ Design points, mirrored from the Prometheus client-library data model:
 * one name has one type (and, for histograms, one bucket layout) — a
   conflicting re-registration raises instead of silently forking series;
 * histograms use *fixed* bucket boundaries chosen at creation, recorded
-  cumulatively at export time (Prometheus ``le`` semantics).
+  cumulatively at export time (Prometheus ``le`` semantics);
+* every mutation (``inc``/``set``/``observe``) takes the instrument's own
+  lock, so engines that update instruments from worker threads
+  (:class:`~repro.bsp.parallel.ThreadedBSPEngine`'s pooled compute tasks)
+  need no serialize-after-join workaround — matching the Prometheus client
+  libraries, which are thread-safe by contract.
 
 Everything is plain Python with no engine imports, so the registry can be
 used standalone (tests do) and the engine only ever talks to it through
@@ -27,6 +32,7 @@ check per instrumentation site.
 from __future__ import annotations
 
 import re
+import threading
 from bisect import bisect_left
 from typing import Iterable, Mapping
 
@@ -75,6 +81,7 @@ class _Instrument:
         self.name = name
         self.labels = labels
         self.help = help
+        self._lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         lbl = ",".join(f"{k}={v!r}" for k, v in self.labels)
@@ -93,7 +100,8 @@ class Counter(_Instrument):
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters can only increase")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge(_Instrument):
@@ -106,13 +114,16 @@ class Gauge(_Instrument):
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram(_Instrument):
@@ -139,9 +150,28 @@ class Histogram(_Instrument):
         self.count = 0
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
+
+    def add_raw(self, counts: Iterable[int], sum: float, count: int) -> None:
+        """Merge another histogram's raw tallies (same bucket layout).
+
+        Backs cross-process marshalling (:mod:`repro.obs.sync`): a child
+        process observes locally and the parent folds the deltas in here.
+        """
+        counts = list(counts)
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge {len(counts)} bucket "
+                f"counts into {len(self.counts)} buckets"
+            )
+        with self._lock:
+            for i, c in enumerate(counts):
+                self.counts[i] += int(c)
+            self.sum += sum
+            self.count += int(count)
 
     def cumulative_counts(self) -> list[int]:
         """Counts per ``le`` bucket, cumulative, ending with the +Inf total."""
@@ -168,6 +198,7 @@ class MetricsRegistry:
         # name -> (kind, bucket layout or None); guards against forked series
         self._schema: dict[str, tuple[str, tuple | None]] = {}
         self._help: dict[str, str] = {}
+        self._lock = threading.Lock()  # guards instrument creation
 
     # ------------------------------------------------------------------
     def _get(self, cls, name: str, help: str, labels: Mapping[str, str],
@@ -175,36 +206,37 @@ class MetricsRegistry:
         _check_name(name)
         frozen = _freeze_labels(labels)
         key = (name, frozen)
-        inst = self._instruments.get(key)
-        if inst is not None:
-            if inst.kind != cls.kind:
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is not None:
+                if inst.kind != cls.kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {inst.kind}"
+                    )
+                return inst
+            schema = self._schema.get(name)
+            if schema is not None and schema[0] != cls.kind:
                 raise ValueError(
-                    f"metric {name!r} already registered as {inst.kind}"
+                    f"metric {name!r} already registered as {schema[0]}"
                 )
+            if cls is Histogram:
+                if buckets is None:
+                    buckets = DEFAULT_TIME_BUCKETS
+                bounds = tuple(float(b) for b in buckets)
+                if schema is not None and schema[1] != bounds:
+                    raise ValueError(
+                        f"histogram {name!r} already registered with different "
+                        "bucket boundaries"
+                    )
+                inst = Histogram(name, frozen, help=help, buckets=bounds)
+                self._schema[name] = (cls.kind, bounds)
+            else:
+                inst = cls(name, frozen, help=help)
+                self._schema[name] = (cls.kind, None)
+            if help and not self._help.get(name):
+                self._help[name] = help
+            self._instruments[key] = inst
             return inst
-        schema = self._schema.get(name)
-        if schema is not None and schema[0] != cls.kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {schema[0]}"
-            )
-        if cls is Histogram:
-            if buckets is None:
-                buckets = DEFAULT_TIME_BUCKETS
-            bounds = tuple(float(b) for b in buckets)
-            if schema is not None and schema[1] != bounds:
-                raise ValueError(
-                    f"histogram {name!r} already registered with different "
-                    "bucket boundaries"
-                )
-            inst = Histogram(name, frozen, help=help, buckets=bounds)
-            self._schema[name] = (cls.kind, bounds)
-        else:
-            inst = cls(name, frozen, help=help)
-            self._schema[name] = (cls.kind, None)
-        if help and not self._help.get(name):
-            self._help[name] = help
-        self._instruments[key] = inst
-        return inst
 
     def counter(self, name: str, help: str = "", **labels: str) -> Counter:
         return self._get(Counter, name, help, labels)

@@ -87,3 +87,44 @@ class TestMechanics:
             max_threads=1,
         )
         assert res.halted
+
+
+class TestDefaultPoolSize:
+    def test_caps_at_num_workers(self, monkeypatch):
+        from repro.bsp import parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 64)
+        assert parallel.default_pool_size(8) == 8
+
+    def test_caps_at_32(self, monkeypatch):
+        from repro.bsp import parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 256)
+        assert parallel.default_pool_size(100) == 32
+
+    def test_caps_at_cpu_count(self, monkeypatch):
+        from repro.bsp import parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 4)
+        assert parallel.default_pool_size(16) == 4
+
+    def test_cpu_count_unknown_means_one(self, monkeypatch):
+        from repro.bsp import parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: None)
+        assert parallel.default_pool_size(16) == 1
+
+    def test_never_below_one(self, monkeypatch):
+        from repro.bsp import parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        assert parallel.default_pool_size(0) == 1
+
+    def test_engine_uses_default(self, ring10, monkeypatch):
+        from repro.bsp import parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+        engine = ThreadedBSPEngine(
+            JobSpec(program=PageRankProgram(2), graph=ring10, num_workers=4)
+        )
+        assert engine._pool._max_workers == 2
