@@ -1,0 +1,72 @@
+"""Extension bench — analyzer throughput of ``repro check``.
+
+The static pass (rules RPC001-RPC014 plus the cost-model profiler) runs
+in CI on every push and is meant to be cheap enough to run on save in an
+editor loop.  This bench measures it honestly: every ``VertexProgram``
+source in the repo (bundled algorithms + examples) through the full
+detailed pipeline — findings, profiles, per-file timing — and reports
+files/sec and programs profiled.  The numbers land in
+``BENCH_check.json`` so analyzer regressions show up across revisions.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.check import analyze_paths_detailed
+
+from helpers import banner, run_once
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TARGETS = [
+    REPO_ROOT / "src" / "repro" / "algorithms",
+    REPO_ROOT / "examples",
+]
+
+#: Re-analyze the corpus this many times so sub-millisecond per-file cost
+#: is measured above timer noise.
+REPEATS = 20
+
+
+def test_check_throughput(benchmark):
+    def run_all():
+        t0 = time.perf_counter()
+        for _ in range(REPEATS):
+            results = analyze_paths_detailed(TARGETS, profile=True)
+        elapsed = time.perf_counter() - t0
+        return results, elapsed
+
+    results, elapsed = run_once(benchmark, run_all)
+
+    files = len(results)
+    profiles = sum(len(r.profiles or ()) for r in results)
+    findings = sum(len(r.findings) for r in results)
+    files_per_sec = files * REPEATS / elapsed
+    per_file_ms = sorted(r.elapsed_ms for r in results)
+
+    banner(
+        f"repro check throughput: {files} files x{REPEATS}, "
+        f"{profiles} programs profiled"
+    )
+    print(f"{'files/sec':<16} {files_per_sec:>10.1f}")
+    print(f"{'slowest file ms':<16} {per_file_ms[-1]:>10.2f}")
+    print(f"{'findings':<16} {findings:>10d}")
+
+    assert files > 0 and profiles > 0
+    # The repo's own programs stay clean (warnings suppressed via noqa).
+    assert findings == 0
+
+    payload = {
+        "workload": {
+            "targets": [str(t.relative_to(REPO_ROOT)) for t in TARGETS],
+            "files": files,
+            "repeats": REPEATS,
+            "programs_profiled": profiles,
+        },
+        "files_per_second": files_per_sec,
+        "wall_clock_seconds": elapsed,
+        "slowest_file_ms": per_file_ms[-1],
+    }
+    with open("BENCH_check.json", "w") as f:
+        json.dump(payload, f, indent=2)
+    print("wrote BENCH_check.json")

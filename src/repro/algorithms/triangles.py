@@ -25,7 +25,9 @@ def _rank(v: int, deg: int) -> tuple[int, int]:
     return (deg, v)
 
 
-class TriangleCountProgram(VertexProgram):
+# Broadcast-class by design, but the whole run is exactly three supersteps
+# with self-limiting wedge traffic — there is no per-root wave to swath.
+class TriangleCountProgram(VertexProgram):  # repro: noqa[RPC012]
     """Counts triangles through each vertex of an undirected graph."""
 
     def init_state(self, vertex_id: int, graph) -> int:

@@ -47,6 +47,9 @@ class RunConfig:
     #: optional observability sinks (repro.obs), threaded into every job
     tracer: Any = None
     metrics: Any = None
+    #: statically profile the program (repro.check.costmodel) and record
+    #: the ProgramProfile on the JobResult + metrics; cheap (pure AST)
+    auto_profile: bool = True
 
     def with_memory(self, memory_bytes: int) -> "RunConfig":
         """Same config with the worker VM memory replaced (scaled regime)."""
@@ -84,6 +87,32 @@ def _make_engine(cfg: RunConfig, job: JobSpec) -> BSPEngine:
     )
 
 
+def _auto_profile(cfg: RunConfig, program) -> Any:
+    """Static cost model of ``program``, recorded in metrics when present.
+
+    Never fails the run: programs defined in a REPL (no source file) just
+    come back unprofiled.
+    """
+    if not cfg.auto_profile:
+        return None
+    from ..check.costmodel import profile_of
+
+    profile = profile_of(program)
+    if profile is not None and cfg.metrics is not None:
+        cfg.metrics.gauge(
+            "repro_program_fanout_level",
+            help="Static fan-out class level (0 none, 1 O(1), "
+                 "2 O(out_degree), 3 broadcast)",
+            program=profile.program,
+        ).set(profile.fanout.level)
+        cfg.metrics.gauge(
+            "repro_program_payload_nbytes",
+            help="Statically modelled upper payload bytes per message",
+            program=profile.program,
+        ).set(profile.payload.nbytes)
+    return profile
+
+
 @dataclass
 class TraversalRun:
     """Result of a BC/APSP run plus its swath log."""
@@ -98,6 +127,11 @@ class TraversalRun:
     @property
     def num_swaths(self) -> int:
         return self.controller.num_swaths
+
+    @property
+    def profile(self) -> Any:
+        """Static cost model recorded for the program (may be None)."""
+        return self.result.profile
 
 
 def run_pagerank(
@@ -116,8 +150,11 @@ def run_pagerank(
     program = PageRankProgram(iterations=iterations, use_combiner=use_combiner)
     if wrap_program is not None:
         program = wrap_program(program)
+    profile = _auto_profile(cfg, program)
     job = cfg.job(program, graph, observers=list(observers))
-    return _make_engine(cfg, job).run()
+    result = _make_engine(cfg, job).run()
+    result.profile = profile
+    return result
 
 
 def _traversal_pieces(kind: str):
@@ -150,6 +187,7 @@ def run_traversal(
     program, start_factory = _traversal_pieces(kind)
     if wrap_program is not None:
         program = wrap_program(program)
+    profile = _auto_profile(cfg, program)
     controller = SwathController(
         roots=roots,
         start_factory=start_factory,
@@ -162,6 +200,7 @@ def run_traversal(
         observers=[controller, *extra_observers],
     )
     result = _make_engine(cfg, job).run()
+    result.profile = profile
     if not controller.completed_all:
         raise RuntimeError(
             "traversal ended with pending roots "

@@ -107,6 +107,9 @@ class JobResult:
     halted: bool
     aggregates: dict[str, Any] = field(default_factory=dict)
     recoveries: list[RecoveryEvent] = field(default_factory=list)
+    #: static :class:`~repro.check.costmodel.ProgramProfile` of the program,
+    #: when the runner auto-profiled it (None otherwise)
+    profile: Any = None
 
     @property
     def total_time(self) -> float:

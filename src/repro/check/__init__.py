@@ -5,11 +5,18 @@ vertex programs are true BSP citizens: message-driven, deterministic per
 superstep, no shared state, honest resource hooks.  This package verifies
 those contracts before and during a run:
 
-* **Static pass** — ``repro check [path|module ...]`` runs ~10 AST rules
-  (RPC001..RPC010) over every :class:`~repro.bsp.api.VertexProgram`
+* **Static pass** — ``repro check [path|module ...]`` runs the AST rules
+  (RPC001..RPC014) over every :class:`~repro.bsp.api.VertexProgram`
   subclass; importable as :func:`analyze_source` / :func:`analyze_paths`
   for tests.  Suppress per line with ``# repro: noqa[RPC00X]``; configure
   defaults in ``[tool.repro.check]`` (pyproject.toml).
+* **Cost models** — ``repro check --profile`` (module
+  :mod:`repro.check.costmodel`) statically infers each program's
+  :class:`ProgramProfile`: message fan-out class, payload-size model,
+  combiner/aggregator compatibility, and process-engine pickle safety.
+  :func:`profile_of` models a live program object; the profile seeds
+  ``SamplingSizer.from_profile(...)`` swath sizing and gates
+  :class:`repro.dist.ProcessBSPEngine` before it forks.
 * **Dynamic sanitizer** — :class:`SanitizingProgram` +
   :class:`SanitizerObserver` fingerprint delivered payloads against
   in-place mutation, :func:`certify_determinism` diffs 1-vs-N-worker
@@ -22,8 +29,27 @@ The contracts each rule enforces are documented in
 ``docs/vertex-program-contract.md``.
 """
 
-from .analyzer import analyze_file, analyze_paths, analyze_source
+from .analyzer import (
+    ANALYZER_VERSION,
+    FileResult,
+    analyze_file,
+    analyze_paths,
+    analyze_paths_detailed,
+    analyze_source,
+)
 from .config import CheckConfig, DEFAULT_CONFIG, load_config
+from .costmodel import (
+    FanoutClass,
+    PayloadModel,
+    PickleRisk,
+    ProgramProfile,
+    SendSite,
+    estimate_bytes_per_root,
+    profile_file,
+    profile_of,
+    profile_paths,
+    profile_source,
+)
 from .findings import Finding, Severity
 from .rules import RULES, rule_catalog
 from .sanitizer import (
@@ -40,9 +66,22 @@ from .sanitizer import (
 )
 
 __all__ = [
+    "ANALYZER_VERSION",
+    "FileResult",
     "analyze_file",
     "analyze_paths",
+    "analyze_paths_detailed",
     "analyze_source",
+    "FanoutClass",
+    "PayloadModel",
+    "PickleRisk",
+    "ProgramProfile",
+    "SendSite",
+    "estimate_bytes_per_root",
+    "profile_file",
+    "profile_of",
+    "profile_paths",
+    "profile_source",
     "CheckConfig",
     "DEFAULT_CONFIG",
     "load_config",

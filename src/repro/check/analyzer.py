@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import ast
 import re
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -25,11 +27,19 @@ from .findings import Finding, Severity
 from .rules import RULES, ModuleInfo, ProgramInfo
 
 __all__ = [
+    "ANALYZER_VERSION",
+    "FileResult",
     "analyze_source",
     "analyze_file",
     "analyze_paths",
+    "analyze_paths_detailed",
     "iter_python_files",
 ]
+
+#: Version of the analyzer's output contract.  Bump the minor on additive
+#: envelope/profile changes, the major on breaking ones — CI diffs and
+#: editor integrations key on this.
+ANALYZER_VERSION = "2.0"
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\s*\[\s*([A-Za-z0-9_,\s]+?)\s*\])?", re.IGNORECASE
@@ -189,3 +199,39 @@ def analyze_paths(
         findings.extend(analyze_file(path, config=config))
     findings.sort()
     return findings
+
+
+@dataclass
+class FileResult:
+    """Per-file analysis output (findings, cost profiles, wall time)."""
+
+    path: str
+    findings: list[Finding] = field(default_factory=list)
+    #: ProgramProfile list; populated only when profiling was requested.
+    profiles: list = field(default_factory=list)
+    elapsed_ms: float = 0.0
+
+
+def analyze_paths_detailed(
+    targets: Iterable[str],
+    config: CheckConfig | None = None,
+    profile: bool = False,
+) -> list[FileResult]:
+    """Per-file findings plus (optionally) cost profiles and timings.
+
+    The flat :func:`analyze_paths` stays the simple API; this drives the
+    ``repro check`` JSON envelope, where per-file timing and profile
+    payloads ride alongside the findings.
+    """
+    results: list[FileResult] = []
+    for path in iter_python_files(targets):
+        t0 = time.perf_counter()
+        result = FileResult(path=str(path))
+        result.findings = analyze_file(path, config=config)
+        if profile:
+            from .costmodel import profile_file
+
+            result.profiles = profile_file(path)
+        result.elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        results.append(result)
+    return results

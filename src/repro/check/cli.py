@@ -3,6 +3,14 @@
 Kept separate from :mod:`repro.cli` so the top-level CLI only pays the
 import when the subcommand actually runs, and so tests can drive
 :func:`run_check` with a plain namespace.
+
+The ``--format json`` output is a stable envelope: ``version`` (the
+analyzer contract version), ``rules`` (metadata for every rule that ran),
+``files`` (per-file findings/timings, in analysis order), the flat
+``findings`` list plus ``errors``/``warnings`` counts, ``profiles`` (one
+cost model per discovered program when ``--profile`` is set), and
+``sanitize``.  New keys are only ever *added*; consumers must ignore
+unknown keys.
 """
 
 from __future__ import annotations
@@ -11,7 +19,7 @@ import argparse
 import json
 import sys
 
-from .analyzer import analyze_paths
+from .analyzer import ANALYZER_VERSION, analyze_paths_detailed
 from .config import DEFAULT_CONFIG, load_config
 from .findings import Severity
 
@@ -27,6 +35,11 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--format", choices=["text", "json"], default="text",
         help="finding output format",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="emit a static cost profile (fan-out class, payload model, "
+             "combiner/aggregator inference) per vertex program",
     )
     parser.add_argument(
         "--select", action="append", metavar="PREFIX",
@@ -64,9 +77,9 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def run_check(args: argparse.Namespace) -> int:
-    if args.list_rules:
-        from .rules import rule_catalog
+    from .rules import rule_catalog
 
+    if args.list_rules:
         if args.format == "json":
             print(json.dumps(rule_catalog(), indent=2))
         else:
@@ -80,12 +93,17 @@ def run_check(args: argparse.Namespace) -> int:
     config = DEFAULT_CONFIG if args.no_config else load_config()
     config = config.with_overrides(select=args.select, ignore=args.ignore)
 
+    profile = getattr(args, "profile", False)
     try:
-        findings = analyze_paths(args.paths, config=config)
+        files = analyze_paths_detailed(
+            args.paths, config=config, profile=profile
+        )
     except FileNotFoundError as exc:
         print(f"repro check: {exc}", file=sys.stderr)
         return 2
 
+    findings = sorted(f for fr in files for f in fr.findings)
+    profiles = [p for fr in files for p in fr.profiles]
     errors = sum(1 for f in findings if f.severity is Severity.ERROR)
     warnings = len(findings) - errors
 
@@ -99,9 +117,24 @@ def run_check(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         payload = {
+            "version": ANALYZER_VERSION,
+            "rules": [
+                r for r in rule_catalog() if config.enabled(r["id"])
+            ],
+            "files": [
+                {
+                    "path": fr.path,
+                    "findings": [f.as_dict() for f in fr.findings],
+                    "elapsed_ms": round(fr.elapsed_ms, 3),
+                }
+                for fr in files
+            ],
             "findings": [f.as_dict() for f in findings],
             "errors": errors,
             "warnings": warnings,
+            "profiles": (
+                [p.as_dict() for p in profiles] if profile else None
+            ),
             "sanitize": smoke.as_dict() if smoke is not None else None,
         }
         print(json.dumps(payload, indent=2))
@@ -112,6 +145,13 @@ def run_check(args: argparse.Namespace) -> int:
         if not findings:
             summary += " — all programs honor the Pregel contract"
         print(summary)
+        if profile:
+            if profiles:
+                print(f"-- cost profiles ({len(profiles)} program(s)) --")
+                for p in profiles:
+                    print(p.render())
+            else:
+                print("-- cost profiles: no vertex programs found --")
         if smoke is not None:
             print(smoke.summary())
 

@@ -776,6 +776,119 @@ class PrivateInternalsRule(Rule):
                     )
 
 
+def _loc(line: int) -> ast.AST:
+    """A bare location carrier for profile-derived findings."""
+    node = ast.Pass()
+    node.lineno = line
+    node.col_offset = 0
+    return node
+
+
+class UnpicklableStateRule(Rule):
+    """RPC011: the process engine (``--engine process``) ships program and
+    vertex state across process boundaries for checkpoints, recovery, and
+    result extraction — lambdas, closures, open handles, and locks in that
+    state make every pickle crossing fail at runtime."""
+
+    id = "RPC011"
+    severity = Severity.WARNING
+    summary = "program/vertex state is unpicklable under --engine process"
+    hint = (
+        "keep state to plain data; define functions at module level and "
+        "re-open handles/locks per superstep instead of storing them"
+    )
+
+    def check(self, program, module):
+        from .costmodel import profile_program
+
+        profile = profile_program(program, module)
+        for risk in profile.pickle_risks:
+            yield self.finding(
+                module, _loc(risk.line),
+                f"{risk.method}() stores {risk.detail}; the process engine "
+                "must pickle this state for checkpoints and recovery",
+            )
+
+
+class BroadcastWithoutSwathsRule(Rule):
+    """RPC012: broadcast-class programs are the O(|V||E|)-message shape the
+    swath scheduler exists for (§IV); without a ``start_messages`` factory
+    they can only run all-roots-at-once and will exhaust worker memory on
+    any non-toy graph."""
+
+    id = "RPC012"
+    severity = Severity.WARNING
+    summary = "broadcast-class fan-out without swath scheduling support"
+    hint = (
+        "expose a module-level start_messages(roots) factory and run the "
+        "program through SwathController (repro run --memory-mb ...)"
+    )
+
+    def check(self, program, module):
+        from .costmodel import FanoutClass, profile_program
+
+        profile = profile_program(program, module)
+        if profile.fanout is FanoutClass.BROADCAST and not profile.message_driven:
+            yield self.finding(
+                module, program.node,
+                f"{program.node.name} has broadcast-class fan-out but its "
+                "module has no start_messages factory, so runs cannot be "
+                "swath-scheduled",
+            )
+
+
+class CombinerEligibleRule(Rule):
+    """RPC013: a compute() that folds its messages with a commutative,
+    associative reduction re-derives exactly what a combiner computes —
+    running combiner-less buffers every individual message (iPregel's
+    headline memory cost) instead of one partial per destination."""
+
+    id = "RPC013"
+    severity = Severity.WARNING
+    summary = "combiner-eligible message reduction running combiner-less"
+    hint = "declare the matching repro.bsp.combiners combiner on the program"
+
+    def check(self, program, module):
+        from .costmodel import profile_program
+
+        profile = profile_program(program, module)
+        if profile.combiner_suggested is not None:
+            fn = program.compute
+            yield self.finding(
+                module, fn if fn is not None else program.node,
+                f"compute() reduces its messages with {profile.reduction}() "
+                f"but declares no combiner; "
+                f"{profile.combiner_suggested} computes the same fold "
+                "sender-side",
+            )
+
+
+class UnboundedAccumulatorPayloadRule(Rule):
+    """RPC014: a payload that serializes a state-lifetime container grown
+    every superstep makes per-message bytes grow with superstep count —
+    the payload model is unbounded and swath sizing under-estimates."""
+
+    id = "RPC014"
+    severity = Severity.WARNING
+    summary = "send payload references an unbounded state accumulator"
+    hint = (
+        "send a bounded summary (count/top-k/delta) or clear the "
+        "accumulator each superstep"
+    )
+
+    def check(self, program, module):
+        from .costmodel import profile_program
+
+        profile = profile_program(program, module)
+        for line, path in profile.unbounded_payload_sites:
+            yield self.finding(
+                module, _loc(line),
+                f"send payload reads '{path}', a state-lifetime container "
+                "grown inside compute() — message bytes grow without bound "
+                "across supersteps",
+            )
+
+
 #: The full ordered rule set.
 RULES: tuple[Rule, ...] = (
     MessageMutationRule(),
@@ -788,6 +901,10 @@ RULES: tuple[Rule, ...] = (
     MissingReturnRule(),
     ContextRetentionRule(),
     PrivateInternalsRule(),
+    UnpicklableStateRule(),
+    BroadcastWithoutSwathsRule(),
+    CombinerEligibleRule(),
+    UnboundedAccumulatorPayloadRule(),
 )
 
 

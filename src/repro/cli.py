@@ -28,11 +28,20 @@ code 1) on any violation.  ``trace summarize`` prints the paper-style
 utilization/breakdown tables from a saved trace file.
 
 ``check`` is the Pregel-contract analyzer (:mod:`repro.check`): a static
-AST pass (rules RPC001..RPC010) over vertex programs, plus — with
+AST pass (rules RPC001..RPC014) over vertex programs, plus — with
 ``--sanitize`` — the dynamic sanitizer smoke (payload-mutation
-fingerprinting, 1-vs-N worker determinism diff, aggregator law probes).
-``run --sanitize`` rides the same sanitizer along a real run and fails it
-(exit code 1) on any violation.
+fingerprinting, 1-vs-N worker determinism diff, aggregator law probes),
+and — with ``--profile`` — the static cost model per program (fan-out
+class, payload bytes, combiner/aggregator inference).  ``run --sanitize``
+rides the same sanitizer along a real run and fails it (exit code 1) on
+any violation.
+
+``run`` auto-profiles the program (disable with ``--no-profile``): the
+profile is printed with the summary, recorded on the result/metrics, and
+— for ``--sizer sampling``/``adaptive`` — seeds the swath sizer via
+``from_profile(...)`` so the first probe swath is model-sized instead of
+a blind guess.  Under ``--engine process`` the RPC011 pickle-safety gate
+runs before any worker process is forked.
 """
 
 from __future__ import annotations
@@ -175,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="ride the vertex-program sanitizer along (payload-mutation "
              "fingerprinting + aggregator law probes); exit 1 on violations",
     )
+    p.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the static cost profile (repro.check.costmodel); "
+             "disables model-seeded swath sizing",
+    )
 
     p = sub.add_parser(
         "check",
@@ -236,14 +250,25 @@ def _cmd_advise(args) -> int:
     return 0
 
 
-def _make_sizer(args, roots: int):
+def _make_sizer(args, roots: int, graph=None, profile=None):
     target = int(args.memory_mb * 1e6 * 6 / 7) if args.memory_mb else 1 << 40
     if args.sizer == "all":
         return StaticSizer(max(1, roots))
     if args.sizer == "static":
         return StaticSizer(args.swath)
+    seeded = profile is not None and graph is not None
     if args.sizer == "sampling":
+        if seeded:
+            return SamplingSizer.from_profile(
+                profile, target, num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges, num_workers=args.workers,
+            )
         return SamplingSizer(target)
+    if seeded:
+        return AdaptiveSizer.from_profile(
+            profile, target, num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges, num_workers=args.workers,
+        )
     return AdaptiveSizer(target)
 
 
@@ -281,28 +306,47 @@ def _cmd_run(args) -> int:
         engine=args.engine,
         tracer=tracer,
         metrics=metrics,
+        auto_profile=not args.no_profile,
     )
     cfg = cfg.with_memory(
         int(args.memory_mb * 1e6) if args.memory_mb else (1 << 62)
     )
-    if args.app == "pagerank":
-        res = run_pagerank(
-            g, cfg, iterations=args.iterations, observers=extra_observers,
-            wrap_program=wrap_program,
-        )
-        trace = res.trace
-        print(f"pagerank: {res.supersteps} supersteps")
-    else:
-        run = run_traversal(
-            g, cfg, range(min(args.roots, g.num_vertices)), kind=args.app,
-            sizer=_make_sizer(args, args.roots),
-            initiation=_make_initiation(args),
-            extra_observers=extra_observers,
-            wrap_program=wrap_program,
-        )
-        res = run.result
-        trace = res.trace
-        print(f"{args.app}: {res.supersteps} supersteps, {run.num_swaths} swaths")
+    from .dist import ProgramSafetyError
+
+    try:
+        if args.app == "pagerank":
+            res = run_pagerank(
+                g, cfg, iterations=args.iterations, observers=extra_observers,
+                wrap_program=wrap_program,
+            )
+            trace = res.trace
+            print(f"pagerank: {res.supersteps} supersteps")
+        else:
+            profile = None
+            if not args.no_profile:
+                from .algorithms.apsp import APSPProgram
+                from .algorithms.bc import BCProgram
+                from .check import profile_of
+
+                profile = profile_of(
+                    BCProgram if args.app == "bc" else APSPProgram
+                )
+            run = run_traversal(
+                g, cfg, range(min(args.roots, g.num_vertices)), kind=args.app,
+                sizer=_make_sizer(args, args.roots, graph=g, profile=profile),
+                initiation=_make_initiation(args),
+                extra_observers=extra_observers,
+                wrap_program=wrap_program,
+            )
+            res = run.result
+            trace = res.trace
+            print(f"{args.app}: {res.supersteps} supersteps, {run.num_swaths} swaths")
+    except ProgramSafetyError as exc:
+        # RPC011 gate: refused before forking any worker process.
+        print(f"repro run: {exc}", file=sys.stderr)
+        return 1
+    if res.profile is not None:
+        print(f"profile: {res.profile.render()}")
     print(
         f"simulated time {trace.total_time:.2f}s | cost ${res.total_cost:.4f} | "
         f"messages {trace.total_messages:,} | peak worker memory "

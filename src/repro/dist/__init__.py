@@ -9,7 +9,13 @@ failure detection, and checkpointed recovery that restarts replacement
 processes.  ``docs/runtime.md`` compares the three engines.
 """
 
-from .engine import ChildError, ProcessBSPEngine, WorkerFailure, run_job_process
+from .engine import (
+    ChildError,
+    ProcessBSPEngine,
+    ProgramSafetyError,
+    WorkerFailure,
+    run_job_process,
+)
 from .frames import pack_frame, unpack_frame
 
 __all__ = [

@@ -62,7 +62,13 @@ from ..obs.sync import apply_snapshot
 from .frames import pack_frame, unpack_frame
 from .worker_proc import worker_main
 
-__all__ = ["ProcessBSPEngine", "WorkerFailure", "ChildError", "run_job_process"]
+__all__ = [
+    "ProcessBSPEngine",
+    "WorkerFailure",
+    "ChildError",
+    "ProgramSafetyError",
+    "run_job_process",
+]
 
 try:
     from time import perf_counter
@@ -77,6 +83,33 @@ class WorkerFailure(RuntimeError):
         super().__init__(f"worker {worker_id} failed: {reason}")
         self.worker_id = worker_id
         self.reason = reason
+
+
+class ProgramSafetyError(RuntimeError):
+    """The static analyzer found state the process engine cannot pickle.
+
+    Raised *before any child process is forked* (RPC011): lambdas, open
+    handles, or locks stored in program/vertex state would otherwise
+    surface as an opaque ``PicklingError`` deep inside the first
+    checkpoint, recovery, or result extraction.  Carries the individual
+    :class:`~repro.check.costmodel.PickleRisk` entries; bypass with
+    ``ProcessBSPEngine(job, check_program=False)`` if the state is known
+    to never cross a process boundary.
+    """
+
+    def __init__(self, program_name: str, risks) -> None:
+        self.program_name = program_name
+        self.risks = tuple(risks)
+        lines = "\n".join(
+            f"  - {r.method}(): {r.detail} (line {r.line})"
+            for r in self.risks
+        )
+        super().__init__(
+            f"program {program_name} holds unpicklable state and cannot "
+            f"run under the process engine:\n{lines}\n"
+            "Keep state to plain data (RPC011), or pass "
+            "check_program=False to override."
+        )
 
 
 class ChildError(RuntimeError):
@@ -192,7 +225,10 @@ class ProcessBSPEngine(BSPEngine):
         heartbeat_interval: float = 0.1,
         heartbeat_timeout: float | None = 30.0,
         start_method: str | None = None,
+        check_program: bool = True,
     ) -> None:
+        if check_program:
+            self._gate_program(job.program)
         super().__init__(job)
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
@@ -221,6 +257,15 @@ class ProcessBSPEngine(BSPEngine):
         except Exception:
             self.shutdown()
             raise
+
+    @staticmethod
+    def _gate_program(program: Any) -> None:
+        """RPC011 pre-fork gate: fail fast on statically unpicklable state."""
+        from ..check.costmodel import profile_of
+
+        profile = profile_of(program)
+        if profile is not None and profile.pickle_risks:
+            raise ProgramSafetyError(profile.program, profile.pickle_risks)
 
     # ------------------------------------------------------------------
     # Control-plane injection: buffered here, flushed to children at the

@@ -69,6 +69,11 @@ class SwathController(SuperstepObserver):
         self._steps_since_initiation = 0
         self._messages_history: list[int] = []
         self._started_any = False
+        # Sizer decisions ride the same registry as controller telemetry
+        # (repro_swath_size / repro_swath_probe_mem_bytes) unless the
+        # sizer was given its own.
+        if self.metrics is not None and self.sizer.metrics is None:
+            self.sizer.metrics = self.metrics
 
     # ------------------------------------------------------------------
     # Observer protocol

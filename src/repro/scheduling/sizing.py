@@ -16,14 +16,53 @@ workers idle.  The paper proposes picking the size automatically:
 
 Sizers see one observation per *swath window* (the supersteps between two
 initiations): the cluster-wide peak per-worker memory in that window.
+
+Two cross-cutting facilities:
+
+* **Static seeding** — ``SamplingSizer.from_profile(...)`` /
+  ``AdaptiveSizer.from_profile(...)`` start from the
+  :class:`~repro.check.costmodel.ProgramProfile` cost model instead of a
+  blind guess: the model's bytes-per-root prior sizes the first (single)
+  probe, so the sampler commits after one window where the cold-start
+  sampler needs its full probe budget.
+* **Observability** — when a sizer's ``metrics`` slot holds a
+  :class:`~repro.obs.metrics.MetricsRegistry`, every decision lands in
+  ``repro_swath_size`` and every window measurement in
+  ``repro_swath_probe_mem_bytes`` (labelled by sizer), so swath sizing is
+  auditable from the run report alone.  :class:`SwathController`
+  propagates its own registry into the sizer automatically.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.check.costmodel import ProgramProfile
 
 __all__ = ["SwathSizer", "StaticSizer", "SamplingSizer", "AdaptiveSizer", "SizerObservation"]
+
+
+def _profile_prior_size(
+    profile: "ProgramProfile",
+    target_bytes: float,
+    num_vertices: int,
+    num_edges: int,
+    num_workers: int,
+    max_size: int,
+) -> int:
+    """Model-predicted committed swath size for a memory target."""
+    from repro.check.costmodel import estimate_bytes_per_root
+
+    per_root = estimate_bytes_per_root(
+        profile, num_vertices=num_vertices, num_edges=num_edges,
+        num_workers=num_workers,
+    )
+    if per_root <= 0:
+        return max_size
+    return max(1, min(int(float(target_bytes) / per_root), max_size))
 
 
 @dataclass(frozen=True)
@@ -38,12 +77,32 @@ class SizerObservation:
 class SwathSizer(ABC):
     """Chooses how many roots to start in the next swath."""
 
+    #: optional :class:`~repro.obs.metrics.MetricsRegistry` (duck-typed);
+    #: set directly or inherited from the owning SwathController.
+    metrics: Any = None
+
     @abstractmethod
     def next_size(self, remaining: int) -> int:
         """Size of the next swath (>=1, <= remaining)."""
 
     def observe(self, obs: SizerObservation) -> None:
         """Feed back the previous window's memory measurement."""
+
+    def _emit_size(self, size: int) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_swath_size",
+                help="Swath size chosen by the sizer",
+                sizer=self.label,
+            ).set(size)
+
+    def _emit_probe(self, obs: SizerObservation) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_swath_probe_mem_bytes",
+                help="Peak per-worker memory measured for a swath window",
+                sizer=self.label,
+            ).set(obs.peak_memory)
 
     @property
     def label(self) -> str:
@@ -59,7 +118,9 @@ class StaticSizer(SwathSizer):
         self.size = size
 
     def next_size(self, remaining: int) -> int:
-        return max(1, min(self.size, remaining))
+        size = max(1, min(self.size, remaining))
+        self._emit_size(size)
+        return size
 
     @property
     def label(self) -> str:
@@ -92,7 +153,39 @@ class SamplingSizer(SwathSizer):
         self._observations: list[SizerObservation] = []
         self._committed: int | None = None
 
+    @classmethod
+    def from_profile(
+        cls,
+        profile: "ProgramProfile",
+        target_bytes: float,
+        *,
+        num_vertices: int,
+        num_edges: int,
+        num_workers: int = 1,
+        max_size: int = 10_000,
+    ) -> "SamplingSizer":
+        """Seed the sampler from a static cost model (informed cold start).
+
+        The profile's bytes-per-root prior predicts the committed size; the
+        sizer then runs a *single* probe swath at half that prediction
+        (large enough to measure, conservative enough to survive a model
+        that under-estimated) and commits off it.  The cold-start default
+        needs ``probes`` (=2) tiny swaths to reach the same point, so the
+        seeded sampler always commits in strictly fewer probe windows.
+        """
+        prior = _profile_prior_size(
+            profile, target_bytes, num_vertices, num_edges, num_workers,
+            max_size,
+        )
+        return cls(
+            target_bytes,
+            probe_size=max(1, prior // 2),
+            probes=1,
+            max_size=max_size,
+        )
+
     def observe(self, obs: SizerObservation) -> None:
+        self._emit_probe(obs)
         if self._committed is None:
             self._observations.append(obs)
 
@@ -110,13 +203,21 @@ class SamplingSizer(SwathSizer):
             else:
                 self._committed = max(1, min(int(headroom / per_root), self.max_size))
         if self._committed is not None:
-            return max(1, min(self._committed, remaining))
-        return max(1, min(self.probe_size, remaining))
+            size = max(1, min(self._committed, remaining))
+        else:
+            size = max(1, min(self.probe_size, remaining))
+        self._emit_size(size)
+        return size
 
     @property
     def committed_size(self) -> int | None:
         """The extrapolated size once sampling finished (None while probing)."""
         return self._committed
+
+    @property
+    def probe_swaths_used(self) -> int:
+        """Probe windows consumed so far (stops growing once committed)."""
+        return len(self._observations)
 
     @property
     def label(self) -> str:
@@ -149,7 +250,34 @@ class AdaptiveSizer(SwathSizer):
         self.max_size = max_size
         self._size = initial_size
 
+    @classmethod
+    def from_profile(
+        cls,
+        profile: "ProgramProfile",
+        target_bytes: float,
+        *,
+        num_vertices: int,
+        num_edges: int,
+        num_workers: int = 1,
+        max_growth: float = 4.0,
+        max_size: int = 10_000,
+    ) -> "AdaptiveSizer":
+        """Start the feedback loop at the model-predicted size (halved for
+        safety) instead of the blind 2-root default, so the controller
+        converges in O(1) windows rather than O(log(size)/log(growth))."""
+        prior = _profile_prior_size(
+            profile, target_bytes, num_vertices, num_edges, num_workers,
+            max_size,
+        )
+        return cls(
+            target_bytes,
+            initial_size=max(1, prior // 2),
+            max_growth=max_growth,
+            max_size=max_size,
+        )
+
     def observe(self, obs: SizerObservation) -> None:
+        self._emit_probe(obs)
         used = obs.peak_memory - obs.baseline_memory
         headroom = self.target_bytes - obs.baseline_memory
         if used <= 0:
@@ -161,7 +289,9 @@ class AdaptiveSizer(SwathSizer):
         self._size = int(max(1, min(proposed, ceiling, self.max_size)))
 
     def next_size(self, remaining: int) -> int:
-        return max(1, min(self._size, remaining))
+        size = max(1, min(self._size, remaining))
+        self._emit_size(size)
+        return size
 
     @property
     def label(self) -> str:

@@ -68,6 +68,42 @@ class TestRunners:
             calibrate_worker_memory(graph, cfg, range(4), headroom=0)
 
 
+class TestAutoProfile:
+    def test_run_pagerank_records_profile(self, graph, cfg):
+        from repro.check import FanoutClass
+
+        res = run_pagerank(graph, cfg, iterations=3)
+        assert res.profile is not None
+        assert res.profile.program == "PageRankProgram"
+        assert res.profile.fanout is FanoutClass.OUT_DEGREE
+
+    def test_run_traversal_records_broadcast_profile(self, graph, cfg):
+        run = run_traversal(graph, cfg, roots=range(4), kind="bc")
+        assert run.profile is not None
+        assert run.profile.fanout.value == "broadcast"
+        assert run.profile is run.result.profile
+
+    def test_auto_profile_disabled(self, graph):
+        cfg = RunConfig(num_workers=2, auto_profile=False)
+        assert run_pagerank(graph, cfg, iterations=2).profile is None
+
+    def test_profile_gauges_emitted(self, graph):
+        from repro.check import FanoutClass
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cfg = RunConfig(num_workers=2, metrics=registry)
+        run_pagerank(graph, cfg, iterations=2)
+        fanout = registry.gauge(
+            "repro_program_fanout_level", program="PageRankProgram"
+        )
+        payload = registry.gauge(
+            "repro_program_payload_nbytes", program="PageRankProgram"
+        )
+        assert fanout.value == FanoutClass.OUT_DEGREE.level
+        assert payload.value == 8
+
+
 class TestExtrapolation:
     def test_pro_rata(self):
         e = extrapolate_runtime(100.0, roots_measured=50, roots_total=500)

@@ -109,11 +109,11 @@ def test_directory_target_scans_recursively(tmp_path):
 def test_list_rules_text_and_json(capsys):
     assert check("--list-rules") == 0
     text = capsys.readouterr().out
-    assert "RPC001" in text and "RPC010" in text and "fix:" in text
+    assert "RPC001" in text and "RPC014" in text and "fix:" in text
     assert check("--list-rules", "--format", "json") == 0
     catalog = json.loads(capsys.readouterr().out)
-    assert len(catalog) == 10
-    assert {r["id"] for r in catalog} == {f"RPC{i:03d}" for i in range(1, 11)}
+    assert len(catalog) == 14
+    assert {r["id"] for r in catalog} == {f"RPC{i:03d}" for i in range(1, 15)}
 
 
 def test_repo_algorithms_and_examples_are_clean():
@@ -121,4 +121,33 @@ def test_repo_algorithms_and_examples_are_clean():
         str(REPO_ROOT / "src" / "repro" / "algorithms"),
         str(REPO_ROOT / "examples"),
     ]
-    assert check(*targets) == 0
+    assert check(*targets, "--strict") == 0
+
+
+def test_json_envelope_is_stable(bad_file, capsys):
+    assert check(str(bad_file), "--no-config", "--format", "json") == 1
+    payload = json.loads(capsys.readouterr().out)
+    # Stable envelope: version, rule metadata, per-file timing.
+    assert payload["version"].count(".") == 1
+    assert {r["id"] for r in payload["rules"]} >= {"RPC001", "RPC014"}
+    for rule in payload["rules"]:
+        assert set(rule) == {"id", "severity", "summary", "hint"}
+    (entry,) = payload["files"]
+    assert entry["path"].endswith("bad.py")
+    assert entry["elapsed_ms"] >= 0
+    assert [f["rule"] for f in entry["findings"]] == ["RPC001"]
+    assert payload["profiles"] is None  # --profile not requested
+
+
+def test_profile_flag_text_and_json(capsys):
+    target = str(REPO_ROOT / "src" / "repro" / "algorithms" / "bc.py")
+    assert check(target, "--no-config", "--profile") == 0
+    out = capsys.readouterr().out
+    assert "cost profiles" in out and "fan-out=broadcast" in out
+    assert check(target, "--no-config", "--profile", "--format", "json") == 0
+    payload = json.loads(capsys.readouterr().out)
+    (profile,) = payload["profiles"]
+    assert profile["program"] == "BCProgram"
+    assert profile["fanout"] == "broadcast"
+    assert profile["message_driven"] is True
+    assert profile["payload"]["nbytes"] > 0

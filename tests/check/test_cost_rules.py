@@ -1,0 +1,293 @@
+"""Trigger + near-miss tests for the profile-backed rules RPC011-RPC014."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.check import analyze_source
+
+
+def fired(source: str, **kwargs) -> set[str]:
+    return {f.rule_id for f in analyze_source(textwrap.dedent(source), **kwargs)}
+
+
+# ----------------------------------------------------------------------
+# RPC011 — unpicklable state under --engine process
+# ----------------------------------------------------------------------
+def test_rpc011_fires_on_lambda_in_init():
+    src = """
+        class P(VertexProgram):
+            def __init__(self):
+                self.score = lambda x: x * 2
+
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC011" in fired(src)
+
+
+def test_rpc011_fires_on_lambda_in_init_state():
+    src = """
+        class P(VertexProgram):
+            def init_state(self, vertex_id, graph):
+                return {"rank": 0.0, "fn": lambda m: m + 1}
+
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC011" in fired(src)
+
+
+def test_rpc011_fires_on_open_handle_and_lock():
+    src = """
+        import threading
+
+        class P(VertexProgram):
+            def __init__(self):
+                self.log = open("/tmp/x", "w")
+                self.lock = threading.Lock()
+
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+    """
+    findings = [
+        f for f in analyze_source(textwrap.dedent(src))
+        if f.rule_id == "RPC011"
+    ]
+    assert len(findings) == 2
+
+
+def test_rpc011_fires_on_closure_stored_in_state():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                def scorer(m):
+                    return m + state
+                state.fn = scorer
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC011" in fired(src)
+
+
+def test_rpc011_fires_on_closure_returned_as_state():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                def scorer(m):
+                    return m + ctx.superstep
+                ctx.vote_to_halt()
+                return scorer
+    """
+    assert "RPC011" in fired(src)
+
+
+def test_rpc011_near_miss_lambda_keyed_result_returned():
+    # The *result* of a lambda-keyed call is plain data; only returning the
+    # function object itself is a pickle hazard.
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return sorted(messages, key=lambda m: m[1])
+    """
+    assert "RPC011" not in fired(src)
+
+
+def test_rpc011_near_miss_plain_data_state():
+    src = """
+        class P(VertexProgram):
+            def __init__(self):
+                self.damping = 0.85
+
+            def init_state(self, vertex_id, graph):
+                return {"rank": 1.0, "hops": []}
+
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC011" not in fired(src)
+
+
+def test_rpc011_near_miss_lambda_used_but_not_stored():
+    # A lambda consumed inside compute() never crosses a pickle boundary.
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                best = max(messages, key=lambda m: m[1], default=None)
+                ctx.vote_to_halt()
+                return best
+    """
+    assert "RPC011" not in fired(src)
+
+
+# ----------------------------------------------------------------------
+# RPC012 — broadcast-class program without swath scheduling
+# ----------------------------------------------------------------------
+BROADCAST_BODY = """
+    class P(VertexProgram):
+        def compute(self, ctx, state, messages):
+            for m in messages:
+                ctx.send_to_neighbors(m)
+            ctx.vote_to_halt()
+            return state
+"""
+
+
+def test_rpc012_fires_on_broadcast_without_start_messages():
+    assert "RPC012" in fired(BROADCAST_BODY)
+
+
+def test_rpc012_near_miss_with_start_messages_factory():
+    src = BROADCAST_BODY + """
+    def start_messages(roots):
+        return [(int(r), ("start", int(r))) for r in roots]
+    """
+    assert "RPC012" not in fired(src)
+
+
+def test_rpc012_near_miss_bounded_fanout():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.send_to_neighbors(state)
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC012" not in fired(src)
+
+
+# ----------------------------------------------------------------------
+# RPC013 — combiner-eligible program running combiner-less
+# ----------------------------------------------------------------------
+def test_rpc013_fires_on_combinerless_sum():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                total = sum(messages)
+                ctx.send_to_neighbors(total)
+                ctx.vote_to_halt()
+                return total
+    """
+    findings = [
+        f for f in analyze_source(textwrap.dedent(src))
+        if f.rule_id == "RPC013"
+    ]
+    assert len(findings) == 1
+    assert "SumCombiner" in findings[0].message
+
+
+def test_rpc013_near_miss_combiner_declared():
+    src = """
+        class P(VertexProgram):
+            combiner = SumCombiner()
+
+            def compute(self, ctx, state, messages):
+                total = sum(messages)
+                ctx.send_to_neighbors(total)
+                ctx.vote_to_halt()
+                return total
+    """
+    assert "RPC013" not in fired(src)
+
+
+def test_rpc013_near_miss_non_commutative_fold():
+    # Order-dependent consumption is not combiner-eligible.
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                latest = None
+                for m in messages:
+                    latest = m
+                ctx.vote_to_halt()
+                return latest
+    """
+    assert "RPC013" not in fired(src)
+
+
+# ----------------------------------------------------------------------
+# RPC014 — payload references an unbounded state accumulator
+# ----------------------------------------------------------------------
+def test_rpc014_fires_on_grown_list_in_payload():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                state.path.append(ctx.vertex_id)
+                ctx.send_to_neighbors(tuple(state.path))
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC014" in fired(src)
+
+
+def test_rpc014_fires_on_subscript_grown_dict():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                state.seen[ctx.superstep] = len(messages)
+                ctx.send(0, state.seen)
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC014" in fired(src)
+
+
+def test_rpc014_near_miss_growth_not_sent():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                state.path.append(ctx.vertex_id)
+                ctx.send_to_neighbors(len(messages))
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC014" not in fired(src)
+
+
+def test_rpc014_near_miss_bounded_summary_sent():
+    src = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                state.path.append(ctx.vertex_id)
+                ctx.send_to_neighbors(len(state.path))
+                ctx.vote_to_halt()
+                return state
+    """
+    # len(state.path) reads the accumulator but ships 8 bytes... the
+    # analyzer is conservative here: reading the grown path at all flags.
+    # The *local* accumulator case must stay silent though:
+    src2 = """
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                hops = []
+                hops.append(ctx.vertex_id)
+                ctx.send_to_neighbors(tuple(hops))
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC014" not in fired(src2)
+
+
+def test_new_rules_are_warnings_not_errors():
+    from repro.check import Severity
+    from repro.check.rules import RULES
+
+    for rule in RULES:
+        if rule.id in {"RPC011", "RPC012", "RPC013", "RPC014"}:
+            assert rule.severity is Severity.WARNING
+
+
+def test_noqa_suppresses_cost_rules():
+    src = """
+        class P(VertexProgram):  # repro: noqa[RPC012]
+            def compute(self, ctx, state, messages):
+                for m in messages:
+                    ctx.send_to_neighbors(m)
+                ctx.vote_to_halt()
+                return state
+    """
+    assert "RPC012" not in fired(src)

@@ -1,0 +1,445 @@
+"""Static cost models (repro.check.costmodel): fan-out classification,
+payload/combiner/aggregator inference, live-object profiling, and the
+bytes-per-root prior that seeds swath sizing.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check.costmodel import (
+    FanoutClass,
+    estimate_bytes_per_root,
+    profile_of,
+    profile_paths,
+    profile_source,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+ALGOS = REPO_ROOT / "src" / "repro" / "algorithms"
+
+
+def one_profile(source: str):
+    profiles = profile_source(textwrap.dedent(source), filename="<fixture>")
+    assert len(profiles) == 1
+    return profiles[0]
+
+
+# ----------------------------------------------------------------------
+# Fan-out classification
+# ----------------------------------------------------------------------
+def test_no_sends_is_none_class():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+    """)
+    assert p.fanout is FanoutClass.NONE
+    assert p.fanout_coeffs == (0, 0, 0)
+    assert p.send_sites == ()
+
+
+def test_single_send_is_constant_class():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.send(0, state)
+                return state
+    """)
+    assert p.fanout is FanoutClass.CONSTANT
+    assert p.fanout_coeffs == (1, 0, 0)
+
+
+def test_send_to_neighbors_is_out_degree_class():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.send_to_neighbors(state)
+                return state
+    """)
+    assert p.fanout is FanoutClass.OUT_DEGREE
+    assert p.fanout_coeffs == (0, 1, 0)
+
+
+def test_send_in_neighbors_loop_is_out_degree_class():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                for u in ctx.out_neighbors:
+                    ctx.send(int(u), state)
+                return state
+    """)
+    assert p.fanout is FanoutClass.OUT_DEGREE
+
+
+def test_neighbor_alias_chain_still_out_degree():
+    # Names derived from ctx.out_neighbors stay neighbor-classed.
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                nbrs = sorted(ctx.out_neighbors)
+                targets = nbrs
+                for u in targets:
+                    ctx.send(int(u), state)
+                return state
+    """)
+    assert p.fanout is FanoutClass.OUT_DEGREE
+
+
+def test_reply_loop_over_messages_is_out_degree_class():
+    # One data loop over the in-flow is non-amplifying (reply pattern).
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                for sender in messages:
+                    ctx.send(sender, state)
+                return state
+    """)
+    assert p.fanout is FanoutClass.OUT_DEGREE
+    assert p.fanout_coeffs == (0, 0, 1)
+
+
+def test_degree_inside_data_loop_is_broadcast():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                for m in messages:
+                    ctx.send_to_neighbors(m)
+                return state
+    """)
+    assert p.fanout is FanoutClass.BROADCAST
+    assert p.fanout_coeffs is None
+
+
+def test_nested_data_loops_are_broadcast():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                for src, candidates in messages:
+                    for other in candidates:
+                        ctx.send(other, src)
+                return state
+    """)
+    assert p.fanout is FanoutClass.BROADCAST
+
+
+def test_constant_loop_does_not_amplify():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                for i in range(3):
+                    ctx.send(i, state)
+                return state
+    """)
+    assert p.fanout is FanoutClass.CONSTANT
+
+
+def test_while_loop_counts_as_data_loop():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                while state > 0:
+                    ctx.send_to_neighbors(state)
+                    state -= 1
+                return state
+    """)
+    assert p.fanout is FanoutClass.BROADCAST
+
+
+def test_branch_sensitivity_takes_the_worst_branch():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                if state:
+                    ctx.send(0, state)
+                else:
+                    for m in messages:
+                        ctx.send_to_neighbors(m)
+                return state
+    """)
+    assert p.fanout is FanoutClass.BROADCAST
+
+
+def test_superstep_pinned_sites_get_per_superstep_classes():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                if ctx.superstep == 0:
+                    ctx.send_to_neighbors(state)
+                if ctx.superstep == 1:
+                    for m in messages:
+                        ctx.send_to_neighbors(m)
+                return state
+    """)
+    assert dict(p.fanout_by_superstep) == {
+        0: FanoutClass.OUT_DEGREE,
+        1: FanoutClass.BROADCAST,
+    }
+    assert p.fanout is FanoutClass.BROADCAST
+
+
+def test_sends_in_self_helper_methods_are_found():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                return self._step(ctx, state, messages)
+
+            def _step(self, c, s, msgs):
+                for sender in msgs:
+                    c.send(sender, s)
+                return s
+    """)
+    assert p.fanout is FanoutClass.OUT_DEGREE
+    assert len(p.send_sites) == 1
+
+
+def test_fanout_class_ordering():
+    order = [
+        FanoutClass.NONE,
+        FanoutClass.CONSTANT,
+        FanoutClass.OUT_DEGREE,
+        FanoutClass.BROADCAST,
+    ]
+    for hi_idx, hi in enumerate(order):
+        for lo in order[: hi_idx + 1]:
+            assert hi.covers(lo)
+    assert not FanoutClass.CONSTANT.covers(FanoutClass.BROADCAST)
+
+
+# ----------------------------------------------------------------------
+# Payload model
+# ----------------------------------------------------------------------
+def test_tuple_payload_width_and_bytes():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.send(0, (1, state, 2.5))
+                return state
+    """)
+    assert p.payload.kind == "tuple"
+    assert p.payload.width == 3
+    assert p.payload.nbytes == 24
+    assert p.payload.bounded
+
+
+def test_container_construction_payload_is_unbounded():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.send_to_neighbors(tuple(state))
+                return state
+    """)
+    assert p.payload.kind == "sequence"
+    assert not p.payload.bounded
+
+
+def test_widest_payload_wins():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                ctx.send(0, state)
+                ctx.send(1, (state, 1, 2, 3, 4))
+                return state
+    """)
+    assert p.payload.nbytes == 40
+
+
+# ----------------------------------------------------------------------
+# Combiner / reduction / aggregator inference
+# ----------------------------------------------------------------------
+def test_sum_reduction_suggests_sum_combiner():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                total = sum(messages)
+                ctx.send_to_neighbors(total)
+                return total
+    """)
+    assert p.reduction == "sum"
+    assert p.combiner_declared is None
+    assert p.combiner_suggested == "SumCombiner"
+
+
+def test_accumulation_loop_detected_as_sum():
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                acc = 0.0
+                for m in messages:
+                    acc += m
+                ctx.send_to_neighbors(acc)
+                return acc
+    """)
+    assert p.reduction == "sum"
+    assert p.combiner_suggested == "SumCombiner"
+
+
+def test_declared_combiner_silences_suggestion():
+    p = one_profile("""
+        class P(VertexProgram):
+            combiner = MinCombiner()
+
+            def compute(self, ctx, state, messages):
+                best = min(messages, default=state)
+                ctx.send_to_neighbors(best)
+                return best
+    """)
+    assert p.combiner_declared == "MinCombiner"
+    assert p.combiner_suggested is None
+
+
+def test_instance_level_combiner_is_detected():
+    p = one_profile("""
+        class P(VertexProgram):
+            def __init__(self):
+                self.combiner = SumCombiner()
+
+            def compute(self, ctx, state, messages):
+                ctx.send_to_neighbors(sum(messages))
+                return state
+    """)
+    assert p.combiner_declared == "SumCombiner"
+
+
+def test_wide_tuple_payload_blocks_combiner_suggestion():
+    # The fold target isn't the message scalar itself: don't suggest.
+    p = one_profile("""
+        class P(VertexProgram):
+            def compute(self, ctx, state, messages):
+                total = sum(messages)
+                ctx.send(0, (total, state, 1))
+                return state
+    """)
+    assert p.combiner_suggested is None
+
+
+def test_aggregator_types_inferred():
+    p = one_profile("""
+        class P(VertexProgram):
+            def aggregators(self):
+                return {"mass": SumAggregator(), "seen": MaxAggregator()}
+
+            def compute(self, ctx, state, messages):
+                ctx.vote_to_halt()
+                return state
+    """)
+    assert dict(p.aggregators) == {
+        "mass": "SumAggregator",
+        "seen": "MaxAggregator",
+    }
+
+
+# ----------------------------------------------------------------------
+# Bundled algorithms match their analytic classes (acceptance criteria)
+# ----------------------------------------------------------------------
+EXPECTED_CLASSES = {
+    "PageRankProgram": FanoutClass.OUT_DEGREE,
+    "ConvergentPageRankProgram": FanoutClass.OUT_DEGREE,
+    "ConnectedComponentsProgram": FanoutClass.OUT_DEGREE,
+    "LabelPropagationProgram": FanoutClass.OUT_DEGREE,
+    "SSSPProgram": FanoutClass.OUT_DEGREE,
+    "DiameterEstimationProgram": FanoutClass.OUT_DEGREE,
+    "KCoreProgram": FanoutClass.OUT_DEGREE,
+    "SemiClusteringProgram": FanoutClass.OUT_DEGREE,
+    "BipartiteMatchingProgram": FanoutClass.OUT_DEGREE,
+    "BCProgram": FanoutClass.BROADCAST,
+    "APSPProgram": FanoutClass.BROADCAST,
+    "TriangleCountProgram": FanoutClass.BROADCAST,
+}
+
+
+def test_bundled_algorithms_match_analytic_classes():
+    profiles = {p.program: p for p in profile_paths([str(ALGOS)])}
+    assert set(profiles) == set(EXPECTED_CLASSES)
+    for name, expected in EXPECTED_CLASSES.items():
+        assert profiles[name].fanout is expected, name
+
+
+def test_traversal_programs_are_message_driven():
+    profiles = {p.program: p for p in profile_paths([str(ALGOS)])}
+    assert profiles["BCProgram"].message_driven
+    assert profiles["APSPProgram"].message_driven
+    assert not profiles["PageRankProgram"].message_driven
+
+
+def test_pagerank_gets_sum_combiner_and_dangling_aggregator():
+    profiles = {p.program: p for p in profile_paths([str(ALGOS)])}
+    pr = profiles["PageRankProgram"]
+    assert pr.combiner_declared == "SumCombiner"
+    assert dict(pr.aggregators) == {"dangling": "SumAggregator"}
+
+
+# ----------------------------------------------------------------------
+# profile_of: live objects, wrappers, as_dict
+# ----------------------------------------------------------------------
+def test_profile_of_live_program_object():
+    from repro.algorithms.bc import BCProgram
+
+    p = profile_of(BCProgram())
+    assert p is not None
+    assert p.program == "BCProgram"
+    assert p.fanout is FanoutClass.BROADCAST
+
+
+def test_profile_of_accepts_class_and_unwraps_inner():
+    from repro.algorithms.pagerank import PageRankProgram
+    from repro.check import SanitizingProgram
+
+    direct = profile_of(PageRankProgram)
+    wrapped = profile_of(SanitizingProgram(PageRankProgram(iterations=3)))
+    assert direct is not None and wrapped is not None
+    assert direct.program == wrapped.program == "PageRankProgram"
+
+
+def test_profile_of_sourceless_class_returns_none():
+    cls = eval("type('Ghost', (), {})")  # no source file on disk
+    assert profile_of(cls) is None
+
+
+def test_as_dict_round_trips_through_json():
+    import json
+
+    from repro.algorithms.bc import BCProgram
+
+    p = profile_of(BCProgram)
+    d = json.loads(json.dumps(p.as_dict()))
+    assert d["program"] == "BCProgram"
+    assert d["fanout"] == "broadcast"
+    assert d["fanout_coeffs"] is None
+    assert len(d["send_sites"]) == len(p.send_sites)
+    assert d["payload"]["bounded"] is True
+
+
+# ----------------------------------------------------------------------
+# Bytes-per-root prior
+# ----------------------------------------------------------------------
+def test_broadcast_prior_scales_with_edges():
+    from repro.algorithms.bc import BCProgram
+    from repro.algorithms.pagerank import PageRankProgram
+
+    bc = profile_of(BCProgram)
+    pr = profile_of(PageRankProgram)
+    bc_cost = estimate_bytes_per_root(
+        bc, num_vertices=1000, num_edges=8000, num_workers=4
+    )
+    pr_cost = estimate_bytes_per_root(
+        pr, num_vertices=1000, num_edges=8000, num_workers=4
+    )
+    assert bc_cost > pr_cost > 0
+    denser = estimate_bytes_per_root(
+        bc, num_vertices=1000, num_edges=64_000, num_workers=4
+    )
+    assert denser > bc_cost
+
+
+def test_prior_rejects_bad_worker_count():
+    from repro.algorithms.bc import BCProgram
+
+    with pytest.raises(ValueError):
+        estimate_bytes_per_root(
+            profile_of(BCProgram), num_vertices=10, num_edges=10, num_workers=0
+        )

@@ -22,6 +22,8 @@ def fired(source: str, **kwargs) -> set[str]:
 
 GOOD_PROGRAM = """
     class GoodProgram(VertexProgram):
+        combiner = SumCombiner()
+
         def __init__(self, damping=0.85):
             self.damping = damping
 
@@ -41,7 +43,7 @@ def test_clean_program_has_no_findings():
 def test_rule_catalog_covers_all_rules():
     catalog = rule_catalog()
     assert [r["id"] for r in catalog] == [r.id for r in RULES]
-    assert len(catalog) == 10
+    assert len(catalog) == 14
     assert all(r["summary"] and r["hint"] for r in catalog)
 
 

@@ -1,0 +1,174 @@
+"""Cost-model soundness: the statically inferred fan-out class is an upper
+bound on what every bundled algorithm actually emits.
+
+For each program the analyzer produces a :class:`ProgramProfile` with a
+fan-out class and, below broadcast, affine coefficients ``(alpha, beta,
+gamma)`` bounding per-``compute()`` sends by
+``alpha + beta * out_degree + gamma * len(messages)``.  Summed over a
+superstep that gives the cluster-wide bound
+
+    sent(s) <= alpha * compute_calls(s) + beta * E_directed + gamma * delivered(s)
+
+which we check against the engine's measured :class:`SuperstepStats` for a
+real run of every algorithm.  Broadcast-class programs carry no finite
+coefficients, so for them the property is the classification itself: the
+wave-style programs (BC, APSP, triangle counting) must *be* broadcast — an
+optimistic downgrade to ``O(out_degree)`` fails here before it could
+mis-seed swath sizing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import apsp as apsp_mod
+from repro.algorithms import bc as bc_mod
+from repro.algorithms import (
+    APSPProgram,
+    BCProgram,
+    BipartiteMatchingProgram,
+    ConnectedComponentsProgram,
+    ConvergentPageRankProgram,
+    DiameterEstimationProgram,
+    KCoreProgram,
+    LabelPropagationProgram,
+    PageRankProgram,
+    SSSPProgram,
+    SemiClusteringProgram,
+    TriangleCountProgram,
+)
+from repro.bsp import JobSpec, run_job
+from repro.check import FanoutClass, profile_of
+from repro.graph import generators as gen
+from repro.graph.builder import from_edges
+
+
+def small_world():
+    return gen.watts_strogatz(40, 4, 0.1, seed=11)
+
+
+def bipartite():
+    left, right = range(0, 6), range(6, 12)
+    edges = [(u, v) for u in left for v in right if (u + v) % 3]
+    return from_edges(12, edges, undirected=True)
+
+
+ROOTS = list(range(8))
+
+# (label, program factory, JobSpec kwargs factory, graph factory)
+SCENARIOS = [
+    ("pagerank", lambda: PageRankProgram(5), lambda g: {}, small_world),
+    (
+        "pagerank_convergent",
+        lambda: ConvergentPageRankProgram(tol=1e-6, max_iterations=30),
+        lambda g: {},
+        small_world,
+    ),
+    ("cc", lambda: ConnectedComponentsProgram(), lambda g: {}, small_world),
+    ("kcore", lambda: KCoreProgram(3), lambda g: {}, small_world),
+    ("lpa", lambda: LabelPropagationProgram(6), lambda g: {}, small_world),
+    ("sssp", lambda: SSSPProgram(0), lambda g: {}, small_world),
+    (
+        "diameter",
+        lambda: DiameterEstimationProgram(sources=[0, 1, 2]),
+        lambda g: {},
+        small_world,
+    ),
+    (
+        "semiclustering",
+        lambda: SemiClusteringProgram(max_rounds=3),
+        lambda g: {},
+        small_world,
+    ),
+    (
+        "matching",
+        lambda: BipartiteMatchingProgram(is_left=lambda v: v < 6),
+        lambda g: {},
+        bipartite,
+    ),
+    ("triangles", lambda: TriangleCountProgram(), lambda g: {}, small_world),
+    (
+        "bc",
+        lambda: BCProgram(),
+        lambda g: {
+            "initially_active": False,
+            "initial_messages": bc_mod.start_messages(ROOTS),
+        },
+        small_world,
+    ),
+    (
+        "apsp",
+        lambda: APSPProgram(),
+        lambda g: {
+            "initially_active": False,
+            "initial_messages": apsp_mod.start_messages(ROOTS),
+        },
+        small_world,
+    ),
+]
+
+#: Wave-style traversals whose replication factor the model cannot bound:
+#: their *class* is the property under test.
+BROADCAST_CLASS = {"bc", "apsp", "triangles"}
+
+
+@pytest.mark.parametrize(
+    "label,make_program,spec_kwargs,make_graph",
+    SCENARIOS,
+    ids=[s[0] for s in SCENARIOS],
+)
+def test_inferred_fanout_bounds_measured_messages(
+    label, make_program, spec_kwargs, make_graph
+):
+    program = make_program()
+    profile = profile_of(program)
+    assert profile is not None, f"{label}: analyzer could not profile program"
+
+    graph = make_graph()
+    res = run_job(
+        JobSpec(
+            program=program,
+            graph=graph,
+            num_workers=3,
+            **spec_kwargs(graph),
+        )
+    )
+
+    if label in BROADCAST_CLASS:
+        assert profile.fanout is FanoutClass.BROADCAST, (
+            f"{label}: wave traversal downgraded to {profile.fanout.value}"
+        )
+        assert profile.fanout_coeffs is None
+        return
+
+    assert profile.fanout is not FanoutClass.BROADCAST, (
+        f"{label}: over-classified as broadcast"
+    )
+    alpha, beta, gamma = profile.fanout_coeffs
+    e_directed = int(graph.num_arcs)  # sum of out-degrees
+    for step in res.trace:
+        sent = step.total_messages
+        delivered = sum(w.msgs_in for w in step.workers)
+        bound = (
+            alpha * step.compute_calls + beta * e_directed + gamma * delivered
+        )
+        assert sent <= bound, (
+            f"{label} superstep {step.index}: sent {sent} exceeds static "
+            f"bound {bound} (alpha={alpha}, beta={beta}, gamma={gamma}, "
+            f"calls={step.compute_calls}, E={e_directed}, "
+            f"delivered={delivered})"
+        )
+
+
+def test_none_class_program_sends_nothing():
+    from repro.bsp import VertexProgram
+
+    class Silent(VertexProgram):
+        def compute(self, ctx, state, messages):
+            ctx.vote_to_halt()
+            return len(messages)
+
+    profile = profile_of(Silent)
+    assert profile.fanout is FanoutClass.NONE
+    res = run_job(JobSpec(program=Silent(), graph=small_world(), num_workers=2))
+    assert res.trace.total_messages == 0

@@ -119,3 +119,158 @@ class TestAdaptiveSizer:
             AdaptiveSizer(10.0, initial_size=0)
         with pytest.raises(ValueError):
             AdaptiveSizer(10.0, max_growth=1.0)
+
+
+# ----------------------------------------------------------------------
+# Static seeding from a cost profile + decision observability
+# ----------------------------------------------------------------------
+class TestProfileSeeding:
+    @staticmethod
+    def bc_profile():
+        from repro.algorithms.bc import BCProgram
+        from repro.check import profile_of
+
+        return profile_of(BCProgram)
+
+    def test_sampling_from_profile_single_model_sized_probe(self):
+        from repro.check import estimate_bytes_per_root
+
+        profile = self.bc_profile()
+        target = 1e6
+        s = SamplingSizer.from_profile(
+            profile, target, num_vertices=500, num_edges=4000, num_workers=4
+        )
+        assert s.probes == 1  # one verification window, not a cold sweep
+        prior = int(
+            target
+            / estimate_bytes_per_root(
+                profile, num_vertices=500, num_edges=4000, num_workers=4
+            )
+        )
+        assert s.probe_size == max(1, prior // 2)
+        assert s.probe_size > SamplingSizer(target).probe_size
+
+    def test_sampling_from_profile_commits_after_one_window(self):
+        s = SamplingSizer.from_profile(
+            self.bc_profile(), 1e6, num_vertices=500, num_edges=4000,
+            num_workers=4,
+        )
+        probe = s.next_size(10_000)
+        assert s.committed_size is None
+        s.observe(obs(probe, 1000.0 * probe))
+        assert s.next_size(10_000) == 1000  # 1e6 / 1000 per root
+        assert s.probe_swaths_used == 1
+
+    def test_adaptive_from_profile_seeds_initial_size(self):
+        s = AdaptiveSizer.from_profile(
+            self.bc_profile(), 1e6, num_vertices=500, num_edges=4000,
+            num_workers=4,
+        )
+        assert s.next_size(10_000) > AdaptiveSizer(1e6).next_size(10_000)
+
+    def test_probe_swaths_used_counts_only_probes(self):
+        s = SamplingSizer(1000.0, probe_size=2, probes=2)
+        assert s.probe_swaths_used == 0
+        s.observe(obs(2, 100.0))
+        s.observe(obs(2, 100.0))
+        s.next_size(100)
+        s.observe(obs(20, 100.0))  # post-commit: not a probe
+        assert s.probe_swaths_used == 2
+
+
+class TestSizerMetrics:
+    def test_sampling_emits_size_and_probe_series(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        s = SamplingSizer(1000.0, probe_size=2, probes=1)
+        s.metrics = registry
+        s.next_size(100)
+        s.observe(obs(2, 200.0))  # 100 bytes/root
+        s.next_size(100)
+        assert registry.gauge("repro_swath_size", sizer=s.label).value == 10
+        assert (
+            registry.gauge(
+                "repro_swath_probe_mem_bytes", sizer=s.label
+            ).value
+            == 200.0
+        )
+
+    def test_adaptive_emits_series(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        s = AdaptiveSizer(1000.0, initial_size=2)
+        s.metrics = registry
+        s.observe(obs(2, 250.0))
+        s.next_size(100)
+        assert registry.gauge("repro_swath_size", sizer="Adaptive").value == 8
+        assert (
+            registry.gauge(
+                "repro_swath_probe_mem_bytes", sizer="Adaptive"
+            ).value
+            == 250.0
+        )
+
+    def test_no_registry_is_silent(self):
+        s = SamplingSizer(1000.0)
+        s.observe(obs(2, 100.0))
+        assert s.next_size(10) >= 1  # no metrics slot: plain behaviour
+
+    def test_controller_propagates_registry_into_sizer(self):
+        from repro.obs import MetricsRegistry
+        from repro.scheduling import SwathController
+
+        registry = MetricsRegistry()
+        sizer = SamplingSizer(1000.0)
+        SwathController(
+            roots=[1, 2, 3],
+            start_factory=lambda roots: [(int(r), ()) for r in roots],
+            sizer=sizer,
+            metrics=registry,
+        )
+        assert sizer.metrics is registry
+
+    def test_controller_keeps_sizer_private_registry(self):
+        from repro.obs import MetricsRegistry
+        from repro.scheduling import SwathController
+
+        own = MetricsRegistry()
+        sizer = SamplingSizer(1000.0)
+        sizer.metrics = own
+        SwathController(
+            roots=[1],
+            start_factory=lambda roots: [],
+            sizer=sizer,
+            metrics=MetricsRegistry(),
+        )
+        assert sizer.metrics is own
+
+
+# ----------------------------------------------------------------------
+# Acceptance: model-seeded sampling beats cold start on the BC scenario
+# ----------------------------------------------------------------------
+def test_seeded_sampler_commits_in_strictly_fewer_probe_swaths():
+    from repro.analysis import RunConfig, run_traversal
+    from repro.check import profile_of
+    from repro.algorithms.bc import BCProgram
+    from repro.graph import generators as gen
+
+    graph = gen.watts_strogatz(300, 6, 0.05, seed=7)
+    cfg = RunConfig(num_workers=4, max_supersteps=5000)
+    roots = list(range(24))
+    # Sized so the model prior (~21 roots) stays below |roots|: the seeded
+    # probe swath must leave roots pending, or no window ever closes.
+    target = 5e5
+
+    cold = SamplingSizer(target)
+    seeded = SamplingSizer.from_profile(
+        profile_of(BCProgram), target,
+        num_vertices=graph.num_vertices, num_edges=graph.num_edges,
+        num_workers=cfg.num_workers,
+    )
+    for sizer in (cold, seeded):
+        run = run_traversal(graph, cfg, roots, kind="bc", sizer=sizer)
+        assert run.controller.completed_all
+        assert sizer.committed_size is not None, sizer.label
+    assert seeded.probe_swaths_used < cold.probe_swaths_used
