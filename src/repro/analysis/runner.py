@@ -47,6 +47,8 @@ class RunConfig:
     #: optional observability sinks (repro.obs), threaded into every job
     tracer: Any = None
     metrics: Any = None
+    #: optional :class:`repro.obs.RunTimeline` attribution recorder
+    timeline: Any = None
     #: statically profile the program (repro.check.costmodel) and record
     #: the ProgramProfile on the JobResult + metrics; cheap (pure AST)
     auto_profile: bool = True
@@ -66,6 +68,7 @@ class RunConfig:
             max_supersteps=self.max_supersteps,
             tracer=self.tracer,
             metrics=self.metrics,
+            timeline=self.timeline,
             **kwargs,
         )
 
@@ -194,6 +197,7 @@ def run_traversal(
         sizer=sizer if sizer is not None else StaticSizer(max(1, len(roots))),
         initiation=initiation if initiation is not None else SequentialInitiation(),
         metrics=cfg.metrics,
+        timeline=cfg.timeline,
     )
     job = cfg.job(
         program, graph, initially_active=False,

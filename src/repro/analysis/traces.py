@@ -7,10 +7,11 @@ cost-model revisions.  JSON round-trips losslessly (tests assert it,
 including disk-buffered and jittered runs).
 
 Format history: version 2 added ``disk_time`` and ``jitter_factor`` to
-worker rows and ``injected`` to step rows — version-1 files silently
-dropped them.  :func:`trace_from_dict` still reads version-1 files; the
-missing fields take their dataclass defaults (no disk I/O, no jitter, no
-injections).
+worker rows and ``injected`` to step rows; version 3 added ``queue_depth``
+(messages buffered for the next superstep, measured at the barrier) to
+worker rows.  :func:`trace_from_dict` still reads version-1 and -2 files;
+the missing fields take their dataclass defaults (no disk I/O, no jitter,
+no injections, empty queues).
 """
 
 from __future__ import annotations
@@ -32,7 +33,7 @@ __all__ = [
     "to_csv_text",
 ]
 
-TRACE_FORMAT_VERSION = 2
+TRACE_FORMAT_VERSION = 3
 
 _WORKER_FIELDS = [
     "worker",
@@ -44,6 +45,7 @@ _WORKER_FIELDS = [
     "bytes_in",
     "peers_out",
     "peers_in",
+    "queue_depth",
     "compute_time",
     "serialize_time",
     "network_time",
@@ -84,9 +86,9 @@ def trace_to_dict(trace: JobTrace) -> dict:
 
 
 def trace_from_dict(data: dict) -> JobTrace:
-    """Inverse of :func:`trace_to_dict`; reads format versions 1 and 2."""
+    """Inverse of :func:`trace_to_dict`; reads format versions 1, 2 and 3."""
     version = data.get("version")
-    if version not in (1, TRACE_FORMAT_VERSION):
+    if version not in (1, 2, TRACE_FORMAT_VERSION):
         raise ValueError(f"unsupported trace version {version!r}")
     if "steps" not in data:
         raise ValueError("not a trace dump: no 'steps' key (is this a spans file?)")

@@ -81,10 +81,11 @@ class BSPEngine:
             else None
         )
         self._observers: list[SuperstepObserver] = list(job.observers)
-        # Observability sinks (both optional; every instrumentation site is
+        # Observability sinks (all optional; every instrumentation site is
         # guarded by an `is None` check so unobserved runs pay ~nothing).
         self.tracer = job.tracer
         self.metrics = job.metrics
+        self.timeline = job.timeline
         self._em = (
             _EngineInstruments(self.metrics) if self.metrics is not None else None
         )
@@ -196,12 +197,25 @@ class BSPEngine:
                 for obs in self._observers:
                     obs.on_superstep_end(self, stats)
                 if self._master_halt and not failed:
+                    if self.timeline is not None:
+                        self.timeline.record_superstep(stats)
                     halted = True
                     self.superstep += 1
                     break
                 if not failed:
                     self._post_superstep(stats)
+                    # Record only committed supersteps, after every cost
+                    # charged to this step (checkpoint, elastic resize) has
+                    # landed in stats.elapsed; failed steps roll back instead.
+                    if self.timeline is not None:
+                        self.timeline.record_superstep(stats)
                     self.superstep += 1
+                elif self.timeline is not None and self.superstep > stats.index:
+                    # The failure struck after this boundary's checkpoint
+                    # already captured the step: recovery resumes *past* it,
+                    # so it is committed — record it, with the recovery cost
+                    # it absorbed.
+                    self.timeline.record_superstep(stats)
             finally:
                 if span is not None:
                     if stats is not None:
@@ -341,8 +355,8 @@ class BSPEngine:
         view exposes ``worker_id``, ``stats`` (a
         :class:`~repro.bsp.superstep.WorkerStepStats` with the compute-phase
         counts plus ``bytes_out``/``peers_out`` filled), and the resource
-        hooks ``buffered_message_bytes()``, ``graph_bytes``,
-        ``total_state_bytes``, ``memory_footprint()``.
+        hooks ``buffered_message_bytes()``, ``buffered_message_count()``,
+        ``graph_bytes``, ``total_state_bytes``, ``memory_footprint()``.
         """
         model = self.model
         tracer = self.tracer
@@ -380,12 +394,17 @@ class BSPEngine:
                 if model.mapreduce_iteration:
                     traffic += w.graph_bytes + 2.0 * w.total_state_bytes
                 ws.disk_time = traffic / model.disk_bandwidth
+            ws.queue_depth = int(w.buffered_message_count())
             ws.memory_bytes = w.memory_footprint()
             ws.mem_slowdown = self.memory.slowdown(ws.memory_bytes)
             if self._jitter_rng is not None:
-                ws.jitter_factor = 1.0 + self.model.jitter * float(
-                    self._jitter_rng.uniform(-1.0, 1.0)
-                )
+                # Always draw, so the rng sequence (and every untargeted
+                # worker's timing) is identical whether or not
+                # jitter_workers narrows the blast radius.
+                wobble = float(self._jitter_rng.uniform(-1.0, 1.0))
+                targets = self.model.jitter_workers
+                if targets is None or w.worker_id in targets:
+                    ws.jitter_factor = 1.0 + self.model.jitter * wobble
             if self.memory.restart_triggered(ws.memory_bytes):
                 ws.restarted = True
                 restart_total += model.restart_time
@@ -413,6 +432,16 @@ class BSPEngine:
             tracer.record(
                 "barrier", sim=self.sim_time + slowest,
                 sim_duration=stats.barrier_time, workers=self.num_workers,
+            )
+            end = self.sim_time + stats.elapsed
+            tracer.counter(
+                "messages-in-flight", sim=end,
+                buffered=sum(ws.queue_depth for ws in stats.workers),
+            )
+            tracer.counter(
+                "worker-memory-mb", sim=end,
+                **{f"w{ws.worker}": ws.memory_bytes / 1e6
+                   for ws in stats.workers},
             )
         self.sim_time += stats.elapsed
         stats.sim_time_end = self.sim_time
@@ -554,6 +583,10 @@ class BSPEngine:
         if self._em is not None:
             self._em.recoveries.inc()
             self._em.recovery_sim.inc(restore_time)
+        if self.timeline is not None:
+            # The lost epoch's rows vanish with the checkpoint; the replayed
+            # supersteps re-record on commit.
+            self.timeline.rollback(resume_from)
         self.superstep = resume_from
 
 

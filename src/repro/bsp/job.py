@@ -51,6 +51,9 @@ class JobSpec:
     tracer: Any = None
     #: optional :class:`repro.obs.MetricsRegistry` the engine reports into
     metrics: Any = None
+    #: optional :class:`repro.obs.RunTimeline` recording one attribution row
+    #: per superstep x worker (committed supersteps only)
+    timeline: Any = None
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:

@@ -28,6 +28,8 @@ class WorkerStepStats:
     bytes_in: float = 0.0
     peers_out: int = 0
     peers_in: int = 0
+    #: messages buffered for the next superstep, measured at the barrier
+    queue_depth: int = 0
     compute_time: float = 0.0
     serialize_time: float = 0.0
     network_time: float = 0.0

@@ -291,11 +291,17 @@ class PartitionWorker:
     def has_buffered_messages(self) -> bool:
         return bool(self.in_next)
 
+    def buffered_message_count(self) -> int:
+        """Messages buffered for the next superstep (post-combine)."""
+        return sum(len(box) for box in self.in_next.values())
+
     def buffered_message_bytes(self) -> float:
         """Wire-equivalent bytes of messages buffered for the next superstep."""
         m = self.model
-        count = sum(len(box) for box in self.in_next.values())
-        return self.in_next_payload_bytes + count * m.msg_header_bytes
+        return (
+            self.in_next_payload_bytes
+            + self.buffered_message_count() * m.msg_header_bytes
+        )
 
     def memory_footprint(self) -> float:
         """Peak resident bytes attributed to this superstep.

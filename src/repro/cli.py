@@ -15,6 +15,9 @@ location, application, worker count, partitioning scheme) as a CLI::
     python -m repro trace summarize trace.json
     python -m repro check src/repro/algorithms examples --sanitize
     python -m repro run --dataset SD --app pagerank --sanitize
+    python -m repro run --dataset WG --app bc --timeline-out tl.json
+    python -m repro perf report tl.json
+    python -m repro perf diff base.json new.json --threshold 0.1
 
 ``run`` prints the simulated runtime/cost summary and optionally dumps the
 per-superstep trace (JSON) for plotting.  The observability flags attach
@@ -36,6 +39,14 @@ class, payload bytes, combiner/aggregator inference).  ``run --sanitize``
 rides the same sanitizer along a real run and fails it (exit code 1) on
 any violation.
 
+``run --timeline-out`` records the per-(superstep, worker)
+:class:`~repro.obs.RunTimeline` (rows are byte-identical across
+``--engine sim|threaded|process`` on the same seed) and rides a
+:class:`~repro.obs.DiagnosticMonitor` along for online straggler flags;
+``perf report`` renders a saved timeline's critical-path and straggler
+attribution tables, and ``perf diff`` compares two timelines and exits 1
+when any phase regressed beyond ``--threshold``.
+
 ``run`` auto-profiles the program (disable with ``--no-profile``): the
 profile is printed with the summary, recorded on the result/metrics, and
 — for ``--sizer sampling``/``adaptive`` — seeds the swath sizer via
@@ -54,9 +65,14 @@ from .analysis.traces import read_json, write_json
 from .bsp.debug import InvariantChecker
 from .cloud.costmodel import SCALED_PERF_MODEL
 from .obs import (
+    DiagnosticMonitor,
     MetricsRegistry,
     RunReporter,
+    RunTimeline,
     SpanTracer,
+    perf_diff,
+    perf_report,
+    read_timeline,
     summarize_trace,
     write_metrics_json,
     write_prometheus,
@@ -159,6 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trace-out", help="write per-superstep trace JSON here")
     p.add_argument(
+        "--timeline-out",
+        help="write the per-(superstep, worker) attribution timeline "
+             "(JSON) here for `repro perf report`/`diff`",
+    )
+    p.add_argument(
         "--metrics-out",
         help="write run metrics here (Prometheus text; JSON if path "
              "ends in .json)",
@@ -208,6 +229,34 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--max-rows", type=int, default=24,
         help="per-superstep digest rows before eliding the middle",
+    )
+
+    p = sub.add_parser(
+        "perf", help="analyze and diff recorded run timelines"
+    )
+    psub = p.add_subparsers(dest="perf_command", required=True)
+    pr = psub.add_parser(
+        "report",
+        help="print critical-path + straggler attribution of a timeline",
+    )
+    pr.add_argument("path", help="timeline JSON written by run --timeline-out")
+    pr.add_argument(
+        "--mad-threshold", type=float, default=3.5,
+        help="MAD modified z-score above which a worker flags",
+    )
+    pr.add_argument(
+        "--min-ratio", type=float, default=1.2,
+        help="minimum elapsed/median ratio for a straggler flag",
+    )
+    pd = psub.add_parser(
+        "diff",
+        help="compare two timelines; exit 1 on per-phase regression",
+    )
+    pd.add_argument("base", help="baseline timeline JSON")
+    pd.add_argument("new", help="candidate timeline JSON")
+    pd.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative slowdown that counts as a regression",
     )
 
     p = sub.add_parser(
@@ -284,9 +333,14 @@ def _cmd_run(args) -> int:
     g = _load_graph(args)
     metrics = MetricsRegistry() if args.metrics_out else None
     tracer = SpanTracer() if (args.spans_out or args.chrome_out) else None
+    timeline = RunTimeline() if args.timeline_out else None
     extra_observers = []
+    monitor = None
+    if args.timeline_out or args.progress:
+        monitor = DiagnosticMonitor()
+        extra_observers.append(monitor)
     if args.progress:
-        extra_observers.append(RunReporter())
+        extra_observers.append(RunReporter(monitor=monitor))
     checker = InvariantChecker() if args.check_invariants else None
     if checker is not None:
         extra_observers.append(checker)
@@ -306,6 +360,7 @@ def _cmd_run(args) -> int:
         engine=args.engine,
         tracer=tracer,
         metrics=metrics,
+        timeline=timeline,
         auto_profile=not args.no_profile,
     )
     cfg = cfg.with_memory(
@@ -355,6 +410,13 @@ def _cmd_run(args) -> int:
     if args.trace_out:
         write_json(trace, args.trace_out)
         print(f"trace written to {args.trace_out}")
+    if timeline is not None:
+        timeline.write_json(args.timeline_out)
+        n_flags = len(monitor.flags) if monitor is not None else 0
+        print(
+            f"timeline written to {args.timeline_out} "
+            f"({len(timeline.rows)} rows, {n_flags} straggler flags)"
+        )
     if metrics is not None:
         if args.metrics_out.endswith(".json"):
             write_metrics_json(metrics, args.metrics_out)
@@ -407,6 +469,28 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    try:
+        if args.perf_command == "report":
+            tl = read_timeline(args.path)
+            print(
+                perf_report(
+                    tl,
+                    mad_threshold=args.mad_threshold,
+                    min_ratio=args.min_ratio,
+                )
+            )
+            return 0
+        base = read_timeline(args.base)
+        new = read_timeline(args.new)
+        text, regressed = perf_diff(base, new, threshold=args.threshold)
+        print(text)
+        return 1 if regressed else 0
+    except (ValueError, OSError) as exc:
+        print(f"repro perf: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_report(args) -> int:
     from pathlib import Path
 
@@ -428,6 +512,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "check": _cmd_check,
     "trace": _cmd_trace,
+    "perf": _cmd_perf,
     "report": _cmd_report,
 }
 

@@ -104,6 +104,11 @@ class PerfModel:
     #: multi-tenancy jitter amplitude (0 disables; deterministic when seeded)
     jitter: float = 0.0
     jitter_seed: int = 0
+    #: worker ids the jitter applies to (None = all workers).  Narrowing the
+    #: blast radius does not change the rng draw sequence, so untargeted
+    #: workers keep identical timing — the controlled-straggler scenario the
+    #: diagnosis layer's acceptance tests use.
+    jitter_workers: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if not 0 < self.parallel_efficiency <= 1:
@@ -112,6 +117,11 @@ class PerfModel:
             raise ValueError("spill_penalty must be non-negative")
         if self.jitter < 0 or self.jitter >= 1:
             raise ValueError("jitter must be in [0, 1)")
+        if self.jitter_workers is not None:
+            normalized = tuple(sorted(int(w) for w in self.jitter_workers))
+            if any(w < 0 for w in normalized):
+                raise ValueError("jitter_workers must be non-negative ids")
+            object.__setattr__(self, "jitter_workers", normalized)
         for field_name in (
             "t_compute_vertex",
             "t_msg_in",

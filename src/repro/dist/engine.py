@@ -49,6 +49,7 @@ under ``spawn`` the graph, program, and model must pickle.
 from __future__ import annotations
 
 import multiprocessing as mp
+import sys
 from time import monotonic
 from typing import Any
 
@@ -128,7 +129,7 @@ class _WorkerView:
     __slots__ = (
         "worker_id", "stats", "active_count", "has_buffered",
         "graph_bytes", "total_state_bytes", "in_next_payload_bytes",
-        "_buffered_bytes", "_memory",
+        "_buffered_bytes", "_queue_depth", "_memory",
     )
 
     def __init__(self, worker) -> None:
@@ -142,6 +143,7 @@ class _WorkerView:
         self.total_state_bytes = worker.total_state_bytes
         self.in_next_payload_bytes = worker.in_next_payload_bytes
         self._buffered_bytes = worker.buffered_message_bytes()
+        self._queue_depth = worker.buffered_message_count()
         self._memory = worker.memory_footprint()
 
     def apply_report(self, report: dict) -> None:
@@ -151,10 +153,14 @@ class _WorkerView:
         self.total_state_bytes = report["state_bytes"]
         self.in_next_payload_bytes = report["in_next_bytes"]
         self._buffered_bytes = report["buffered_bytes"]
+        self._queue_depth = int(report.get("queue_depth", 0))
         self._memory = report["memory"]
 
     def buffered_message_bytes(self) -> float:
         return self._buffered_bytes
+
+    def buffered_message_count(self) -> int:
+        return self._queue_depth
 
     def memory_footprint(self) -> float:
         return self._memory
@@ -415,6 +421,8 @@ class ProcessBSPEngine(BSPEngine):
                 apply_snapshot(self.metrics, deliv["metrics"])
             if isinstance(violations, list) and deliv["violations"]:
                 violations.extend(deliv["violations"])
+            if deliv.get("output"):
+                self._emit_child_output(view.worker_id, deliv["output"])
 
         self._merge_aggregators([c["agg_partials"] for c in computed])
         self._master_phase()
@@ -429,6 +437,20 @@ class ProcessBSPEngine(BSPEngine):
             host_t0=host_t0,
         )
         return stats
+
+    @staticmethod
+    def _emit_child_output(worker_id: int, text: str) -> None:
+        """Relay a child's captured stdout/stderr, atomically.
+
+        Children never touch the shared stderr (worker_proc captures it);
+        the coordinator is the only writer, so progress lines and worker
+        prints cannot interleave mid-line.  One write() call per batch.
+        """
+        prefix = f"[worker {worker_id}] "
+        body = "".join(
+            f"{prefix}{line}\n" for line in text.splitlines()
+        )
+        sys.stderr.write(body)
 
     # ------------------------------------------------------------------
     # Checkpointing and recovery: same parent-held checkpoint dict as the

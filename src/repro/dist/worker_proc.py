@@ -34,6 +34,8 @@ hung (not just dead) workers.
 
 from __future__ import annotations
 
+import io
+import sys
 import threading
 import traceback
 from time import perf_counter
@@ -60,6 +62,7 @@ def _report(worker: PartitionWorker) -> dict[str, Any]:
         "active": worker.active_count,
         "buffered": worker.has_buffered_messages,
         "buffered_bytes": worker.buffered_message_bytes(),
+        "queue_depth": worker.buffered_message_count(),
         "graph_bytes": worker.graph_bytes,
         "state_bytes": worker.total_state_bytes,
         "in_next_bytes": worker.in_next_payload_bytes,
@@ -81,6 +84,21 @@ def worker_main(
     want_metrics: bool,
 ) -> None:
     """Command loop for one worker process (the child's ``main``)."""
+    # A worker process must never write to the shared stdout/stderr —
+    # concurrent children interleave mid-line and corrupt the parent's
+    # progress display.  Capture everything (user print() in compute(),
+    # library chatter) and ship it to the coordinator at each barrier,
+    # which emits it atomically with a "[worker N]" prefix.
+    captured = io.StringIO()
+    sys.stdout = sys.stderr = captured
+
+    def _drain_output() -> str:
+        text = captured.getvalue()
+        if text:
+            captured.seek(0)
+            captured.truncate()
+        return text
+
     registry = None
     snapshot_registry = delta_snapshot = None
     if want_metrics:
@@ -173,6 +191,7 @@ def worker_main(
                         "report": _report(worker),
                         "metrics": metrics_delta,
                         "violations": fresh,
+                        "output": _drain_output(),
                     })
                 elif cmd == "snapshot":
                     reply = ("snapshotted", epoch, worker.snapshot())

@@ -14,6 +14,7 @@ from .live import (
     LiveElasticEngine,
     LiveFixed,
     LivePolicy,
+    LiveSkewGuard,
     run_live,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "LiveElasticEngine",
     "LiveFixed",
     "LivePolicy",
+    "LiveSkewGuard",
     "run_live",
 ]

@@ -31,7 +31,13 @@ from ..cloud.provisioner import ElasticProvisioner
 from ..partition.base import Partition
 from ..partition.hashing import HashPartitioner
 
-__all__ = ["LivePolicy", "LiveActiveFraction", "LiveFixed", "LiveElasticEngine"]
+__all__ = [
+    "LivePolicy",
+    "LiveActiveFraction",
+    "LiveFixed",
+    "LiveSkewGuard",
+    "LiveElasticEngine",
+]
 
 
 class LivePolicy:
@@ -88,6 +94,38 @@ class LiveActiveFraction(LivePolicy):
     @property
     def label(self) -> str:
         return f"LiveDynamic({self.threshold:.0%}, {self.low}<->{self.high})"
+
+
+@dataclass
+class LiveSkewGuard(LivePolicy):
+    """Wrap a policy; veto scale-*in* while the fleet is skewed.
+
+    Consumes the straggler signal of a
+    :class:`repro.obs.diagnose.DiagnosticMonitor` (duck-typed: anything
+    with a ``skew_signal() -> float``).  Scaling in during a straggler
+    episode concentrates the hot partition's load on fewer workers and
+    lengthens the barrier-dominated tail the scale-in was meant to trim —
+    so while ``skew_signal()`` exceeds ``threshold``, requests for a
+    smaller fleet hold at the current size.  Scale-*out* always passes.
+    """
+
+    inner: LivePolicy
+    monitor: "object"
+    threshold: float = 1.5
+    vetoes: int = field(default=0, repr=False)
+
+    def decide(self, engine, stats) -> int:
+        want = int(self.inner.decide(engine, stats))
+        if want < engine.num_workers and (
+            self.monitor.skew_signal() > self.threshold
+        ):
+            self.vetoes += 1
+            return engine.num_workers
+        return want
+
+    @property
+    def label(self) -> str:
+        return f"SkewGuard({self.inner.label}, >{self.threshold:g})"
 
 
 class LiveElasticEngine(BSPEngine):
@@ -148,6 +186,13 @@ class LiveElasticEngine(BSPEngine):
         stats.elapsed += overhead
         stats.sim_time_end = self.sim_time
         self.scale_overhead_total += overhead
+        if self.timeline is not None:
+            # The resize happens between supersteps; its overhead lands in
+            # the *current* step's row (recorded right after this hook).
+            self.timeline.annotate(
+                stats.index, "elastic-resize",
+                from_workers=before, to_workers=want, vertices_moved=moved,
+            )
         if span is not None:
             self.tracer.end(span, sim=self.sim_time, vertices_moved=moved)
         if self.metrics is not None:

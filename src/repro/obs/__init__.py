@@ -16,7 +16,14 @@ engine stack reports into:
 * :mod:`repro.obs.progress` — :class:`RunReporter`, a superstep observer
   emitting throttled live progress lines to stderr;
 * :mod:`repro.obs.summary` — utilization/breakdown tables from saved
-  traces (backs ``repro trace summarize``).
+  traces (backs ``repro trace summarize``);
+* :mod:`repro.obs.timeline` — :class:`RunTimeline`, the structured
+  per-(superstep, worker) attribution record, byte-identical across
+  execution backends and rolled back with failure recovery;
+* :mod:`repro.obs.diagnose` — straggler/skew detection with cause
+  attribution (:class:`DiagnosticMonitor`) and critical-path breakdown;
+* :mod:`repro.obs.perf` — timeline report/diff rendering (backs
+  ``repro perf``).
 
 Attach instruments through the job spec and read them after the run::
 
@@ -31,6 +38,14 @@ A job with neither attached runs exactly as before: every instrumentation
 site in the engine is guarded by a single ``is None`` check.
 """
 
+from .diagnose import (
+    DiagnosticMonitor,
+    StragglerFlag,
+    attribute_run,
+    critical_path,
+    flag_stragglers_step,
+    worker_skew,
+)
 from .export import (
     to_json_dict,
     to_prometheus_text,
@@ -45,10 +60,19 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .perf import perf_diff, perf_report
 from .progress import RunReporter
 from .spans import Span, SpanTracer
 from .summary import summarize_spans, summarize_trace
 from .sync import apply_snapshot, delta_snapshot, snapshot_registry
+from .timeline import (
+    RunTimeline,
+    StepMeta,
+    TimelineRow,
+    read_timeline,
+    timeline_from_dict,
+    timeline_to_dict,
+)
 
 __all__ = [
     "Counter",
@@ -69,4 +93,18 @@ __all__ = [
     "snapshot_registry",
     "delta_snapshot",
     "apply_snapshot",
+    "RunTimeline",
+    "TimelineRow",
+    "StepMeta",
+    "read_timeline",
+    "timeline_to_dict",
+    "timeline_from_dict",
+    "DiagnosticMonitor",
+    "StragglerFlag",
+    "flag_stragglers_step",
+    "attribute_run",
+    "critical_path",
+    "worker_skew",
+    "perf_report",
+    "perf_diff",
 ]

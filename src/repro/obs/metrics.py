@@ -181,6 +181,38 @@ class Histogram(_Instrument):
             out.append(acc)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket tallies.
+
+        Prometheus ``histogram_quantile`` semantics: find the bucket the
+        target rank falls in and interpolate linearly within it, treating
+        the lowest bucket as spanning ``[0, bound]``.  A rank landing in
+        the +Inf bucket clamps to the highest finite bound (the estimate
+        cannot exceed what the layout can resolve).  Returns ``nan`` on an
+        empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            total = self.count
+            cumulative = []
+            acc = 0
+            for c in self.counts:
+                acc += c
+                cumulative.append(acc)
+        if total == 0:
+            return float("nan")
+        rank = q * total
+        for i, bound in enumerate(self.buckets):
+            if cumulative[i] >= rank:
+                lo = 0.0 if i == 0 else self.buckets[i - 1]
+                below = 0 if i == 0 else cumulative[i - 1]
+                in_bucket = cumulative[i] - below
+                if in_bucket == 0:
+                    return bound
+                return lo + (bound - lo) * (rank - below) / in_bucket
+        return self.buckets[-1]
+
 
 class MetricsRegistry:
     """Home of every instrument for one run (or one process).

@@ -14,10 +14,21 @@ Attach it like any observer::
     run_job(JobSpec(..., observers=[controller, reporter]))
 
 or from the CLI with ``repro run ... --progress``.
+
+Two multiprocess-safety details: the reporter records the pid that built
+it and silently drops emits from any other process, so a forked
+:class:`~repro.dist.engine.ProcessBSPEngine` child that inherits the
+observer can never interleave bytes with the coordinator's lines (child
+stdout/stderr is instead captured and relayed through the coordinator,
+which prints it atomically with a ``[worker N]`` prefix); and when a
+:class:`~repro.obs.diagnose.DiagnosticMonitor` is attached, the throttled
+line carries the current straggler annotation (``straggler w2 x2.14
+(jitter)``) so skew is visible live, not just post-mortem.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import Callable, TextIO
@@ -41,12 +52,18 @@ class RunReporter:
         stream: TextIO | None = None,
         min_interval: float = 0.5,
         clock: Callable[[], float] = time.perf_counter,
+        monitor=None,
     ) -> None:
         if min_interval < 0:
             raise ValueError("min_interval must be >= 0")
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
         self._clock = clock
+        #: optional DiagnosticMonitor whose flags annotate progress lines
+        self.monitor = monitor
+        # Forked ProcessBSPEngine children inherit this observer; only the
+        # process that constructed it may write, or lines interleave.
+        self._owner_pid = os.getpid()
         self._last_emit = -float("inf")
         self._host_start = 0.0
         self.lines_emitted = 0
@@ -77,6 +94,9 @@ class RunReporter:
         swath = self._swath_phase(engine)
         if swath:
             line += f" | {swath}"
+        straggler = self._straggler_phase(stats.index)
+        if straggler:
+            line += f" | {straggler}"
         self._emit(line)
 
     def has_pending_work(self) -> bool:
@@ -102,6 +122,20 @@ class RunReporter:
                 return f"swath {obs.num_swaths} ({remaining} roots left)"
         return ""
 
+    def _straggler_phase(self, index: int) -> str:
+        """Current straggler annotation from an attached monitor."""
+        if self.monitor is None:
+            return ""
+        flags = [f for f in self.monitor.flags if f.superstep == index]
+        if not flags:
+            return ""
+        worst = max(flags, key=lambda f: f.ratio)
+        return (
+            f"straggler w{worst.worker} x{worst.ratio:.2f} ({worst.cause})"
+        )
+
     def _emit(self, line: str) -> None:
+        if os.getpid() != self._owner_pid:
+            return
         print(line, file=self.stream)
         self.lines_emitted += 1

@@ -26,6 +26,13 @@ Exports:
   loadable in ``chrome://tracing`` / Perfetto; simulated times ride along
   in each event's ``args``.
 
+Besides spans, the tracer records **counter samples**
+(:meth:`SpanTracer.counter`): named numeric series sampled at a point in
+time — messages in flight, per-worker memory — exported as Chrome "C"
+(counter) events, which the trace viewers render as stacked area tracks
+under the phase rows.  Counter samples bumped the span dump to format
+version 2; version-1 dumps (no ``counters`` key) stay readable.
+
 The engine holds a tracer only when the job attached one; with none
 attached every instrumentation site is a single ``is None`` check.
 """
@@ -40,7 +47,8 @@ from typing import Any, Callable
 
 __all__ = ["Span", "SpanTracer"]
 
-SPAN_FORMAT_VERSION = 1
+#: version 2 added the ``counters`` list; readers accept 1 and 2
+SPAN_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -103,6 +111,7 @@ class SpanTracer:
         self._epoch = clock()
         self.spans: list[Span] = []
         self._stack: list[Span] = []
+        self.counters: list[dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
@@ -162,6 +171,22 @@ class SpanTracer:
         self.spans.append(span)
         return span
 
+    def counter(self, name: str, sim: float = 0.0, **values: float) -> None:
+        """Sample a named counter track at this instant.
+
+        ``values`` are the track's series (a Chrome "C" event draws one
+        stacked area per key) — e.g. ``counter("worker-memory", sim=t,
+        w0=..., w1=...)``.  Samples are ordered by recording time.
+        """
+        self.counters.append(
+            {
+                "name": name,
+                "host": self._now(),
+                "sim": float(sim),
+                "values": {k: float(v) for k, v in values.items()},
+            }
+        )
+
     # ------------------------------------------------------------------
     @property
     def open_spans(self) -> int:
@@ -185,6 +210,7 @@ class SpanTracer:
             "version": SPAN_FORMAT_VERSION,
             "clock": "perf_counter",
             "spans": [s.to_dict() for s in self.spans],
+            "counters": [dict(c) for c in self.counters],
         }
 
     def write_json(self, path: str | Path) -> None:
@@ -208,6 +234,17 @@ class SpanTracer:
                         "sim_duration": s.sim_duration,
                         **s.attrs,
                     },
+                }
+            )
+        for c in self.counters:
+            events.append(
+                {
+                    "name": c["name"],
+                    "cat": "counter",
+                    "ph": "C",
+                    "ts": c["host"] * 1e6,
+                    "pid": 0,
+                    "args": {**c["values"]},
                 }
             )
         return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..analysis.tables import table
 from ..bsp.superstep import JobTrace
+from .metrics import DEFAULT_TIME_BUCKETS, Histogram
 
 __all__ = ["summarize_trace", "summarize_spans"]
 
@@ -29,20 +30,27 @@ def summarize_trace(trace: JobTrace, max_rows: int = 24) -> str:
     total = bd["total"] or 1.0
     sections = []
 
-    sections.append(
-        table(
-            ["metric", "value"],
-            [
-                ["supersteps", len(trace)],
-                ["simulated time (s)", trace.total_time],
-                ["total messages", trace.total_messages],
-                ["peak worker memory (MB)", trace.peak_memory / 1e6],
-                ["barrier time (s)", trace.total_barrier_time],
-                ["VM restarts", trace.num_restarts],
-            ],
-            title="run summary",
-        )
+    # Bucketed quantiles of per-superstep elapsed time: the same estimate
+    # a Prometheus histogram_quantile over the exported metrics would give.
+    hist = Histogram(
+        "superstep_elapsed", (), buckets=DEFAULT_TIME_BUCKETS
     )
+    for s in trace:
+        hist.observe(s.elapsed)
+    rows = [
+        ["supersteps", len(trace)],
+        ["simulated time (s)", trace.total_time],
+        ["total messages", trace.total_messages],
+        ["peak worker memory (MB)", trace.peak_memory / 1e6],
+        ["barrier time (s)", trace.total_barrier_time],
+        ["VM restarts", trace.num_restarts],
+    ]
+    if len(trace):
+        rows.append(
+            ["superstep elapsed p50/p90/p99 (s)",
+             "/".join(f"{hist.quantile(q):.3g}" for q in (0.5, 0.9, 0.99))]
+        )
+    sections.append(table(["metric", "value"], rows, title="run summary"))
 
     sections.append(
         table(

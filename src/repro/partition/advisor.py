@@ -41,7 +41,49 @@ from .hashing import HashPartitioner
 from .metis import MultilevelPartitioner
 from .metrics import remote_edge_fraction
 
-__all__ = ["Advice", "PartitioningAdvisor"]
+__all__ = ["Advice", "PartitioningAdvisor", "repartition_hint"]
+
+
+#: straggler cause -> advisor hint template (None = partitioning won't help)
+_HINTS = {
+    "remote-traffic": (
+        "stragglers are communication-bound: consider a min-cut "
+        "partitioning (PartitioningAdvisor.advise) to cut remote-edge "
+        "traffic"
+    ),
+    "degree-skew": (
+        "stragglers host a disproportionate share of out-degree: consider "
+        "a degree-balanced partitioning or smaller swaths"
+    ),
+    "memory-pressure": (
+        "stragglers are spilling: lower the swath size or add workers "
+        "before changing the partitioning"
+    ),
+    "jitter": (
+        "stragglers look environmental (multi-tenant jitter): "
+        "repartitioning will not help; consider speculative retry or "
+        "elastic replacement"
+    ),
+}
+
+
+def repartition_hint(flags, num_steps: int, min_flag_fraction: float = 0.1):
+    """Advisor hint from a run's straggler flags, or None.
+
+    ``flags`` are :class:`repro.obs.diagnose.StragglerFlag`-shaped (only
+    ``cause`` is read); ``num_steps`` is the supersteps the run executed —
+    a handful of flagged steps out of thousands is noise, so no hint is
+    issued below ``min_flag_fraction`` of steps flagged.  The mapping
+    encodes §VII's causal chain: partitioning can cure traffic and degree
+    imbalance, but not environmental jitter.
+    """
+    if num_steps <= 0 or len(flags) < max(1, min_flag_fraction * num_steps):
+        return None
+    counts: dict[str, int] = {}
+    for f in flags:
+        counts[f.cause] = counts.get(f.cause, 0) + 1
+    cause = max(counts, key=lambda c: (counts[c], c))
+    return _HINTS.get(cause)
 
 
 @dataclass(frozen=True)

@@ -55,6 +55,9 @@ class SwathController(SuperstepObserver):
     events: list[SwathEvent] = field(default_factory=list)
     #: optional :class:`repro.obs.MetricsRegistry` for swath telemetry
     metrics: Any = None
+    #: optional :class:`repro.obs.RunTimeline`; initiations annotate it so
+    #: `repro perf report` shows swath boundaries next to straggler flags
+    timeline: Any = None
 
     def __post_init__(self) -> None:
         self._pending: list[int] = [int(r) for r in self.roots]
@@ -137,6 +140,12 @@ class SwathController(SuperstepObserver):
                 remaining_after=len(self._pending),
             )
         )
+        if self.timeline is not None:
+            # The injected messages run in superstep+1; annotate there.
+            self.timeline.annotate(
+                superstep + 1, "swath-initiation",
+                size=len(swath), remaining=len(self._pending),
+            )
         self._window_size = len(swath)
         self._steps_since_initiation = 0
         self._messages_history = []

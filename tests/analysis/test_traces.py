@@ -142,12 +142,24 @@ class TestFullFieldFidelity:
                 for f in _WORKER_FIELDS:
                     assert getattr(cw, f) == getattr(ow, f), f
 
-    def test_version_2_is_declared(self, rich_trace):
+    def test_version_3_is_declared(self, rich_trace):
         data = trace_to_dict(rich_trace)
-        assert data["version"] == 2
+        assert data["version"] == 3
         assert "disk_time" in data["steps"][0]["workers"][0]
         assert "jitter_factor" in data["steps"][0]["workers"][0]
+        assert "queue_depth" in data["steps"][0]["workers"][0]
         assert "injected" in data["steps"][0]
+
+    def test_version_2_files_still_read(self, rich_trace):
+        data = trace_to_dict(rich_trace)
+        data["version"] = 2
+        for sd in data["steps"]:
+            for wd in sd["workers"]:
+                wd.pop("queue_depth")
+        back = trace_from_dict(data)
+        assert len(back) == len(rich_trace)
+        assert all(w.queue_depth == 0 for s in back for w in s.workers)
+        assert back.total_time == pytest.approx(rich_trace.total_time)
 
     def test_version_1_files_still_read(self, rich_trace):
         data = trace_to_dict(rich_trace)
@@ -157,6 +169,7 @@ class TestFullFieldFidelity:
             for wd in sd["workers"]:
                 wd.pop("disk_time")
                 wd.pop("jitter_factor")
+                wd.pop("queue_depth")
         back = trace_from_dict(data)
         assert len(back) == len(rich_trace)
         # the dropped fields come back as their dataclass defaults

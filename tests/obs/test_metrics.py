@@ -158,3 +158,43 @@ class TestJsonExport:
         assert by_name["c_total"]["series"][0]["labels"] == {"kind": "x"}
         assert by_name["h_seconds"]["series"][0]["counts"] == [1, 0]
         assert by_name["h_seconds"]["kind"] == "histogram"
+
+
+class TestHistogramQuantile:
+    def make(self, values, buckets=(1.0, 2.0, 4.0, 8.0)):
+        h = MetricsRegistry().histogram("q_seconds", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_empty_is_nan(self):
+        import math
+
+        assert math.isnan(self.make([]).quantile(0.5))
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations spread evenly through the (2, 4] bucket: the
+        # median interpolates to the bucket midpoint, Prometheus-style.
+        h = self.make([3.0] * 10)
+        assert h.quantile(0.5) == pytest.approx(3.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_lowest_bucket_spans_from_zero(self):
+        h = self.make([0.5] * 4)
+        assert h.quantile(1.0) == pytest.approx(1.0)
+        assert h.quantile(0.5) == pytest.approx(0.5)
+
+    def test_overflow_clamps_to_highest_bound(self):
+        h = self.make([100.0] * 3)
+        assert h.quantile(0.99) == pytest.approx(8.0)
+
+    def test_spread_sample(self):
+        h = self.make([0.5, 1.5, 2.5, 3.5, 5.0, 7.0])
+        assert h.quantile(0.0) == pytest.approx(0.0)
+        # p50 rank=3 -> third observation, in the (2, 4] bucket
+        assert 2.0 < h.quantile(0.5) <= 4.0
+        assert h.quantile(0.9) <= 8.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.make([1.0]).quantile(1.5)

@@ -225,6 +225,42 @@ class TestRunReporter:
         with pytest.raises(ValueError):
             RunReporter(min_interval=-1)
 
+    def test_other_processes_cannot_emit(self, small_world):
+        buf = io.StringIO()
+        reporter = RunReporter(stream=buf, min_interval=0.0)
+        # Simulate being inherited by a forked ProcessBSPEngine child.
+        reporter._owner_pid = -1
+        reporter._emit("should be dropped")
+        assert buf.getvalue() == ""
+        assert reporter.lines_emitted == 0
+
+    def test_straggler_annotation_on_lines(self):
+        import dataclasses
+
+        from repro.cloud.costmodel import DEFAULT_PERF_MODEL
+        from repro.graph import generators as gen
+        from repro.obs import DiagnosticMonitor
+
+        buf = io.StringIO()
+        monitor = DiagnosticMonitor()
+        reporter = RunReporter(stream=buf, min_interval=0.0, monitor=monitor)
+        graph = gen.watts_strogatz(240, 6, 0.1, seed=3)
+        model = dataclasses.replace(
+            DEFAULT_PERF_MODEL, jitter=0.6, jitter_seed=11,
+            jitter_workers=(1,),
+        )
+        # The monitor must observe *before* the reporter prints the line.
+        run_pagerank(
+            graph,
+            RunConfig(num_workers=4, perf_model=model),
+            iterations=10,
+            observers=[monitor, reporter],
+        )
+        lines = buf.getvalue().splitlines()
+        annotated = [ln for ln in lines if "straggler w1" in ln]
+        assert annotated
+        assert all("(jitter)" in ln for ln in annotated)
+
 
 class TestCLI:
     @pytest.fixture
@@ -265,7 +301,11 @@ class TestCLI:
 
         chrome = json.loads(c.read_text())
         assert chrome["traceEvents"]
-        assert all(ev["ph"] == "X" for ev in chrome["traceEvents"])
+        assert all(ev["ph"] in ("X", "C") for ev in chrome["traceEvents"])
+        counter_names = {
+            ev["name"] for ev in chrome["traceEvents"] if ev["ph"] == "C"
+        }
+        assert counter_names == {"messages-in-flight", "worker-memory-mb"}
 
     def test_metrics_json_suffix_switches_format(self, graph_file, tmp_path):
         m = tmp_path / "m.json"

@@ -124,7 +124,8 @@ class TestExports:
         p = tmp_path / "spans.json"
         tracer.write_json(p)
         data = json.loads(p.read_text())
-        assert data["version"] == 1
+        assert data["version"] == 2
+        assert data["counters"] == []
         assert data == tracer.to_dict()
         names = [s["name"] for s in data["spans"]]
         assert names == ["job", "superstep"]
@@ -150,3 +151,26 @@ class TestExports:
         assert step["dur"] == pytest.approx(0.25e6)  # microseconds
         assert step["args"]["sim_duration"] == pytest.approx(2.0)
         assert step["args"]["superstep"] == 0
+
+    def test_counter_samples(self, tracer, clock):
+        self.build(tracer, clock)
+        tracer.counter("messages-in-flight", sim=1.0, buffered=42)
+        clock.advance(0.1)
+        tracer.counter("worker-memory-mb", sim=2.0, w0=10.5, w1=12.0)
+        data = tracer.to_dict()
+        assert [c["name"] for c in data["counters"]] == [
+            "messages-in-flight", "worker-memory-mb",
+        ]
+        assert data["counters"][0]["values"] == {"buffered": 42.0}
+        assert data["counters"][1]["sim"] == pytest.approx(2.0)
+
+    def test_counter_chrome_events(self, tracer, clock):
+        self.build(tracer, clock)
+        tracer.counter("messages-in-flight", sim=1.0, buffered=7)
+        events = tracer.to_chrome_trace()["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["name"] == "messages-in-flight"
+        assert counters[0]["args"] == {"buffered": 7.0}
+        # "X" span events are unchanged alongside the counter track
+        assert sum(e["ph"] == "X" for e in events) == 2
