@@ -1,0 +1,132 @@
+"""Telemetry-plane bench — flight recorder overhead and postmortem latency.
+
+The flight recorder is *always on* for CLI runs, so its cost is the one
+observability number that matters most: the ring must stay within a few
+percent of an unobserved run (the events it records are O(workers) per
+superstep on quantities the engine already computed).  The postmortem
+dump happens once, at crash time, but it sits between a failure and the
+traceback the operator is waiting for — its latency is worth a number
+too.
+
+Numbers land in ``BENCH_flight.json`` for cross-revision comparison.
+"""
+
+import json
+import time
+
+from repro.algorithms import PageRankProgram
+from repro.bsp import JobSpec, run_job
+from repro.bsp.api import VertexProgram
+from repro.graph import generators as gen
+from repro.obs import FlightRecorder, PostmortemWriter
+from repro.obs.postmortem import build_bundle
+
+from helpers import banner, run_once
+
+#: alternate off/on runs, keep the fastest of each (interpreter noise)
+REPEATS = 7
+ITERATIONS = 20
+#: acceptance bound: the always-on ring must cost <= 2% wall-clock
+MAX_OVERHEAD = 0.02
+
+
+def _job(graph, flight=None, **kw):
+    return JobSpec(
+        program=PageRankProgram(ITERATIONS), graph=graph, num_workers=4,
+        **({} if flight is None else {"flight": flight}), **kw,
+    )
+
+
+def measure_overhead(graph):
+    off, on = [], []
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        run_job(_job(graph))
+        off.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_job(_job(graph, flight=FlightRecorder()))
+        on.append(time.perf_counter() - t0)
+    return min(off), min(on)
+
+
+class _Explode(VertexProgram):
+    def __init__(self, at: int) -> None:
+        self.at = at
+
+    def init_state(self, vertex_id, graph):
+        return 0.0
+
+    def compute(self, ctx, state, messages):
+        if ctx.superstep == self.at:
+            raise ValueError("bench crash")
+        for dst in ctx.out_neighbors:
+            ctx.send(dst, 1.0)
+        return state
+
+
+def measure_postmortem(graph):
+    """Seconds from crash to bundle on disk (best of REPEATS)."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.bsp.engine import BSPEngine
+
+    samples = []
+    with tempfile.TemporaryDirectory() as d:
+        for i in range(REPEATS):
+            pm = PostmortemWriter(Path(d) / f"crash{i}")
+            job = JobSpec(
+                program=_Explode(10), graph=graph, num_workers=4,
+                flight=FlightRecorder(), postmortem=pm,
+            )
+            engine = BSPEngine(job)
+            error = None
+            try:
+                engine.run()
+            except ValueError as exc:
+                error = exc
+            assert pm.written is not None
+            # re-capture from the crashed engine to time capture+write alone
+            t0 = time.perf_counter()
+            bundle = build_bundle(engine, error)
+            (Path(d) / f"re{i}.json").write_text(json.dumps(bundle))
+            samples.append(time.perf_counter() - t0)
+    return min(samples)
+
+
+def test_flight_overhead_and_postmortem_latency(benchmark):
+    graph = gen.watts_strogatz(2000, 8, 0.1, seed=1)
+
+    def run_all():
+        return measure_overhead(graph), measure_postmortem(graph)
+
+    (off_s, on_s), dump_s = run_once(benchmark, run_all)
+    overhead = on_s / off_s - 1.0
+
+    banner("flight recorder overhead + postmortem dump latency")
+    print(f"{'flight off':<18} {off_s * 1e3:>10.1f} ms")
+    print(f"{'flight on':<18} {on_s * 1e3:>10.1f} ms  ({overhead:+.1%})")
+    print(f"{'postmortem dump':<18} {dump_s * 1e3:>10.2f} ms")
+
+    # The ring is a deque append per event on already-computed numbers;
+    # blowing the bound means a hot path started paying for telemetry.
+    assert overhead < MAX_OVERHEAD, (
+        f"flight recorder cost {overhead:.1%} (bound {MAX_OVERHEAD:.0%})"
+    )
+
+    payload = {
+        "workload": {
+            "graph": "watts_strogatz(2000, 8, 0.1)",
+            "iterations": ITERATIONS,
+            "workers": 4,
+            "repeats": REPEATS,
+        },
+        "flight_off_seconds": off_s,
+        "flight_on_seconds": on_s,
+        "overhead_fraction": overhead,
+        "overhead_bound": MAX_OVERHEAD,
+        "postmortem_dump_seconds": dump_s,
+    }
+    with open("BENCH_flight.json", "w") as f:
+        json.dump(payload, f, indent=2)
+    print("wrote BENCH_flight.json")

@@ -49,6 +49,11 @@ class RunConfig:
     metrics: Any = None
     #: optional :class:`repro.obs.RunTimeline` attribution recorder
     timeline: Any = None
+    #: optional :class:`repro.obs.FlightRecorder` event ring
+    flight: Any = None
+    #: optional postmortem sink (``dump(engine, error)``), e.g.
+    #: :class:`repro.obs.PostmortemWriter`
+    postmortem: Any = None
     #: statically profile the program (repro.check.costmodel) and record
     #: the ProgramProfile on the JobResult + metrics; cheap (pure AST)
     auto_profile: bool = True
@@ -69,6 +74,8 @@ class RunConfig:
             tracer=self.tracer,
             metrics=self.metrics,
             timeline=self.timeline,
+            flight=self.flight,
+            postmortem=self.postmortem,
             **kwargs,
         )
 

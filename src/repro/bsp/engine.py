@@ -86,6 +86,11 @@ class BSPEngine:
         self.tracer = job.tracer
         self.metrics = job.metrics
         self.timeline = job.timeline
+        self.flight = job.flight
+        if self.tracer is not None and self.flight is not None:
+            # Spans echo into the flight ring as span-open/span-close
+            # events, so the crash tail shows which phase was in flight.
+            self.tracer.flight = self.flight
         self._em = (
             _EngineInstruments(self.metrics) if self.metrics is not None else None
         )
@@ -145,9 +150,52 @@ class BSPEngine:
             raise KeyError(f"unknown aggregator {name!r}")
         return self._agg_values.get(name, self._aggregators[name].identity())
 
+    def worker_liveness(self) -> list[dict]:
+        """Per-worker liveness for ``/healthz`` (safe from other threads).
+
+        In-process workers cannot die independently of the engine, so the
+        base answer is "all alive"; :class:`~repro.dist.engine.ProcessBSPEngine`
+        overrides this with real process liveness and heartbeat ages.
+        """
+        return [
+            {"worker": w, "alive": True} for w in range(self.num_workers)
+        ]
+
     # ------------------------------------------------------------------
     def run(self) -> JobResult:
-        """Drive supersteps until the halting condition or the step cap."""
+        """Drive supersteps until the halting condition or the step cap.
+
+        Any abnormal end — uncaught compute exception, worker failure past
+        recovery, ``KeyboardInterrupt`` — is captured (flight-recorder
+        ``abort`` event + postmortem bundle when ``job.postmortem`` is
+        attached) before the exception propagates.
+        """
+        try:
+            return self._run_loop()
+        except (Exception, KeyboardInterrupt) as exc:
+            self._capture_abort(exc)
+            raise
+
+    def _capture_abort(self, exc: BaseException) -> None:
+        """Record the failure and dump a postmortem bundle (best-effort)."""
+        if self.tracer is not None:
+            try:  # close the job span (and any deeper strays) as aborted
+                self.tracer.unwind(sim=self.sim_time)
+            except Exception:
+                pass
+        if self.flight is not None:
+            self.flight.record(
+                "abort", superstep=self.superstep, sim=self.sim_time,
+                error=type(exc).__name__, message=str(exc)[:200],
+            )
+        pm = self.job.postmortem
+        if pm is not None:
+            try:
+                pm.dump(self, exc)
+            except Exception:  # a broken dump must never mask the failure
+                pass
+
+    def _run_loop(self) -> JobResult:
         job = self.job
         step_queue = self.queues.queue("step")
         barrier_queue = self.queues.queue("barrier")
@@ -167,6 +215,11 @@ class BSPEngine:
             if tracer is not None
             else None
         )
+        if self.flight is not None:
+            self.flight.record(
+                "job-start", sim=self.sim_time, workers=self.num_workers,
+                program=type(job.program).__name__,
+            )
         halted = False
         while self.superstep < job.max_supersteps:
             if not self.buffered_messages and self.active_vertices == 0:
@@ -184,6 +237,11 @@ class BSPEngine:
                 if tracer is not None
                 else None
             )
+            if self.flight is not None:
+                self.flight.record(
+                    "superstep-open", superstep=self.superstep,
+                    sim=self.sim_time, active=self.active_vertices,
+                )
             stats = None
             try:
                 step_queue.put(("superstep", self.superstep))
@@ -220,11 +278,19 @@ class BSPEngine:
                 if span is not None:
                     if stats is not None:
                         span.attrs["active_end"] = stats.active_end
+                    # A compute/flush phase that raised left its span open;
+                    # repair the stack so this close cannot mask the error.
+                    tracer.unwind(span, sim=self.sim_time)
                     tracer.end(span, sim=self.sim_time)
         else:
             halted = False
         if job_span is not None:
             tracer.end(job_span, sim=self.sim_time, supersteps=len(self.trace))
+        if self.flight is not None:
+            self.flight.record(
+                "job-end", sim=self.sim_time, supersteps=len(self.trace),
+                halted=halted,
+            )
 
         values = self._extract_values()
         result = JobResult(
@@ -443,8 +509,33 @@ class BSPEngine:
                 **{f"w{ws.worker}": ws.memory_bytes / 1e6
                    for ws in stats.workers},
             )
+        if self.flight is not None:
+            self.flight.record(
+                "barrier-enter", superstep=stats.index,
+                sim=self.sim_time + slowest, workers=self.num_workers,
+            )
+            self.flight.record(
+                "message-batch", superstep=stats.index, sim=self.sim_time,
+                msgs_local=sum(ws.msgs_out_local for ws in stats.workers),
+                msgs_remote=sum(ws.msgs_out_remote for ws in stats.workers),
+                bytes_out=sum(ws.bytes_out for ws in stats.workers),
+                queued=sum(ws.queue_depth for ws in stats.workers),
+            )
+            self.flight.record(
+                "memory-sample", superstep=stats.index, sim=self.sim_time,
+                peak_bytes=stats.peak_memory,
+                worker_mb={
+                    str(ws.worker): round(ws.memory_bytes / 1e6, 3)
+                    for ws in stats.workers
+                },
+            )
         self.sim_time += stats.elapsed
         stats.sim_time_end = self.sim_time
+        if self.flight is not None:
+            self.flight.record(
+                "barrier-exit", superstep=stats.index, sim=self.sim_time,
+                active=stats.active_end, elapsed=stats.elapsed,
+            )
         self.trace.append(stats)
         if self._em is not None:
             self._em.observe_superstep(stats, perf_counter() - host_t0)
@@ -533,6 +624,11 @@ class BSPEngine:
         )
         if span is not None:
             self.tracer.end(span, sim=self.sim_time)
+        if self.flight is not None:
+            self.flight.record(
+                "checkpoint", superstep=self.superstep, sim=self.sim_time,
+                resume_point=self.superstep + 1, write_seconds=write_time,
+            )
         if self._em is not None:
             self._em.checkpoints.inc()
             self._em.checkpoint_sim.inc(write_time)
@@ -580,6 +676,12 @@ class BSPEngine:
         )
         if span is not None:
             self.tracer.end(span, sim=self.sim_time, resumed_from=resume_from)
+        if self.flight is not None:
+            self.flight.record(
+                "recovery", superstep=self.superstep, sim=self.sim_time,
+                failed_worker=worker_id, resumed_from=resume_from,
+                restore_seconds=restore_time,
+            )
         if self._em is not None:
             self._em.recoveries.inc()
             self._em.recovery_sim.inc(restore_time)

@@ -54,6 +54,14 @@ class JobSpec:
     #: optional :class:`repro.obs.RunTimeline` recording one attribution row
     #: per superstep x worker (committed supersteps only)
     timeline: Any = None
+    #: optional :class:`repro.obs.FlightRecorder` — the always-on bounded
+    #: ring of structured events the live endpoint tails and postmortem
+    #: bundles capture
+    flight: Any = None
+    #: optional postmortem sink (duck-typed: ``dump(engine, error)``,
+    #: e.g. :class:`repro.obs.PostmortemWriter`) invoked by the engine on
+    #: any abnormal end before the exception propagates
+    postmortem: Any = None
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:

@@ -198,6 +198,7 @@ class SanitizerObserver(SuperstepObserver):
         self._metrics = metrics
         self._check_aggregators = check_aggregators
         self._seen = 0
+        self._flight = None
         self.violations: list[SanitizerViolation] = []
         self.aggregator_reports: list[AggregatorLawReport] = []
 
@@ -213,8 +214,17 @@ class SanitizerObserver(SuperstepObserver):
                 help="Vertex-program contract violations caught at runtime",
                 kind=violation.kind,
             ).inc()
+        if self._flight is not None:
+            self._flight.record(
+                "sanitizer-violation", superstep=violation.superstep,
+                kind=violation.kind, vertex=violation.vertex,
+                detail=violation.detail,
+            )
 
     def on_job_start(self, engine: BSPEngine) -> None:
+        # Violations land in the run's flight recorder too, so postmortem
+        # bundles and the live /events tail surface contract breakage.
+        self._flight = getattr(engine, "flight", None)
         if self._program is None and isinstance(
             engine.job.program, SanitizingProgram
         ):

@@ -18,6 +18,10 @@ location, application, worker count, partitioning scheme) as a CLI::
     python -m repro run --dataset WG --app bc --timeline-out tl.json
     python -m repro perf report tl.json
     python -m repro perf diff base.json new.json --threshold 0.1
+    python -m repro run --dataset SD --app pagerank --live-port 0 \\
+        --live-port-file port.txt --events-out events.ndjson
+    python -m repro trace summarize events.ndjson
+    python -m repro postmortem repro-crash.postmortem
 
 ``run`` prints the simulated runtime/cost summary and optionally dumps the
 per-superstep trace (JSON) for plotting.  The observability flags attach
@@ -47,6 +51,16 @@ any violation.
 attribution tables, and ``perf diff`` compares two timelines and exits 1
 when any phase regressed beyond ``--threshold``.
 
+Every ``run`` carries an always-on flight recorder (bounded event ring,
+``--flight-size``; tee to NDJSON with ``--events-out``) and a postmortem
+sink: an abnormal end (worker killed past its respawn budget, uncaught
+compute exception, safety gate, Ctrl-C) dumps a self-contained crash
+bundle to ``--postmortem-out`` and still flushes every ``--*-out``
+artifact recorded so far.  ``repro postmortem <bundle>`` renders the
+incident report; ``run --live-port N`` serves ``/metrics`` (Prometheus
+text), ``/healthz`` (liveness/progress JSON) and ``/events?since=``
+(flight tail) from a background thread while the job runs.
+
 ``run`` auto-profiles the program (disable with ``--no-profile``): the
 profile is printed with the summary, recorded on the result/metrics, and
 — for ``--sizer sampling``/``adaptive`` — seeds the swath sizer via
@@ -66,13 +80,21 @@ from .bsp.debug import InvariantChecker
 from .cloud.costmodel import SCALED_PERF_MODEL
 from .obs import (
     DiagnosticMonitor,
+    EngineHealth,
+    FlightRecorder,
+    LiveTelemetryServer,
     MetricsRegistry,
+    PostmortemWriter,
     RunReporter,
     RunTimeline,
     SpanTracer,
+    load_postmortem,
     perf_diff,
     perf_report,
+    read_event_log,
     read_timeline,
+    render_incident_report,
+    summarize_events,
     summarize_trace,
     write_metrics_json,
     write_prometheus,
@@ -210,6 +232,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the static cost profile (repro.check.costmodel); "
              "disables model-seeded swath sizing",
     )
+    p.add_argument(
+        "--live-port", type=int, default=None, metavar="PORT",
+        help="serve live telemetry (/metrics /healthz /events) on "
+             "127.0.0.1:PORT while the run is in flight (0 = ephemeral)",
+    )
+    p.add_argument(
+        "--live-port-file", metavar="PATH",
+        help="write the bound live-telemetry port here (for scrapers "
+             "when --live-port 0 picked an ephemeral port)",
+    )
+    p.add_argument(
+        "--events-out", metavar="PATH",
+        help="tee every flight-recorder event to an NDJSON log here "
+             "(`repro trace summarize` understands the format)",
+    )
+    p.add_argument(
+        "--flight-size", type=int, default=4096, metavar="N",
+        help="flight-recorder ring capacity (drop-oldest beyond N events)",
+    )
+    p.add_argument(
+        "--postmortem-out", default="repro-crash.postmortem", metavar="PATH",
+        help="where to dump the crash bundle if the run ends abnormally "
+             "(render with `repro postmortem PATH`)",
+    )
 
     p = sub.add_parser(
         "check",
@@ -257,6 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument(
         "--threshold", type=float, default=0.10,
         help="relative slowdown that counts as a regression",
+    )
+
+    p = sub.add_parser(
+        "postmortem",
+        help="render the incident report of a crash bundle "
+             "(written by `run` on abnormal end)",
+    )
+    p.add_argument("path", help="bundle path (suffix .postmortem)")
+    p.add_argument(
+        "--last-events", type=int, default=8,
+        help="flight-recorder tail length shown per worker",
     )
 
     p = sub.add_parser(
@@ -329,11 +386,47 @@ def _make_initiation(args):
     return DynamicPeakDetect()
 
 
+def _write_obs_artifacts(args, metrics, tracer, timeline, monitor) -> None:
+    """Flush the attached observability sinks to their --*-out files.
+
+    Called on success *and* from the failure path: partially-recorded
+    metrics/spans/timelines from a crashed run are exactly what the
+    postmortem workflow needs, so an engine failure must not lose them.
+    """
+    if timeline is not None:
+        timeline.write_json(args.timeline_out)
+        n_flags = len(monitor.flags) if monitor is not None else 0
+        print(
+            f"timeline written to {args.timeline_out} "
+            f"({len(timeline.rows)} rows, {n_flags} straggler flags)"
+        )
+    if metrics is not None and args.metrics_out:
+        if args.metrics_out.endswith(".json"):
+            write_metrics_json(metrics, args.metrics_out)
+        else:
+            write_prometheus(metrics, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if tracer is not None:
+        if args.spans_out:
+            tracer.write_json(args.spans_out)
+            print(f"spans written to {args.spans_out}")
+        if args.chrome_out:
+            tracer.write_chrome_trace(args.chrome_out)
+            print(f"chrome trace written to {args.chrome_out}")
+
+
 def _cmd_run(args) -> int:
     g = _load_graph(args)
-    metrics = MetricsRegistry() if args.metrics_out else None
+    live = args.live_port is not None
+    metrics = MetricsRegistry() if (args.metrics_out or live) else None
     tracer = SpanTracer() if (args.spans_out or args.chrome_out) else None
     timeline = RunTimeline() if args.timeline_out else None
+    # The flight recorder is always on for CLI runs: fixed-cost ring, and
+    # the crash bundle / live /events tail are worthless without it.
+    flight = FlightRecorder(capacity=args.flight_size)
+    if args.events_out:
+        flight.attach_sink(args.events_out)
+    postmortem = PostmortemWriter(args.postmortem_out)
     extra_observers = []
     monitor = None
     if args.timeline_out or args.progress:
@@ -353,6 +446,19 @@ def _cmd_run(args) -> int:
         sanitizer = SanitizerObserver(metrics=metrics)
         wrap_program = SanitizingProgram
         extra_observers.append(sanitizer)
+    server = None
+    if live:
+        health = EngineHealth()
+        extra_observers.append(health)
+        server = LiveTelemetryServer(
+            metrics=metrics, flight=flight, health=health,
+            port=args.live_port,
+        ).start()
+        print(f"live telemetry at {server.url}", file=sys.stderr)
+        if args.live_port_file:
+            from pathlib import Path
+
+            Path(args.live_port_file).write_text(f"{server.port}\n")
     cfg = RunConfig(
         num_workers=args.workers,
         partitioner=_STRATEGIES[args.strategy](args.seed),
@@ -361,6 +467,8 @@ def _cmd_run(args) -> int:
         tracer=tracer,
         metrics=metrics,
         timeline=timeline,
+        flight=flight,
+        postmortem=postmortem,
         auto_profile=not args.no_profile,
     )
     cfg = cfg.with_memory(
@@ -369,37 +477,68 @@ def _cmd_run(args) -> int:
     from .dist import ProgramSafetyError
 
     try:
-        if args.app == "pagerank":
-            res = run_pagerank(
-                g, cfg, iterations=args.iterations, observers=extra_observers,
-                wrap_program=wrap_program,
-            )
-            trace = res.trace
-            print(f"pagerank: {res.supersteps} supersteps")
-        else:
-            profile = None
-            if not args.no_profile:
-                from .algorithms.apsp import APSPProgram
-                from .algorithms.bc import BCProgram
-                from .check import profile_of
-
-                profile = profile_of(
-                    BCProgram if args.app == "bc" else APSPProgram
+        try:
+            if args.app == "pagerank":
+                res = run_pagerank(
+                    g, cfg, iterations=args.iterations,
+                    observers=extra_observers, wrap_program=wrap_program,
                 )
-            run = run_traversal(
-                g, cfg, range(min(args.roots, g.num_vertices)), kind=args.app,
-                sizer=_make_sizer(args, args.roots, graph=g, profile=profile),
-                initiation=_make_initiation(args),
-                extra_observers=extra_observers,
-                wrap_program=wrap_program,
+                trace = res.trace
+                print(f"pagerank: {res.supersteps} supersteps")
+            else:
+                profile = None
+                if not args.no_profile:
+                    from .algorithms.apsp import APSPProgram
+                    from .algorithms.bc import BCProgram
+                    from .check import profile_of
+
+                    profile = profile_of(
+                        BCProgram if args.app == "bc" else APSPProgram
+                    )
+                run = run_traversal(
+                    g, cfg, range(min(args.roots, g.num_vertices)),
+                    kind=args.app,
+                    sizer=_make_sizer(
+                        args, args.roots, graph=g, profile=profile
+                    ),
+                    initiation=_make_initiation(args),
+                    extra_observers=extra_observers,
+                    wrap_program=wrap_program,
+                )
+                res = run.result
+                trace = res.trace
+                print(
+                    f"{args.app}: {res.supersteps} supersteps, "
+                    f"{run.num_swaths} swaths"
+                )
+        except ProgramSafetyError as exc:
+            # RPC011 gate: refused before forking any worker process (no
+            # engine exists yet; the bundle carries the reason alone).
+            print(f"repro run: {exc}", file=sys.stderr)
+            postmortem.dump(None, exc)
+            print(
+                f"postmortem bundle written to {postmortem.written}",
+                file=sys.stderr,
             )
-            res = run.result
-            trace = res.trace
-            print(f"{args.app}: {res.supersteps} supersteps, {run.num_swaths} swaths")
-    except ProgramSafetyError as exc:
-        # RPC011 gate: refused before forking any worker process.
-        print(f"repro run: {exc}", file=sys.stderr)
-        return 1
+            return 1
+        except (Exception, KeyboardInterrupt) as exc:
+            # Abnormal end: the engine already dumped the postmortem via
+            # its JobSpec sink; flush whatever the other sinks recorded.
+            _write_obs_artifacts(args, metrics, tracer, timeline, monitor)
+            if postmortem.written is not None:
+                print(
+                    f"postmortem bundle written to {postmortem.written} "
+                    f"(render: repro postmortem {postmortem.written})",
+                    file=sys.stderr,
+                )
+            print(
+                f"repro run: {type(exc).__name__}: {exc}", file=sys.stderr
+            )
+            return 130 if isinstance(exc, KeyboardInterrupt) else 1
+    finally:
+        if server is not None:
+            server.stop()
+        flight.close()
     if res.profile is not None:
         print(f"profile: {res.profile.render()}")
     print(
@@ -410,26 +549,9 @@ def _cmd_run(args) -> int:
     if args.trace_out:
         write_json(trace, args.trace_out)
         print(f"trace written to {args.trace_out}")
-    if timeline is not None:
-        timeline.write_json(args.timeline_out)
-        n_flags = len(monitor.flags) if monitor is not None else 0
-        print(
-            f"timeline written to {args.timeline_out} "
-            f"({len(timeline.rows)} rows, {n_flags} straggler flags)"
-        )
-    if metrics is not None:
-        if args.metrics_out.endswith(".json"):
-            write_metrics_json(metrics, args.metrics_out)
-        else:
-            write_prometheus(metrics, args.metrics_out)
-        print(f"metrics written to {args.metrics_out}")
-    if tracer is not None:
-        if args.spans_out:
-            tracer.write_json(args.spans_out)
-            print(f"spans written to {args.spans_out}")
-        if args.chrome_out:
-            tracer.write_chrome_trace(args.chrome_out)
-            print(f"chrome trace written to {args.chrome_out}")
+    _write_obs_artifacts(args, metrics, tracer, timeline, monitor)
+    if args.events_out:
+        print(f"events written to {args.events_out}")
     if checker is not None:
         if checker.violations:
             print(
@@ -463,9 +585,47 @@ def _cmd_check(args) -> int:
     return run_check(args)
 
 
+def _looks_like_event_log(path: str) -> bool:
+    """True when the first non-blank line is a one-line flight event."""
+    import json
+
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    return False
+                return isinstance(data, dict) and "kind" in data
+    except OSError:
+        return False
+    return False
+
+
 def _cmd_trace(args) -> int:
+    if _looks_like_event_log(args.path):
+        try:
+            events = read_event_log(args.path)
+        except (ValueError, OSError) as exc:
+            print(f"repro trace: {exc}", file=sys.stderr)
+            return 2
+        print(summarize_events(events))
+        return 0
     trace = read_json(args.path)
     print(summarize_trace(trace, max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_postmortem(args) -> int:
+    try:
+        bundle = load_postmortem(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"repro postmortem: {exc}", file=sys.stderr)
+        return 2
+    print(render_incident_report(bundle, last_events=args.last_events))
     return 0
 
 
@@ -513,6 +673,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "trace": _cmd_trace,
     "perf": _cmd_perf,
+    "postmortem": _cmd_postmortem,
     "report": _cmd_report,
 }
 

@@ -232,6 +232,7 @@ class ProcessBSPEngine(BSPEngine):
         heartbeat_timeout: float | None = 30.0,
         start_method: str | None = None,
         check_program: bool = True,
+        max_respawns: int | None = None,
     ) -> None:
         if check_program:
             self._gate_program(job.program)
@@ -240,10 +241,16 @@ class ProcessBSPEngine(BSPEngine):
             raise ValueError("heartbeat_interval must be positive")
         if heartbeat_timeout is not None and heartbeat_timeout <= heartbeat_interval:
             raise ValueError("heartbeat_timeout must exceed the interval")
+        if max_respawns is not None and max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0 (or None: unlimited)")
         self._hb_interval = float(heartbeat_interval)
         self._hb_timeout = (
             None if heartbeat_timeout is None else float(heartbeat_timeout)
         )
+        #: respawn budget: replacement processes allowed before the run is
+        #: declared dead (None = unlimited, the historical behavior)
+        self._max_respawns = max_respawns
+        self._respawns = 0
         if start_method is None:
             # fork keeps unpicklable (e.g. test-local) programs usable.
             start_method = (
@@ -419,6 +426,8 @@ class ProcessBSPEngine(BSPEngine):
             view.apply_report(deliv["report"])
             if self.metrics is not None and deliv["metrics"]:
                 apply_snapshot(self.metrics, deliv["metrics"])
+            if self.flight is not None and deliv.get("flight"):
+                self.flight.merge_remote(view.worker_id, deliv["flight"])
             if isinstance(violations, list) and deliv["violations"]:
                 violations.extend(deliv["violations"])
             if deliv.get("output"):
@@ -477,7 +486,7 @@ class ProcessBSPEngine(BSPEngine):
         if h.proc.is_alive():
             h.proc.kill()
             h.proc.join()
-        self._mark_dead(h)
+        self._mark_dead(h, "SIGKILL (scheduled failure)")
 
     def kill_worker_at(self, superstep: int, worker_id: int) -> None:
         """Schedule a SIGKILL of ``worker_id`` after ``superstep`` completes.
@@ -514,7 +523,24 @@ class ProcessBSPEngine(BSPEngine):
             if h is None or not h.alive or not h.proc.is_alive():
                 if h is not None:
                     self._reap(h)
+                if (
+                    self._max_respawns is not None
+                    and self._respawns >= self._max_respawns
+                ):
+                    raise RuntimeError(
+                        f"worker {i} needs a replacement but the respawn "
+                        f"budget ({self._max_respawns}) is exhausted after "
+                        f"{self._respawns} respawns"
+                    )
                 self._handles[i] = self._spawn_child(i)
+                self._respawns += 1
+                if self.flight is not None:
+                    self.flight.record(
+                        "worker-respawn", superstep=self.superstep,
+                        sim=self.sim_time, respawned_worker=i,
+                        respawns=self._respawns,
+                        budget=self._max_respawns,
+                    )
                 if self._dm is not None:
                     self._dm.respawns.inc()
             else:
@@ -526,6 +552,21 @@ class ProcessBSPEngine(BSPEngine):
             self._views[h.worker_id].apply_report(
                 self._expect(h, "restored", epoch)
             )
+
+    def worker_liveness(self) -> list[dict]:
+        """Real per-process liveness (the /healthz view of the fleet)."""
+        now = monotonic()
+        out = []
+        for w, h in enumerate(self._handles):
+            if h is None:
+                out.append({"worker": w, "alive": False})
+                continue
+            out.append({
+                "worker": w,
+                "alive": bool(h.alive and h.proc.is_alive()),
+                "heartbeat_age_seconds": round(now - h.last_beat, 3),
+            })
+        return out
 
     def _extract_values(self) -> dict[int, Any]:
         epoch = self._epoch
@@ -550,6 +591,7 @@ class ProcessBSPEngine(BSPEngine):
                 self.partition.vertices_of(worker_id), self.job.program,
                 self.model, self.partition.assignment, self._active_ids,
                 self._hb_interval, self.metrics is not None,
+                self.flight is not None,
             ),
             daemon=True,
         )
@@ -567,11 +609,16 @@ class ProcessBSPEngine(BSPEngine):
             )
         return handle
 
-    def _mark_dead(self, h: _ChildHandle) -> None:
+    def _mark_dead(self, h: _ChildHandle, reason: str = "unknown") -> None:
         if not h.alive:
             return
         h.alive = False
         h.pending = 0
+        if self.flight is not None:
+            self.flight.record(
+                "worker-lost", superstep=self.superstep, sim=self.sim_time,
+                lost_worker=h.worker_id, reason=reason,
+            )
         if self._dm is not None:
             self._dm.failures.inc()
             self._dm.alive.set(
@@ -596,7 +643,7 @@ class ProcessBSPEngine(BSPEngine):
         try:
             h.conn.send_bytes(pack_frame(msg))
         except (BrokenPipeError, OSError) as exc:
-            self._mark_dead(h)
+            self._mark_dead(h, "pipe closed")
             raise WorkerFailure(h.worker_id, f"pipe closed: {exc}") from exc
         h.pending += 1
 
@@ -611,13 +658,13 @@ class ProcessBSPEngine(BSPEngine):
             try:
                 ready = conn.poll(0.01)
             except (OSError, EOFError) as exc:
-                self._mark_dead(h)
+                self._mark_dead(h, "pipe error")
                 raise WorkerFailure(h.worker_id, "pipe error") from exc
             if ready:
                 try:
                     data = conn.recv_bytes()
                 except (EOFError, OSError) as exc:
-                    self._mark_dead(h)
+                    self._mark_dead(h, "pipe closed mid-reply")
                     raise WorkerFailure(
                         h.worker_id, "pipe closed mid-reply"
                     ) from exc
@@ -644,7 +691,9 @@ class ProcessBSPEngine(BSPEngine):
         self._drain_heartbeats()
         h = waiting_on
         if not h.proc.is_alive():
-            self._mark_dead(h)
+            self._mark_dead(
+                h, f"process exited (code {h.proc.exitcode})"
+            )
             raise WorkerFailure(
                 h.worker_id, f"process exited (code {h.proc.exitcode})"
             )
@@ -652,9 +701,17 @@ class ProcessBSPEngine(BSPEngine):
             self._hb_timeout is not None
             and monotonic() - h.last_beat > self._hb_timeout
         ):
+            if self.flight is not None:
+                self.flight.record(
+                    "heartbeat-miss", superstep=self.superstep,
+                    sim=self.sim_time, lost_worker=h.worker_id,
+                    age_seconds=round(monotonic() - h.last_beat, 3),
+                )
             h.proc.kill()
             h.proc.join()
-            self._mark_dead(h)
+            self._mark_dead(
+                h, f"heartbeat timeout ({self._hb_timeout:g}s)"
+            )
             raise WorkerFailure(
                 h.worker_id, f"heartbeat timeout ({self._hb_timeout:g}s)"
             )

@@ -47,12 +47,18 @@ from .frames import pack_frame, unpack_frame
 __all__ = ["worker_main"]
 
 
-def _heartbeat_loop(conn, interval: float, stop: threading.Event) -> None:
+def _heartbeat_loop(
+    conn, interval: float, stop: threading.Event, flight=None
+) -> None:
+    beats = 0
     while not stop.wait(interval):
         try:
             conn.send_bytes(b"\x01")
         except (BrokenPipeError, OSError):
             return
+        beats += 1
+        if flight is not None:
+            flight.record("heartbeat-send", beats=beats)
 
 
 def _report(worker: PartitionWorker) -> dict[str, Any]:
@@ -82,6 +88,7 @@ def worker_main(
     active_ids,
     heartbeat_interval: float,
     want_metrics: bool,
+    want_flight: bool = False,
 ) -> None:
     """Command loop for one worker process (the child's ``main``)."""
     # A worker process must never write to the shared stdout/stderr —
@@ -106,6 +113,15 @@ def worker_main(
         from ..obs.sync import delta_snapshot, snapshot_registry
 
         registry = MetricsRegistry()
+    # Child-private flight recorder: the fresh tail ships to the
+    # coordinator in every barrier ("delivered") reply, which folds it in
+    # with FlightRecorder.merge_remote — same delta pattern as metrics.
+    flight = None
+    flight_cursor = -1
+    if want_flight:
+        from ..obs.flight import FlightRecorder
+
+        flight = FlightRecorder(capacity=1024)
     worker = PartitionWorker(
         worker_id=worker_id,
         graph=graph,
@@ -125,7 +141,7 @@ def worker_main(
     stop = threading.Event()
     threading.Thread(
         target=_heartbeat_loop,
-        args=(hb_conn, heartbeat_interval, stop),
+        args=(hb_conn, heartbeat_interval, stop, flight),
         daemon=True,
     ).start()
 
@@ -148,6 +164,13 @@ def worker_main(
                     worker.begin_superstep(superstep, agg_values)
                     worker.run_compute()
                     host = perf_counter() - t0
+                    if flight is not None:
+                        flight.record(
+                            "worker-compute", superstep=superstep,
+                            host_seconds=round(host, 6),
+                            msgs=worker.stats.msgs_out_local
+                            + worker.stats.msgs_out_remote,
+                        )
                     worker.stats.peers_out = len(worker.out_remote)
                     worker.stats.bytes_out = worker.out_remote_wire_bytes
                     # One frame per destination: the whole post-combine
@@ -185,12 +208,19 @@ def worker_main(
                     if isinstance(v_list, list):
                         fresh = tuple(v_list[violations_seen:])
                         violations_seen = len(v_list)
+                    flight_events = None
+                    if flight is not None:
+                        tail, flight_cursor = flight.events_since(
+                            flight_cursor
+                        )
+                        flight_events = [e.to_dict() for e in tail]
                     reply = ("delivered", epoch, {
                         "recv_msgs": recv_msgs,
                         "recv_bytes": recv_bytes,
                         "report": _report(worker),
                         "metrics": metrics_delta,
                         "violations": fresh,
+                        "flight": flight_events,
                         "output": _drain_output(),
                     })
                 elif cmd == "snapshot":

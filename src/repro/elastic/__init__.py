@@ -13,6 +13,7 @@ from .live import (
     LiveActiveFraction,
     LiveElasticEngine,
     LiveFixed,
+    LiveHealthGuard,
     LivePolicy,
     LiveSkewGuard,
     run_live,
@@ -33,6 +34,7 @@ __all__ = [
     "LiveActiveFraction",
     "LiveElasticEngine",
     "LiveFixed",
+    "LiveHealthGuard",
     "LivePolicy",
     "LiveSkewGuard",
     "run_live",

@@ -36,6 +36,7 @@ __all__ = [
     "LiveActiveFraction",
     "LiveFixed",
     "LiveSkewGuard",
+    "LiveHealthGuard",
     "LiveElasticEngine",
 ]
 
@@ -126,6 +127,42 @@ class LiveSkewGuard(LivePolicy):
     @property
     def label(self) -> str:
         return f"SkewGuard({self.inner.label}, >{self.threshold:g})"
+
+
+@dataclass
+class LiveHealthGuard(LivePolicy):
+    """Wrap a policy; veto *any* resize while run health is degraded.
+
+    Consumes the same liveness truth the ``/healthz`` endpoint serves: a
+    :class:`repro.obs.live.EngineHealth` (duck-typed: anything with a
+    ``snapshot() -> dict`` carrying ``ok``/``workers_alive``/
+    ``worker_liveness``).  Resizing while a worker is dead or the engine
+    has stopped crossing barriers would migrate state onto (or off of) a
+    fleet that is mid-recovery — so while the snapshot reports unhealthy,
+    requests for a different size hold at the current one.  External
+    scrapers and in-process policies thus act on one signal.
+    """
+
+    inner: LivePolicy
+    health: "object"
+    vetoes: int = field(default=0, repr=False)
+
+    def decide(self, engine, stats) -> int:
+        want = int(self.inner.decide(engine, stats))
+        if want != engine.num_workers:
+            snap = self.health.snapshot()
+            alive = snap.get("workers_alive", snap.get("workers", 0))
+            degraded = not snap.get("ok", True) or (
+                snap.get("worker_liveness") and alive < snap.get("workers", 0)
+            )
+            if degraded:
+                self.vetoes += 1
+                return engine.num_workers
+        return want
+
+    @property
+    def label(self) -> str:
+        return f"HealthGuard({self.inner.label})"
 
 
 class LiveElasticEngine(BSPEngine):

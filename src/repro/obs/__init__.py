@@ -23,7 +23,14 @@ engine stack reports into:
 * :mod:`repro.obs.diagnose` — straggler/skew detection with cause
   attribution (:class:`DiagnosticMonitor`) and critical-path breakdown;
 * :mod:`repro.obs.perf` — timeline report/diff rendering (backs
-  ``repro perf``).
+  ``repro perf``);
+* :mod:`repro.obs.flight` — :class:`FlightRecorder`, the always-on
+  bounded ring of structured events (the crash "black box");
+* :mod:`repro.obs.postmortem` — crash bundles dumped on abnormal job end
+  and the incident-report renderer (backs ``repro postmortem``);
+* :mod:`repro.obs.live` — :class:`LiveTelemetryServer`, a scrapeable
+  ``/metrics`` + ``/healthz`` + ``/events`` HTTP endpoint for in-flight
+  runs (backs ``repro run --live-port``).
 
 Attach instruments through the job spec and read them after the run::
 
@@ -52,6 +59,8 @@ from .export import (
     write_metrics_json,
     write_prometheus,
 )
+from .flight import FlightEvent, FlightRecorder, read_event_log
+from .live import EngineHealth, LiveTelemetryServer
 from .metrics import (
     DEFAULT_SIZE_BUCKETS,
     DEFAULT_TIME_BUCKETS,
@@ -61,9 +70,16 @@ from .metrics import (
     MetricsRegistry,
 )
 from .perf import perf_diff, perf_report
+from .postmortem import (
+    PostmortemWriter,
+    build_bundle,
+    load_postmortem,
+    render_incident_report,
+    write_postmortem,
+)
 from .progress import RunReporter
 from .spans import Span, SpanTracer
-from .summary import summarize_spans, summarize_trace
+from .summary import summarize_events, summarize_spans, summarize_trace
 from .sync import apply_snapshot, delta_snapshot, snapshot_registry
 from .timeline import (
     RunTimeline,
@@ -90,6 +106,7 @@ __all__ = [
     "write_metrics_json",
     "summarize_trace",
     "summarize_spans",
+    "summarize_events",
     "snapshot_registry",
     "delta_snapshot",
     "apply_snapshot",
@@ -107,4 +124,14 @@ __all__ = [
     "worker_skew",
     "perf_report",
     "perf_diff",
+    "FlightEvent",
+    "FlightRecorder",
+    "read_event_log",
+    "EngineHealth",
+    "LiveTelemetryServer",
+    "PostmortemWriter",
+    "build_bundle",
+    "write_postmortem",
+    "load_postmortem",
+    "render_incident_report",
 ]

@@ -215,11 +215,13 @@ class DiagnosticMonitor:
         self._skew = 1.0
         self._metrics = None
         self._tracer = None
+        self._flight = None
 
     # ---- observer protocol -------------------------------------------
     def on_job_start(self, engine) -> None:
         self._metrics = engine.metrics
         self._tracer = engine.tracer
+        self._flight = getattr(engine, "flight", None)
         self._degree_share = self._degree_share_of(engine)
 
     @staticmethod
@@ -264,6 +266,12 @@ class DiagnosticMonitor:
                     "straggler", sim=stats.sim_time_end, category="diagnose",
                     superstep=stats.index, worker=f.worker,
                     ratio=round(f.ratio, 3), cause=f.cause,
+                )
+            if self._flight is not None:
+                self._flight.record(
+                    "straggler", superstep=stats.index, worker=f.worker,
+                    sim=stats.sim_time_end, ratio=round(f.ratio, 3),
+                    cause=f.cause,
                 )
 
     def has_pending_work(self) -> bool:

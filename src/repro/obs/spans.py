@@ -112,6 +112,11 @@ class SpanTracer:
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         self.counters: list[dict[str, Any]] = []
+        #: optional :class:`repro.obs.FlightRecorder`; when set (the engine
+        #: wires it when a job attaches both sinks), every start/end also
+        #: emits a ``span-open``/``span-close`` flight event so the crash
+        #: tail shows the phase that was in flight
+        self.flight: Any = None
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
@@ -133,6 +138,12 @@ class SpanTracer:
         )
         self.spans.append(span)
         self._stack.append(span)
+        if self.flight is not None:
+            self.flight.record(
+                "span-open", sim=span.sim_start, name=span.name,
+                superstep=int(span.attrs.get("superstep", -1)),
+                depth=span.depth,
+            )
         return span
 
     def end(self, span: Span, sim: float | None = None, **attrs: Any) -> Span:
@@ -148,6 +159,12 @@ class SpanTracer:
             span.sim_end = float(sim) if sim is not None else span.sim_start
         if attrs:
             span.attrs.update(attrs)
+        if self.flight is not None:
+            self.flight.record(
+                "span-close", sim=span.sim_end, name=span.name,
+                superstep=int(span.attrs.get("superstep", -1)),
+                host_seconds=round(span.host_duration, 6),
+            )
         return span
 
     def record(self, name: str, sim: float = 0.0, sim_duration: float = 0.0,
@@ -186,6 +203,25 @@ class SpanTracer:
                 "values": {k: float(v) for k, v in values.items()},
             }
         )
+
+    def unwind(self, span: Span | None = None, sim: float | None = None) -> int:
+        """Abort-close spans left open above ``span``; returns the count.
+
+        The abnormal-end path breaks stack discipline: a compute phase
+        that raises leaves its span open, and closing the enclosing
+        superstep span would then fail — masking the original error.
+        ``unwind(span)`` repairs the stack by closing (``aborted: true``)
+        everything opened inside ``span``, leaving ``span`` itself as the
+        innermost open span for a normal :meth:`end`.  With ``span`` None
+        every open span is aborted (final job teardown).
+        """
+        if span is not None and span not in self._stack:
+            return 0
+        n = 0
+        while self._stack and self._stack[-1] is not span:
+            self.end(self._stack[-1], sim=sim, aborted=True)
+            n += 1
+        return n
 
     # ------------------------------------------------------------------
     @property

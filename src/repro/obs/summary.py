@@ -5,6 +5,12 @@ Backs ``repro trace summarize <trace.json>``: turns a persisted
 runtime-breakdown tables (Figs. 9/12 style) plus a per-superstep digest,
 without re-running anything.  Long traces are elided around the middle so
 the output stays terminal-sized.
+
+``summarize_events`` is the same idea for flight-recorder NDJSON logs
+(``repro run --events-out``): per-event-type counts, per-worker volume,
+and inter-barrier latency percentiles estimated the Prometheus way
+(:meth:`~repro.obs.metrics.Histogram.quantile` over bucket tallies).
+``repro trace summarize`` sniffs the file format and picks the right one.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from ..analysis.tables import table
 from ..bsp.superstep import JobTrace
 from .metrics import DEFAULT_TIME_BUCKETS, Histogram
 
-__all__ = ["summarize_trace", "summarize_spans"]
+__all__ = ["summarize_trace", "summarize_spans", "summarize_events"]
 
 
 def _rows_with_elision(steps, max_rows: int):
@@ -90,6 +96,72 @@ def summarize_trace(trace: JobTrace, max_rows: int = 24) -> str:
     if elided:
         per_step += f"\n({elided} middle supersteps elided)"
     sections.append(per_step)
+    return "\n\n".join(sections)
+
+
+def summarize_events(events, max_kinds: int = 32) -> str:
+    """Digest a flight-recorder event list (see :func:`read_event_log`).
+
+    Three tables: per-kind counts (with host-time span), per-worker event
+    volume, and — when the log holds ``barrier-exit`` events — the
+    inter-barrier latency distribution (host-clock gap between successive
+    coordinator barrier exits) as bucketed p50/p90/p99 quantiles.
+    """
+    events = list(events)
+    if not events:
+        return "event log is empty"
+    sections = []
+
+    kinds: dict[str, list[float]] = {}
+    order: list[str] = []
+    for e in events:
+        if e.kind not in kinds:
+            kinds[e.kind] = [0, e.host, e.host]
+            order.append(e.kind)
+        entry = kinds[e.kind]
+        entry[0] += 1
+        entry[1] = min(entry[1], e.host)
+        entry[2] = max(entry[2], e.host)
+    rows = [
+        [k, kinds[k][0], kinds[k][1], kinds[k][2]]
+        for k in sorted(order, key=lambda k: -kinds[k][0])[:max_kinds]
+    ]
+    title = f"event kinds ({len(events)} events)"
+    if len(order) > max_kinds:
+        title += f" — top {max_kinds} of {len(order)} kinds"
+    sections.append(
+        table(["kind", "count", "first s", "last s"], rows, title=title)
+    )
+
+    per_worker: dict[int, int] = {}
+    for e in events:
+        per_worker[e.worker] = per_worker.get(e.worker, 0) + 1
+    rows = [
+        ["coordinator" if w < 0 else f"worker {w}", n]
+        for w, n in sorted(per_worker.items())
+    ]
+    sections.append(table(["source", "events"], rows, title="event sources"))
+
+    exits = sorted(
+        (e.host for e in events if e.kind == "barrier-exit" and e.worker < 0)
+    )
+    if len(exits) >= 2:
+        hist = Histogram(
+            "inter_barrier_seconds", (), buckets=DEFAULT_TIME_BUCKETS
+        )
+        for a, b in zip(exits, exits[1:]):
+            hist.observe(b - a)
+        rows = [
+            [f"p{int(q * 100)}", f"{hist.quantile(q):.3g}"]
+            for q in (0.5, 0.9, 0.99)
+        ]
+        rows.append(["barriers", len(exits)])
+        sections.append(
+            table(
+                ["quantile", "host s"], rows,
+                title="inter-barrier latency (coordinator host clock)",
+            )
+        )
     return "\n\n".join(sections)
 
 

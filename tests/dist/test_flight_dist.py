@@ -1,0 +1,120 @@
+"""Flight recorder under the process engine: child events marshalled to
+the coordinator ring at barriers, respawn budget exhaustion, and the
+postmortem bundle that names the killed worker."""
+
+import pytest
+
+from repro.algorithms import PageRankProgram
+from repro.bsp import JobSpec
+from repro.dist import ProcessBSPEngine
+from repro.obs import (
+    FlightRecorder,
+    PostmortemWriter,
+    load_postmortem,
+    render_incident_report,
+)
+
+
+def pr_job(graph, **kw):
+    kw.setdefault("flight", FlightRecorder(capacity=8192))
+    return JobSpec(
+        program=PageRankProgram(6), graph=graph, num_workers=3,
+        checkpoint_interval=2, **kw,
+    )
+
+
+class TestChildEventMarshalling:
+    def test_child_events_reach_coordinator_ring(self, small_world):
+        job = pr_job(small_world)
+        # fast heartbeats so several beats land inside the short run
+        res = ProcessBSPEngine(job, heartbeat_interval=0.005).run()
+        events = job.flight.snapshot()
+        child = [e for e in events if e.worker >= 0]
+        assert child, "child events must be merged at barriers"
+        kinds = {e.kind for e in child}
+        assert "worker-compute" in kinds
+        assert "heartbeat-send" in kinds
+        # every worker reported compute events for every superstep
+        computes = [e for e in child if e.kind == "worker-compute"]
+        workers = {e.worker for e in computes}
+        assert workers == {0, 1, 2}
+        steps = sorted({e.superstep for e in computes})
+        assert steps == list(range(res.supersteps))
+
+    def test_merge_preserves_per_worker_order(self, small_world):
+        job = pr_job(small_world)
+        ProcessBSPEngine(job).run()
+        for worker, events in job.flight.by_worker().items():
+            if worker < 0:
+                continue
+            # child-side stamps survive the restamp and stay ordered
+            child_seqs = [e.attrs["worker_seq"] for e in events]
+            assert child_seqs == sorted(child_seqs)
+            coord_seqs = [e.seq for e in events]
+            assert coord_seqs == sorted(coord_seqs)
+
+    def test_order_preserved_across_kill_and_respawn(self, small_world):
+        job = pr_job(small_world)
+        engine = ProcessBSPEngine(job)
+        engine.kill_worker_at(2, 1)
+        res = engine.run()
+        assert res.recoveries and res.recoveries[0].failed_worker == 1
+        kinds = [e.kind for e in job.flight.snapshot()]
+        assert "worker-lost" in kinds
+        assert "worker-respawn" in kinds
+        assert "recovery" in kinds
+        # the respawned worker 1 keeps a monotonic per-worker view: the
+        # replacement child restarts its private seq at 0, but the merge
+        # restamps onto the coordinator clock so ring order holds
+        w1 = job.flight.by_worker()[1]
+        coord_seqs = [e.seq for e in w1]
+        assert coord_seqs == sorted(coord_seqs)
+        lost = [e for e in job.flight.snapshot() if e.kind == "worker-lost"]
+        assert lost[0].attrs["lost_worker"] == 1
+        assert "SIGKILL" in lost[0].attrs["reason"]
+
+    def test_worker_liveness_shape(self, small_world):
+        engine = ProcessBSPEngine(pr_job(small_world))
+        try:
+            rows = engine.worker_liveness()
+            assert [r["worker"] for r in rows] == [0, 1, 2]
+            assert all(r["alive"] for r in rows)
+            assert all(r["heartbeat_age_seconds"] >= 0 for r in rows)
+        finally:
+            engine.run()  # drain children cleanly
+
+
+class TestRespawnBudget:
+    def test_negative_budget_rejected(self, small_world):
+        with pytest.raises(ValueError, match="max_respawns"):
+            ProcessBSPEngine(pr_job(small_world), max_respawns=-1)
+
+    def test_budget_allows_counted_respawns(self, small_world):
+        engine = ProcessBSPEngine(pr_job(small_world), max_respawns=1)
+        engine.kill_worker_at(2, 0)
+        res = engine.run()
+        assert res.recoveries
+        respawns = [
+            e for e in engine.job.flight.snapshot()
+            if e.kind == "worker-respawn"
+        ]
+        assert respawns and respawns[0].attrs["budget"] == 1
+
+    def test_exhausted_budget_aborts_with_bundle(self, small_world, tmp_path):
+        pm = PostmortemWriter(tmp_path / "budget")
+        job = pr_job(small_world, postmortem=pm)
+        engine = ProcessBSPEngine(job, max_respawns=0)
+        engine.kill_worker_at(2, 1)
+        with pytest.raises(RuntimeError, match="respawn budget"):
+            engine.run()
+        assert pm.written is not None
+        bundle = load_postmortem(pm.written)
+        assert bundle["reason"]["type"] == "RuntimeError"
+        assert "worker 1" in bundle["reason"]["message"]
+        # last committed superstep marker survives into the bundle: the
+        # checkpoint at superstep 1 committed before the kill at 2
+        assert bundle["progress"]["last_committed_superstep"] >= 0
+        report = render_incident_report(bundle)
+        assert "worker 1" in report
+        assert "SIGKILL" in report
+        assert "last committed superstep" in report
