@@ -1,0 +1,133 @@
+"""Extension bench — the vectorization front-end and dense executor.
+
+Two numbers matter for the kernel-plan pipeline and both land in
+``BENCH_vectorize.json``:
+
+* **Analysis throughput** — ``lift_paths`` over every VertexProgram in
+  the repo (bundled algorithms + examples), repeated; the front-end must
+  stay editor-loop cheap like the rest of ``repro check``.
+* **Dense-ref speedup** — lifted PageRank interpreted from its KernelPlan
+  (NumPy gather/scatter over CSR) vs the per-vertex simulation engine on
+  a web-Google-scale synthetic analogue, same values to 1e-9.  The
+  acceptance floor is 5x; the gap is the whole argument for lifting.
+"""
+
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.algorithms import PageRankProgram
+from repro.bsp import BSPEngine, JobSpec
+from repro.bsp.dense_ref import DenseRefEngine
+from repro.check.vectorize import lift_paths
+from repro.graph.datasets import load
+
+from helpers import banner, run_once
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TARGETS = [
+    REPO_ROOT / "src" / "repro" / "algorithms",
+    REPO_ROOT / "examples",
+]
+
+#: Re-lift the corpus this many times to measure above timer noise.
+ANALYSIS_REPEATS = 20
+
+#: WG analogue scale: ~56k vertices / ~145k arcs — big enough that the
+#: per-vertex interpreter loop dominates, small enough for CI seconds.
+GRAPH_SCALE = 32
+ITERATIONS = 10
+
+#: Acceptance floor from the issue: dense-ref PageRank must beat the
+#: simulation engine by at least this factor on this workload.
+SPEEDUP_FLOOR = 5.0
+
+
+def test_vectorize_front_end_and_dense_speedup(benchmark):
+    graph = load("WG", scale=GRAPH_SCALE)
+
+    def job(num_workers: int) -> JobSpec:
+        return JobSpec(
+            program=PageRankProgram(iterations=ITERATIONS),
+            graph=graph,
+            num_workers=num_workers,
+        )
+
+    def run_all():
+        t0 = time.perf_counter()
+        for _ in range(ANALYSIS_REPEATS):
+            verdicts = lift_paths(TARGETS)
+        t_analysis = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        dense = DenseRefEngine(job(4)).run()
+        t_dense = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        sim = BSPEngine(job(1)).run()
+        t_sim = time.perf_counter() - t0
+        return verdicts, t_analysis, dense, t_dense, sim, t_sim
+
+    verdicts, t_analysis, dense, t_dense, sim, t_sim = run_once(
+        benchmark, run_all
+    )
+
+    # Honesty first: the speedup only counts if the answers agree.
+    assert sim.supersteps == dense.supersteps
+    mismatches = sum(
+        1
+        for v in sim.values
+        if not math.isclose(
+            sim.values[v], dense.values[v], rel_tol=1e-9, abs_tol=1e-12
+        )
+    )
+    assert mismatches == 0
+
+    lifted = sum(1 for v in verdicts if v.lifted)
+    refused = len(verdicts) - lifted
+    programs_per_sec = len(verdicts) * ANALYSIS_REPEATS / t_analysis
+    speedup = t_sim / t_dense
+
+    banner(
+        f"vectorize front-end: {len(verdicts)} programs "
+        f"({lifted} lifted / {refused} refused), dense-ref PageRank on "
+        f"WG x{GRAPH_SCALE} ({graph.num_vertices:,} vertices)"
+    )
+    print(f"{'programs/sec':<20} {programs_per_sec:>10.1f}")
+    print(f"{'sim engine s':<20} {t_sim:>10.3f}")
+    print(f"{'dense-ref s':<20} {t_dense:>10.3f}")
+    print(f"{'speedup':<20} {speedup:>10.1f}x (floor {SPEEDUP_FLOOR}x)")
+
+    assert lifted >= 6, "bundled liftable algorithms went missing"
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"dense-ref speedup {speedup:.1f}x fell below the "
+        f"{SPEEDUP_FLOOR}x acceptance floor"
+    )
+
+    payload = {
+        "workload": {
+            "targets": [str(t.relative_to(REPO_ROOT)) for t in TARGETS],
+            "programs": len(verdicts),
+            "lifted": lifted,
+            "refused": refused,
+            "analysis_repeats": ANALYSIS_REPEATS,
+            "graph": {
+                "dataset": "WG",
+                "scale": GRAPH_SCALE,
+                "num_vertices": graph.num_vertices,
+                "num_arcs": graph.num_arcs,
+            },
+            "iterations": ITERATIONS,
+        },
+        "analysis_programs_per_second": programs_per_sec,
+        "sim_seconds": t_sim,
+        "dense_ref_seconds": t_dense,
+        "speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "supersteps": dense.supersteps,
+        "value_mismatches": mismatches,
+    }
+    with open("BENCH_vectorize.json", "w") as f:
+        json.dump(payload, f, indent=2)
+    print("wrote BENCH_vectorize.json")

@@ -6,6 +6,7 @@ from .bc import BCProgram, BCState
 from .apsp import APSPProgram, APSPState
 from .sssp import SSSPProgram
 from .cc import ConnectedComponentsProgram
+from .wcc import WCCProgram
 from .kcore import KCoreProgram
 from .triangles import TriangleCountProgram
 from .semiclustering import SemiClusteringProgram, cluster_score
@@ -37,6 +38,7 @@ __all__ = [
     "APSPState",
     "SSSPProgram",
     "ConnectedComponentsProgram",
+    "WCCProgram",
     "bc",
     "apsp",
     "reference",

@@ -1,0 +1,47 @@
+"""Weakly connected components on Pregel/BSP (broadcast-then-relax).
+
+A second components formulation, distinct from
+:class:`~repro.algorithms.cc.ConnectedComponentsProgram`'s changed-flag
+style: every vertex announces its own id once at superstep 0, then relaxes
+to the minimum label heard and forwards only improvements.  The
+announce/relax split gives the program an explicit per-superstep phase
+structure, which makes it the canonical two-phase fixture for the
+kernel-plan lifter (``repro check --kernel-plan``).
+
+Like CC, run it on a symmetrized graph (``graph.as_undirected()``) to get
+weakly connected components of a directed input.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bsp.api import VertexContext, VertexProgram
+from ..bsp.combiners import MinCombiner
+
+__all__ = ["WCCProgram"]
+
+
+class WCCProgram(VertexProgram):
+    """Min-label WCC: announce own id at step 0, then min-relax."""
+
+    combiner = MinCombiner()
+
+    def init_state(self, vertex_id: int, graph) -> int:
+        return vertex_id
+
+    def state_nbytes(self, state: Any) -> int:
+        return 8
+
+    def payload_nbytes(self, payload: Any) -> int:
+        return 8
+
+    def compute(self, ctx: VertexContext, state: int, messages) -> int:
+        candidate = min(messages, default=state)
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(state)
+        elif candidate < state:
+            state = candidate
+            ctx.send_to_neighbors(state)
+        ctx.vote_to_halt()
+        return state

@@ -41,8 +41,10 @@ class RunConfig:
     vm_spec: VMSpec = LARGE_VM
     perf_model: PerfModel = DEFAULT_PERF_MODEL
     max_supersteps: int = 100_000
-    #: execution backend: "sim" (sequential), "threaded", or "process"
-    #: (real worker processes, repro.dist) — see docs/runtime.md
+    #: execution backend: "sim" (sequential), "threaded", "process"
+    #: (real worker processes, repro.dist), or "dense-ref" (NumPy
+    #: interpreter over the program's static KernelPlan — refuses
+    #: programs the lifter cannot prove) — see docs/runtime.md
     engine: str = "sim"
     #: optional observability sinks (repro.obs), threaded into every job
     tracer: Any = None
@@ -57,6 +59,10 @@ class RunConfig:
     #: statically profile the program (repro.check.costmodel) and record
     #: the ProgramProfile on the JobResult + metrics; cheap (pure AST)
     auto_profile: bool = True
+    #: statically lift the program to a KernelPlan (repro.check.vectorize)
+    #: and record it on the JobResult + plan-coverage metrics; cheap
+    #: (pure AST; never fails the run — refusals just leave it None)
+    auto_kernel_plan: bool = True
 
     def with_memory(self, memory_bytes: int) -> "RunConfig":
         """Same config with the worker VM memory replaced (scaled regime)."""
@@ -92,8 +98,13 @@ def _make_engine(cfg: RunConfig, job: JobSpec) -> BSPEngine:
         from ..dist import ProcessBSPEngine
 
         return ProcessBSPEngine(job)
+    if cfg.engine == "dense-ref":
+        from ..bsp.dense_ref import DenseRefEngine
+
+        return DenseRefEngine(job)
     raise ValueError(
-        f"unknown engine {cfg.engine!r}; use 'sim', 'threaded' or 'process'"
+        f"unknown engine {cfg.engine!r}; use 'sim', 'threaded', 'process' "
+        "or 'dense-ref'"
     )
 
 
@@ -121,6 +132,42 @@ def _auto_profile(cfg: RunConfig, program) -> Any:
             program=profile.program,
         ).set(profile.payload.nbytes)
     return profile
+
+
+def _auto_plan(cfg: RunConfig, program) -> Any:
+    """Static KernelPlan of ``program``, recorded in metrics when present.
+
+    Mirrors :func:`_auto_profile`: never fails the run.  Programs whose
+    compute() the lifter refuses (or with no locatable source) come back
+    with no plan — the ``repro_kernel_plan_lifted`` gauge records 0 so
+    dashboards can tell "refused" apart from "analysis disabled".
+    """
+    if not cfg.auto_kernel_plan:
+        return None
+    from ..check.vectorize import lift_of
+
+    verdict = lift_of(program)
+    if verdict is None:
+        return None
+    if cfg.metrics is not None:
+        cfg.metrics.gauge(
+            "repro_kernel_plan_lifted",
+            help="1 when the program statically lifted to a KernelPlan "
+                 "(RPC015), 0 when the lifter refused (RPC016-018)",
+            program=verdict.program,
+        ).set(1 if verdict.lifted else 0)
+        if verdict.plan is not None:
+            cfg.metrics.gauge(
+                "repro_kernel_plan_phases",
+                help="Number of guarded phases in the lifted KernelPlan",
+                program=verdict.program,
+            ).set(len(verdict.plan.phases))
+            cfg.metrics.gauge(
+                "repro_kernel_plan_ops",
+                help="Total kernel ops across the lifted plan's phases",
+                program=verdict.program,
+            ).set(verdict.plan.num_ops)
+    return verdict.plan
 
 
 @dataclass
@@ -161,9 +208,12 @@ def run_pagerank(
     if wrap_program is not None:
         program = wrap_program(program)
     profile = _auto_profile(cfg, program)
+    plan = _auto_plan(cfg, program)
     job = cfg.job(program, graph, observers=list(observers))
     result = _make_engine(cfg, job).run()
     result.profile = profile
+    if result.kernel_plan is None:
+        result.kernel_plan = plan
     return result
 
 
@@ -198,6 +248,7 @@ def run_traversal(
     if wrap_program is not None:
         program = wrap_program(program)
     profile = _auto_profile(cfg, program)
+    plan = _auto_plan(cfg, program)
     controller = SwathController(
         roots=roots,
         start_factory=start_factory,
@@ -212,6 +263,8 @@ def run_traversal(
     )
     result = _make_engine(cfg, job).run()
     result.profile = profile
+    if result.kernel_plan is None:
+        result.kernel_plan = plan
     if not controller.completed_all:
         raise RuntimeError(
             "traversal ended with pending roots "

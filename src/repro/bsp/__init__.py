@@ -11,6 +11,7 @@ from .aggregators import (
     SumAggregator,
 )
 from .combiners import Combiner, MaxCombiner, MinCombiner, SumCombiner
+from .dense_ref import DenseRefEngine, PlanRefusedError, run_job_dense_ref
 from .engine import BSPEngine, SuperstepObserver, run_job
 from .parallel import ThreadedBSPEngine, run_job_threaded
 from .debug import InvariantChecker, MessageRecord, TracingProgram
@@ -34,6 +35,9 @@ __all__ = [
     "MinCombiner",
     "SumCombiner",
     "BSPEngine",
+    "DenseRefEngine",
+    "PlanRefusedError",
+    "run_job_dense_ref",
     "SuperstepObserver",
     "run_job",
     "run_job_process",

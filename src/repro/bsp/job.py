@@ -121,6 +121,9 @@ class JobResult:
     #: static :class:`~repro.check.costmodel.ProgramProfile` of the program,
     #: when the runner auto-profiled it (None otherwise)
     profile: Any = None
+    #: static :class:`~repro.check.vectorize.KernelPlan` the program lifted
+    #: to, when the runner auto-attached one (None when refused / disabled)
+    kernel_plan: Any = None
 
     @property
     def total_time(self) -> float:

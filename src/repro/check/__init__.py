@@ -17,6 +17,16 @@ those contracts before and during a run:
   :func:`profile_of` models a live program object; the profile seeds
   ``SamplingSizer.from_profile(...)`` swath sizing and gates
   :class:`repro.dist.ProcessBSPEngine` before it forks.
+* **Vectorization front-end** — ``repro check --kernel-plan`` (module
+  :mod:`repro.check.vectorize`) abstract-interprets each ``compute()``
+  and either lifts it to a declarative :class:`KernelPlan` (RPC015 —
+  gather/map/scatter ops the NumPy reference executor
+  :class:`repro.bsp.dense_ref.DenseRefEngine` interprets directly) or
+  refuses with the precise blocking construct (RPC016 data-dependent
+  control flow, RPC017 non-dense state/payload schema, RPC018 unknown
+  reduction monoid).  Every claimed plan is certified bit-equivalent
+  against the simulation engine (``certify_determinism(engine=
+  "dense-ref")``).
 * **Dynamic sanitizer** — :class:`SanitizingProgram` +
   :class:`SanitizerObserver` fingerprint delivered payloads against
   in-place mutation, :func:`certify_determinism` diffs 1-vs-N-worker
@@ -37,6 +47,7 @@ from .analyzer import (
     analyze_paths_detailed,
     analyze_source,
 )
+from .cache import AnalysisCache
 from .config import CheckConfig, DEFAULT_CONFIG, load_config
 from .costmodel import (
     FanoutClass,
@@ -63,6 +74,17 @@ from .sanitizer import (
     check_aggregator_laws,
     freeze,
     run_sanitize_smoke,
+)
+from .vectorize import (
+    KERNEL_RULES,
+    KernelPhase,
+    KernelPlan,
+    KOp,
+    LiftResult,
+    lift_file,
+    lift_of,
+    lift_paths,
+    lift_source,
 )
 
 __all__ = [
@@ -99,4 +121,14 @@ __all__ = [
     "check_aggregator_laws",
     "freeze",
     "run_sanitize_smoke",
+    "AnalysisCache",
+    "KERNEL_RULES",
+    "KernelPhase",
+    "KernelPlan",
+    "KOp",
+    "LiftResult",
+    "lift_file",
+    "lift_of",
+    "lift_paths",
+    "lift_source",
 ]

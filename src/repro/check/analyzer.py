@@ -20,7 +20,7 @@ import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from .config import CheckConfig, DEFAULT_CONFIG
 from .findings import Finding, Severity
@@ -38,8 +38,9 @@ __all__ = [
 
 #: Version of the analyzer's output contract.  Bump the minor on additive
 #: envelope/profile changes, the major on breaking ones — CI diffs and
-#: editor integrations key on this.
-ANALYZER_VERSION = "2.0"
+#: editor integrations key on this (and the on-disk result cache keys on
+#: it, so bumping invalidates every cached entry).
+ANALYZER_VERSION = "2.1"
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\s*\[\s*([A-Za-z0-9_,\s]+?)\s*\])?", re.IGNORECASE
@@ -101,8 +102,15 @@ def analyze_source(
     source: str,
     filename: str = "<string>",
     config: CheckConfig | None = None,
+    kernel_plan: bool = False,
 ) -> list[Finding]:
-    """Run the enabled rules over one module's source text."""
+    """Run the enabled rules over one module's source text.
+
+    ``kernel_plan`` additionally runs the vectorization eligibility rules
+    (RPC015-018, :mod:`.vectorize`) — opt-in because every program then
+    gets exactly one verdict finding, including the advisory RPC015 on
+    programs with nothing wrong.
+    """
     config = config or DEFAULT_CONFIG
     try:
         tree = ast.parse(source, filename=filename)
@@ -120,9 +128,14 @@ def analyze_source(
         ]
     module = ModuleInfo.build(tree, filename)
     lines = source.splitlines()
+    active_rules = list(RULES)
+    if kernel_plan:
+        from .vectorize import KERNEL_RULES
+
+        active_rules.extend(KERNEL_RULES)
     findings: list[Finding] = []
     for program in _find_programs(tree):
-        for rule in RULES:
+        for rule in active_rules:
             if not config.enabled(rule.id):
                 continue
             findings.extend(rule.check(program, module))
@@ -131,7 +144,11 @@ def analyze_source(
     return findings
 
 
-def analyze_file(path: str | Path, config: CheckConfig | None = None) -> list[Finding]:
+def analyze_file(
+    path: str | Path,
+    config: CheckConfig | None = None,
+    kernel_plan: bool = False,
+) -> list[Finding]:
     path = Path(path)
     try:
         source = path.read_text(encoding="utf-8")
@@ -146,7 +163,9 @@ def analyze_file(path: str | Path, config: CheckConfig | None = None) -> list[Fi
                 message=f"cannot read file: {exc}",
             )
         ]
-    return analyze_source(source, filename=str(path), config=config)
+    return analyze_source(
+        source, filename=str(path), config=config, kernel_plan=kernel_plan
+    )
 
 
 _MODULE_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*$")
@@ -209,29 +228,76 @@ class FileResult:
     findings: list[Finding] = field(default_factory=list)
     #: ProgramProfile list; populated only when profiling was requested.
     profiles: list = field(default_factory=list)
+    #: LiftResult list; populated only when --kernel-plan was requested.
+    plans: list = field(default_factory=list)
     elapsed_ms: float = 0.0
+    #: True when this result was replayed from the on-disk cache; the
+    #: elapsed_ms is then the *original* analysis time, not the replay's.
+    cached: bool = False
 
 
 def analyze_paths_detailed(
     targets: Iterable[str],
     config: CheckConfig | None = None,
     profile: bool = False,
+    kernel_plan: bool = False,
+    cache: Any = None,
 ) -> list[FileResult]:
     """Per-file findings plus (optionally) cost profiles and timings.
 
     The flat :func:`analyze_paths` stays the simple API; this drives the
-    ``repro check`` JSON envelope, where per-file timing and profile
-    payloads ride alongside the findings.
+    ``repro check`` JSON envelope, where per-file timing, profile and
+    kernel-plan payloads ride alongside the findings.
+
+    ``cache`` is an optional :class:`~repro.check.cache.AnalysisCache`;
+    unchanged files (same bytes, analyzer version, config and flags)
+    replay from disk without re-running the rules.  Library callers
+    default to no cache — the CLI opts in.
     """
+    config = config or DEFAULT_CONFIG
+    config_sig = f"select={config.select!r};ignore={config.ignore!r}"
     results: list[FileResult] = []
     for path in iter_python_files(targets):
         t0 = time.perf_counter()
         result = FileResult(path=str(path))
-        result.findings = analyze_file(path, config=config)
+        source: str | None = None
+        key = None
+        if cache is not None:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                source = None  # unreadable: fall through, uncached
+            if source is not None:
+                key = cache.key_for(
+                    source, ANALYZER_VERSION, config_sig, profile,
+                    kernel_plan,
+                )
+                entry = cache.load(key, ANALYZER_VERSION)
+                if entry is not None:
+                    (result.findings, result.profiles, result.plans,
+                     result.elapsed_ms) = cache.unpack(entry)
+                    result.cached = True
+                    results.append(result)
+                    continue
+        result.findings = analyze_file(
+            path, config=config, kernel_plan=kernel_plan
+        )
         if profile:
             from .costmodel import profile_file
 
             result.profiles = profile_file(path)
+        if kernel_plan:
+            from .vectorize import lift_file
+
+            result.plans = lift_file(path)
         result.elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        if cache is not None and key is not None:
+            cache.store(
+                key,
+                cache.pack(
+                    result.findings, result.profiles, result.plans,
+                    result.elapsed_ms, ANALYZER_VERSION,
+                ),
+            )
         results.append(result)
     return results

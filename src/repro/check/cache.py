@@ -1,0 +1,169 @@
+"""On-disk result cache for the static analyzer (``.repro-cache/``).
+
+``repro check`` over a large tree re-parses every file on every run even
+though almost nothing changed.  The analysis is a pure function of
+(source bytes, analyzer version, enabled rules, requested extras), so its
+results are content-addressable: the cache key is the SHA-256 of exactly
+those inputs, and a warm re-run skips every unchanged file without ever
+comparing mtimes.
+
+Entries are one JSON file each under ``<root>/.repro-cache/check/``.
+Profiles and kernel-plan verdicts are stored as their ``as_dict()``
+envelopes plus pre-rendered text; cache hits return lightweight shims
+exposing the same ``as_dict()``/``render()`` surface the CLI consumes
+(they are *not* the live dataclasses — library callers who need real
+:class:`~repro.check.costmodel.ProgramProfile` objects should analyze
+with the cache off, the library default).
+
+Corruption and concurrent writers are handled by construction: a torn or
+stale entry fails ``json.loads`` or the version check and is treated as a
+miss; writes go through ``os.replace`` of a per-process temp file, so
+readers never observe partial JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from .findings import Finding, Severity
+
+__all__ = ["AnalysisCache", "CachedEnvelope"]
+
+_CACHE_SUBDIR = Path(".repro-cache") / "check"
+
+
+class CachedEnvelope:
+    """Replayed profile/plan: same ``as_dict``/``render`` surface, no class."""
+
+    def __init__(self, payload: dict, rendered: str = ""):
+        self._payload = payload
+        self._rendered = rendered
+
+    def as_dict(self) -> dict:
+        return self._payload
+
+    def render(self) -> str:
+        return self._rendered
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._payload[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+@dataclass
+class AnalysisCache:
+    """Content-addressed store for one analyzer configuration.
+
+    ``root`` is where ``.repro-cache/`` lives (default: the working
+    directory, so repo-local runs share a cache and containers throw it
+    away with the checkout).
+    """
+
+    root: Path | None = None
+
+    def __post_init__(self) -> None:
+        base = Path(self.root) if self.root is not None else Path.cwd()
+        self.directory = base / _CACHE_SUBDIR
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying --------------------------------------------------------
+    @staticmethod
+    def key_for(
+        source: str,
+        analyzer_version: str,
+        config_signature: str,
+        profile: bool,
+        kernel_plan: bool,
+    ) -> str:
+        h = hashlib.sha256()
+        for part in (
+            analyzer_version,
+            config_signature,
+            f"profile={profile}",
+            f"kernel_plan={kernel_plan}",
+        ):
+            h.update(part.encode("utf-8"))
+            h.update(b"\x00")
+        h.update(source.encode("utf-8"))
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # -- lookup / store ------------------------------------------------
+    def load(self, key: str, analyzer_version: str) -> dict | None:
+        """The stored envelope for ``key``, or None on any kind of miss."""
+        try:
+            raw = self._path(key).read_text(encoding="utf-8")
+            entry = json.loads(raw)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("analyzer_version") != analyzer_version
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, key: str, entry: dict) -> None:
+        """Atomically persist ``entry``; cache write failures are silent
+        (a read-only checkout must not break ``repro check``)."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self._path(key).with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(
+                json.dumps(entry, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, self._path(key))
+        except OSError:
+            pass
+
+    # -- envelope (de)hydration ----------------------------------------
+    @staticmethod
+    def pack(findings, profiles, plans, elapsed_ms: float,
+             analyzer_version: str) -> dict:
+        return {
+            "analyzer_version": analyzer_version,
+            "elapsed_ms": elapsed_ms,
+            "findings": [f.as_dict() for f in findings],
+            "profiles": [
+                {"payload": p.as_dict(), "rendered": p.render()}
+                for p in profiles
+            ],
+            "plans": [{"payload": v.as_dict()} for v in plans],
+        }
+
+    @staticmethod
+    def unpack(entry: dict) -> tuple[list, list, list, float]:
+        findings = [
+            Finding(
+                file=d["file"],
+                line=d["line"],
+                col=d["col"],
+                rule_id=d["rule"],
+                severity=Severity(d["severity"]),
+                message=d["message"],
+                hint=d.get("hint", ""),
+            )
+            for d in entry.get("findings", ())
+        ]
+        profiles = [
+            CachedEnvelope(d["payload"], d.get("rendered", ""))
+            for d in entry.get("profiles", ())
+        ]
+        plans = [
+            CachedEnvelope(d["payload"])
+            for d in entry.get("plans", ())
+        ]
+        return findings, profiles, plans, float(entry.get("elapsed_ms", 0.0))

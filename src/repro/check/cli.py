@@ -6,11 +6,16 @@ import when the subcommand actually runs, and so tests can drive
 
 The ``--format json`` output is a stable envelope: ``version`` (the
 analyzer contract version), ``rules`` (metadata for every rule that ran),
-``files`` (per-file findings/timings, in analysis order), the flat
-``findings`` list plus ``errors``/``warnings`` counts, ``profiles`` (one
-cost model per discovered program when ``--profile`` is set), and
-``sanitize``.  New keys are only ever *added*; consumers must ignore
-unknown keys.
+``files`` (per-file findings/timings/cached flag, in analysis order), the
+flat ``findings`` list plus ``errors``/``warnings``/``infos`` counts,
+``profiles`` (one cost model per discovered program when ``--profile`` is
+set), ``plans`` (one kernel-plan verdict — digest or located refusal —
+per program when ``--kernel-plan`` is set), and ``sanitize``.  New keys
+are only ever *added*; consumers must ignore unknown keys.
+
+Exit status: 1 on any ERROR finding, on WARNING findings under
+``--strict``, or on a failed sanitizer smoke.  INFO findings (RPC015)
+never fail the build.
 """
 
 from __future__ import annotations
@@ -40,6 +45,16 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="emit a static cost profile (fan-out class, payload model, "
              "combiner/aggregator inference) per vertex program",
+    )
+    parser.add_argument(
+        "--kernel-plan", action="store_true", dest="kernel_plan",
+        help="run the vectorization front-end: lift each program to a "
+             "dense KernelPlan (RPC015) or report exactly why it cannot "
+             "be lifted (RPC016-018)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the .repro-cache/ analysis cache",
     )
     parser.add_argument(
         "--select", action="append", metavar="PREFIX",
@@ -81,7 +96,15 @@ def run_check(args: argparse.Namespace) -> int:
 
     if args.list_rules:
         if args.format == "json":
-            print(json.dumps(rule_catalog(), indent=2))
+            # Stable, golden-testable envelope: schema-versioned, rules
+            # sorted by id (rule_catalog() already sorts).
+            print(
+                json.dumps(
+                    {"version": ANALYZER_VERSION, "rules": rule_catalog()},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
         else:
             for rule in rule_catalog():
                 print(
@@ -94,9 +117,16 @@ def run_check(args: argparse.Namespace) -> int:
     config = config.with_overrides(select=args.select, ignore=args.ignore)
 
     profile = getattr(args, "profile", False)
+    kernel_plan = getattr(args, "kernel_plan", False)
+    cache = None
+    if not getattr(args, "no_cache", False):
+        from .cache import AnalysisCache
+
+        cache = AnalysisCache()
     try:
         files = analyze_paths_detailed(
-            args.paths, config=config, profile=profile
+            args.paths, config=config, profile=profile,
+            kernel_plan=kernel_plan, cache=cache,
         )
     except FileNotFoundError as exc:
         print(f"repro check: {exc}", file=sys.stderr)
@@ -104,8 +134,10 @@ def run_check(args: argparse.Namespace) -> int:
 
     findings = sorted(f for fr in files for f in fr.findings)
     profiles = [p for fr in files for p in fr.profiles]
+    plans = [v for fr in files for v in fr.plans]
     errors = sum(1 for f in findings if f.severity is Severity.ERROR)
-    warnings = len(findings) - errors
+    infos = sum(1 for f in findings if f.severity is Severity.INFO)
+    warnings = len(findings) - errors - infos
 
     smoke = None
     if args.sanitize:
@@ -126,14 +158,19 @@ def run_check(args: argparse.Namespace) -> int:
                     "path": fr.path,
                     "findings": [f.as_dict() for f in fr.findings],
                     "elapsed_ms": round(fr.elapsed_ms, 3),
+                    "cached": fr.cached,
                 }
                 for fr in files
             ],
             "findings": [f.as_dict() for f in findings],
             "errors": errors,
             "warnings": warnings,
+            "infos": infos,
             "profiles": (
                 [p.as_dict() for p in profiles] if profile else None
+            ),
+            "plans": (
+                [v.as_dict() for v in plans] if kernel_plan else None
             ),
             "sanitize": smoke.as_dict() if smoke is not None else None,
         }
@@ -141,9 +178,16 @@ def run_check(args: argparse.Namespace) -> int:
     else:
         for f in findings:
             print(f.render())
-        summary = f"repro check: {errors} error(s), {warnings} warning(s)"
+        summary = (
+            f"repro check: {errors} error(s), {warnings} warning(s)"
+        )
+        if infos:
+            summary += f", {infos} info(s)"
         if not findings:
             summary += " — all programs honor the Pregel contract"
+        cached_files = sum(1 for fr in files if fr.cached)
+        if cached_files:
+            summary += f" [{cached_files}/{len(files)} file(s) cached]"
         print(summary)
         if profile:
             if profiles:
@@ -152,6 +196,28 @@ def run_check(args: argparse.Namespace) -> int:
                     print(p.render())
             else:
                 print("-- cost profiles: no vertex programs found --")
+        if kernel_plan:
+            lifted = sum(
+                1 for v in plans
+                if v.as_dict().get("status") == "lifted"
+            )
+            print(
+                f"-- kernel plans: {lifted}/{len(plans)} program(s) "
+                "lift to a dense plan --"
+            )
+            for v in plans:
+                d = v.as_dict()
+                if d.get("status") == "lifted":
+                    print(
+                        f"  {d['program']}: lifted "
+                        f"(digest {d['digest'][:16]}, reduce={d['reduce']}, "
+                        f"{d['phases']} phase(s), {d['ops']} op(s))"
+                    )
+                else:
+                    print(
+                        f"  {d['program']}: refused {d['rule']} at "
+                        f"{d['file']}:{d['refusal_line']} — {d['reason']}"
+                    )
         if smoke is not None:
             print(smoke.summary())
 

@@ -275,7 +275,12 @@ def _mentions_any(node: ast.AST, ctx: str | None, attrs: set[str],
 
 def _derived_names(fn: ast.FunctionDef, ctx: str | None, attrs: set[str],
                    seeds: set[str]) -> set[str]:
-    """Names transitively assigned from neighbor-bearing expressions."""
+    """Names transitively assigned from neighbor-bearing expressions.
+
+    Covers plain assignment and walrus bindings (``if (ns :=
+    ctx.out_neighbors())``); both introduce aliases the fan-out
+    classifier must chase.
+    """
     derived = set(seeds)
     for _ in range(3):  # fixed point over alias-of-alias chains
         grew = False
@@ -287,9 +292,59 @@ def _derived_names(fn: ast.FunctionDef, ctx: str | None, attrs: set[str],
                     if isinstance(t, ast.Name) and t.id not in derived:
                         derived.add(t.id)
                         grew = True
+            elif isinstance(node, ast.NamedExpr) and _mentions_any(
+                node.value, ctx, attrs, derived
+            ):
+                if node.target.id not in derived:
+                    derived.add(node.target.id)
+                    grew = True
         if not grew:
             break
     return derived
+
+
+def _send_aliases(fn: ast.FunctionDef, ctx: str | None) -> dict[str, str]:
+    """Local names bound (possibly through chains) to a ctx send method.
+
+    ``emit = ctx.send_to_neighbors; send = emit; send(x)`` must count as
+    a send site, not silently profile as fan-out NONE.
+    """
+    if ctx is None:
+        return {}
+    aliases: dict[str, str] = {}
+    for _ in range(3):  # alias-of-alias chains
+        grew = False
+        for node in ast.walk(fn):
+            value = None
+            if isinstance(node, ast.Assign):
+                value = node.value
+                targets = [
+                    t for t in node.targets if isinstance(t, ast.Name)
+                ]
+            elif isinstance(node, ast.NamedExpr):
+                value = node.value
+                targets = [node.target]
+            else:
+                continue
+            method = None
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr in ("send", "send_to_neighbors")
+                and isinstance(value.value, ast.Name)
+                and value.value.id == ctx
+            ):
+                method = value.attr
+            elif isinstance(value, ast.Name) and value.id in aliases:
+                method = aliases[value.id]
+            if method is None:
+                continue
+            for t in targets:
+                if t.id not in aliases:
+                    aliases[t.id] = method
+                    grew = True
+        if not grew:
+            break
+    return aliases
 
 
 def _is_constant_iter(node: ast.expr) -> bool:
@@ -398,11 +453,13 @@ class _SendWalker(ast.NodeVisitor):
 
     def __init__(self, ctx_name: str | None, neighbor_names: set[str],
                  data_names: set[str],
-                 helper_methods: frozenset[str] = frozenset()) -> None:
+                 helper_methods: frozenset[str] = frozenset(),
+                 send_aliases: dict[str, str] | None = None) -> None:
         self.ctx = ctx_name
         self.neighbors = neighbor_names
         self.data = data_names
         self.helpers = helper_methods
+        self.send_aliases = send_aliases or {}
         self.loop_stack: list[str] = []
         self.superstep_stack: list[int] = []
         self.sites: list[SendSite] = []
@@ -458,12 +515,45 @@ class _SendWalker(ast.NodeVisitor):
         else:
             self.generic_visit(node)
 
+    def visit_Match(self, node: ast.Match) -> None:
+        # `match ctx.superstep:` pins each literal-int case the same way
+        # an `if ctx.superstep == k:` chain would.
+        subject_is_superstep = (
+            isinstance(node.subject, ast.Attribute)
+            and node.subject.attr == "superstep"
+            and isinstance(node.subject.value, ast.Name)
+            and node.subject.value.id == self.ctx
+        )
+        self.visit(node.subject)
+        for case in node.cases:
+            pin = None
+            if (
+                subject_is_superstep
+                and isinstance(case.pattern, ast.MatchValue)
+                and isinstance(case.pattern.value, ast.Constant)
+                and isinstance(case.pattern.value.value, int)
+            ):
+                pin = case.pattern.value.value
+            if pin is not None:
+                self.superstep_stack.append(pin)
+            for stmt in case.body:
+                self.visit(stmt)
+            if pin is not None:
+                self.superstep_stack.pop()
+
     # -- the send sites -------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
+        call = None
         if isinstance(node.func, ast.Attribute) and node.func.attr in (
             "send", "send_to_neighbors"
         ):
             call = node.func.attr
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self.send_aliases
+        ):
+            call = self.send_aliases[node.func.id]
+        if call is not None:
             loops = tuple(self.loop_stack)
             data = sum(1 for k in loops if k == "data")
             degree = call == "send_to_neighbors" or "neighbors" in loops
@@ -891,7 +981,8 @@ def _collect_sites(
             _collect_aliases(cur, msg_seeds) if msg_seeds else set()
         )
         walker = _SendWalker(
-            ctx, neighbor_names, set(message_names), helper_names
+            ctx, neighbor_names, set(message_names), helper_names,
+            send_aliases=_send_aliases(cur, ctx),
         )
         walker.loop_stack = list(loops)
         walker.superstep_stack = list(pins)

@@ -20,10 +20,13 @@ class Severity(str, Enum):
 
     ``ERROR`` findings fail ``repro check`` (and CI); ``WARNING`` findings
     are reported but do not fail the build unless ``--strict`` is given.
+    ``INFO`` findings are advisory facts (e.g. "this program lifts to a
+    dense kernel plan") and never fail the build, even under ``--strict``.
     """
 
     ERROR = "error"
     WARNING = "warning"
+    INFO = "info"
 
     def __str__(self) -> str:  # "error", not "Severity.ERROR", in output
         return self.value

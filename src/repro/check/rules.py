@@ -909,13 +909,24 @@ RULES: tuple[Rule, ...] = (
 
 
 def rule_catalog() -> list[dict]:
-    """Metadata for every rule (docs, ``repro check --list-rules``)."""
-    return [
-        {
-            "id": r.id,
-            "severity": str(r.severity),
-            "summary": r.summary,
-            "hint": r.hint,
-        }
-        for r in RULES
-    ]
+    """Metadata for every rule (docs, ``repro check --list-rules``).
+
+    Includes the kernel-plan rules (RPC015-018) even though the analyzer
+    only runs them under ``--kernel-plan``: the catalog documents the
+    full vocabulary.  Imported lazily — :mod:`.vectorize` imports this
+    module for its rule base class.
+    """
+    from .vectorize import KERNEL_RULES
+
+    return sorted(
+        (
+            {
+                "id": r.id,
+                "severity": str(r.severity),
+                "summary": r.summary,
+                "hint": r.hint,
+            }
+            for r in (*RULES, *KERNEL_RULES)
+        ),
+        key=lambda entry: entry["id"],
+    )

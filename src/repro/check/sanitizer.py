@@ -296,7 +296,8 @@ class DeterminismReport:
     mismatches: list[tuple[int, Any, Any]] = field(default_factory=list)
     total_mismatches: int = 0
     supersteps: tuple[int, int] = (0, 0)
-    #: backend the N-worker run used: "sim", "threaded", or "process"
+    #: backend the N-worker run used: "sim", "threaded", "process",
+    #: or "dense-ref"
     engine: str = "threaded"
 
     def summary(self) -> str:
@@ -334,9 +335,12 @@ def certify_determinism(
     ``engine`` picks the N-worker backend: ``"sim"`` (sequential engine,
     pure partitioning effects), ``"threaded"``
     (:class:`~repro.bsp.parallel.ThreadedBSPEngine`, adds real
-    concurrency), or ``"process"`` (:class:`~repro.dist.ProcessBSPEngine`,
-    adds serialization and real process boundaries).  ``threaded=False``
-    is the deprecated spelling of ``engine="sim"``.
+    concurrency), ``"process"`` (:class:`~repro.dist.ProcessBSPEngine`,
+    adds serialization and real process boundaries), or ``"dense-ref"``
+    (:class:`~repro.bsp.dense_ref.DenseRefEngine`, interprets the
+    program's static KernelPlan with NumPy — this is how RPC015 claims
+    are certified).  ``threaded=False`` is the deprecated spelling of
+    ``engine="sim"``.
 
     ``program_factory`` must build a *fresh* program per call — programs may
     carry instance state (converged_at, caches) that must not leak between
@@ -365,9 +369,14 @@ def certify_determinism(
         from ..dist import ProcessBSPEngine
 
         engine_cls = ProcessBSPEngine
+    elif engine == "dense-ref":
+        from ..bsp.dense_ref import DenseRefEngine
+
+        engine_cls = DenseRefEngine
     else:
         raise ValueError(
-            f"unknown engine {engine!r}; use 'sim', 'threaded' or 'process'"
+            f"unknown engine {engine!r}; use 'sim', 'threaded', 'process' "
+            "or 'dense-ref'"
         )
     alt = engine_cls(
         JobSpec(

@@ -177,9 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=30, help="pagerank rounds")
     p.add_argument("--roots", type=int, default=20, help="bc/apsp traversal roots")
     p.add_argument(
-        "--engine", choices=["sim", "threaded", "process"], default="sim",
-        help="execution backend: sequential simulator, thread pool, or "
-             "real worker processes (repro.dist) — see docs/runtime.md",
+        "--engine", choices=["sim", "threaded", "process", "dense-ref"],
+        default="sim",
+        help="execution backend: sequential simulator, thread pool, real "
+             "worker processes (repro.dist), or the NumPy kernel-plan "
+             "interpreter (refuses programs `repro check --kernel-plan` "
+             "cannot lift) — see docs/runtime.md",
     )
     p.add_argument(
         "--sizer", choices=["all", "static", "sampling", "adaptive"], default="all",
@@ -474,6 +477,7 @@ def _cmd_run(args) -> int:
     cfg = cfg.with_memory(
         int(args.memory_mb * 1e6) if args.memory_mb else (1 << 62)
     )
+    from .bsp.dense_ref import PlanRefusedError
     from .dist import ProgramSafetyError
 
     try:
@@ -511,6 +515,16 @@ def _cmd_run(args) -> int:
                     f"{args.app}: {res.supersteps} supersteps, "
                     f"{run.num_swaths} swaths"
                 )
+        except PlanRefusedError as exc:
+            # dense-ref gate: the program has no certified kernel plan;
+            # the message carries the blocking rule and source span.
+            print(f"repro run: {exc}", file=sys.stderr)
+            print(
+                "hint: `repro check --kernel-plan` explains what blocks "
+                "the lift; other engines run this program unchanged",
+                file=sys.stderr,
+            )
+            return 1
         except ProgramSafetyError as exc:
             # RPC011 gate: refused before forking any worker process (no
             # engine exists yet; the bundle carries the reason alone).

@@ -1,0 +1,206 @@
+"""DenseRefEngine: bit-equivalence against BSPEngine, refusal gates, and
+the engine-selection wiring (sanitizer, runner, run_job_dense_ref).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BCProgram,
+    ConnectedComponentsProgram,
+    KCoreProgram,
+    LabelPropagationProgram,
+    PageRankProgram,
+    SSSPProgram,
+    WCCProgram,
+)
+from repro.bsp import BSPEngine, JobSpec
+from repro.bsp.dense_ref import (
+    DenseRefEngine,
+    PlanRefusedError,
+    run_job_dense_ref,
+)
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+
+
+def _equivalent(ref, dense, rel_tol=1e-9, abs_tol=1e-12):
+    assert ref.supersteps == dense.supersteps
+    assert ref.halted == dense.halted
+    assert set(ref.values) == set(dense.values)
+    for v in ref.values:
+        a, b = ref.values[v], dense.values[v]
+        if isinstance(a, float):
+            assert math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol), (
+                v, a, b,
+            )
+        else:
+            assert a == b, (v, a, b)
+    assert set(ref.aggregates) == set(dense.aggregates)
+    for k in ref.aggregates:
+        a, b = ref.aggregates[k], dense.aggregates[k]
+        if isinstance(a, float):
+            assert math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol), k
+        else:
+            assert a == b, k
+
+
+def _run_both(program_factory, graph, **kwargs):
+    ref = BSPEngine(
+        JobSpec(program=program_factory(), graph=graph, num_workers=1,
+                **kwargs)
+    ).run()
+    dense = DenseRefEngine(
+        JobSpec(program=program_factory(), graph=graph, num_workers=4,
+                **kwargs)
+    ).run()
+    return ref, dense
+
+
+@pytest.fixture(scope="module")
+def directed():
+    return gen.erdos_renyi(60, 0.08, seed=3, directed=True)
+
+
+@pytest.fixture(scope="module")
+def undirected():
+    return gen.watts_strogatz(60, 4, 0.3, seed=7).as_undirected()
+
+
+def test_pagerank_equivalence(directed):
+    ref, dense = _run_both(lambda: PageRankProgram(iterations=12), directed)
+    _equivalent(ref, dense)
+    assert dense.kernel_plan is not None
+    assert dense.kernel_plan.reduce == "sum"
+
+
+def test_sssp_weighted_equivalence(directed):
+    rng = np.random.default_rng(4)
+    gw = CSRGraph(
+        directed.num_vertices, directed.indptr, directed.indices,
+        weights=rng.uniform(0.5, 3.0, directed.num_arcs),
+    )
+    ref, dense = _run_both(lambda: SSSPProgram(source=0), gw)
+    _equivalent(ref, dense)
+
+
+def test_cc_and_wcc_equivalence(undirected):
+    for factory in (ConnectedComponentsProgram, WCCProgram):
+        ref, dense = _run_both(factory, undirected)
+        _equivalent(ref, dense)
+
+
+def test_kcore_peel_cascade_equivalence():
+    # A path peels one layer per round under k=2: the longest mutation
+    # cascade a small fixture can force.
+    g = gen.path(24).as_undirected()
+    ref, dense = _run_both(lambda: KCoreProgram(k=2), g)
+    _equivalent(ref, dense)
+    assert ref.supersteps > 5  # the cascade actually happened
+
+
+def test_lpa_equivalence_with_mode_ties(undirected):
+    ref, dense = _run_both(
+        lambda: LabelPropagationProgram(max_rounds=20), undirected
+    )
+    _equivalent(ref, dense)
+
+
+def test_max_supersteps_cap(undirected):
+    ref, dense = _run_both(WCCProgram, undirected, max_supersteps=2)
+    _equivalent(ref, dense)
+    assert not dense.halted
+
+
+def test_initially_active_subset(undirected):
+    ref, dense = _run_both(
+        WCCProgram, undirected, initially_active=[0, 7, 13]
+    )
+    _equivalent(ref, dense)
+
+
+def test_initial_messages(directed):
+    ref, dense = _run_both(
+        lambda: SSSPProgram(source=0), directed,
+        initially_active=False, initial_messages=[(0, 0.0)],
+    )
+    _equivalent(ref, dense)
+
+
+def test_refused_program_raises_with_rule_and_span(directed):
+    with pytest.raises(PlanRefusedError, match="RPC016"):
+        DenseRefEngine(
+            JobSpec(program=BCProgram(), graph=directed, num_workers=2)
+        )
+
+
+def test_param_bound_outside_plan_is_refused(directed):
+    # The plan was lifted for weight_fn=None; binding a callable breaks
+    # the precondition and must refuse, not silently ignore the function.
+    prog = SSSPProgram(source=0, weight_fn=lambda u, v: 2.0)
+    with pytest.raises(PlanRefusedError, match="weight_fn"):
+        DenseRefEngine(
+            JobSpec(program=prog, graph=directed, num_workers=2)
+        )
+
+
+def test_peel_plan_refuses_injected_messages():
+    g = gen.path(10).as_undirected()
+    with pytest.raises(PlanRefusedError, match="injected"):
+        DenseRefEngine(
+            JobSpec(
+                program=KCoreProgram(k=2), graph=g, num_workers=2,
+                initial_messages=[(0, (1, 2))],
+            )
+        )
+
+
+def test_run_job_dense_ref_helper(directed):
+    res = run_job_dense_ref(
+        JobSpec(
+            program=PageRankProgram(iterations=5), graph=directed,
+            num_workers=2,
+        )
+    )
+    assert res.supersteps == 6
+    assert res.halted
+
+
+def test_runner_engine_dense_ref(directed):
+    from repro.analysis.runner import RunConfig, run_pagerank
+
+    sim = run_pagerank(directed, RunConfig(num_workers=2), iterations=8)
+    dense = run_pagerank(
+        directed, RunConfig(num_workers=2, engine="dense-ref"),
+        iterations=8,
+    )
+    _equivalent(sim, dense)
+
+
+def test_certify_determinism_dense_ref_engine(undirected):
+    from repro.check.sanitizer import certify_determinism
+
+    report = certify_determinism(
+        WCCProgram, undirected, num_workers=4, engine="dense-ref"
+    )
+    assert report.ok, report.summary()
+    assert report.engine == "dense-ref"
+
+
+def test_explicit_plan_override(directed):
+    from repro.check.vectorize import lift_of
+
+    plan = lift_of(PageRankProgram).plan
+    assert plan is not None
+    res = DenseRefEngine(
+        JobSpec(
+            program=PageRankProgram(iterations=4), graph=directed,
+            num_workers=2,
+        ),
+        plan=plan,
+    ).run()
+    assert res.kernel_plan is plan

@@ -1,0 +1,170 @@
+"""Analyzer result cache: warm-run skips, keying, invalidation, CLI flag,
+plus the golden-file contract for ``repro check --list-rules``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.analyzer import ANALYZER_VERSION, analyze_paths_detailed
+from repro.check.cache import AnalysisCache
+from repro.check.cli import add_check_arguments, run_check
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN = Path(__file__).parent / "data" / "list_rules_golden.json"
+
+PROGRAM = """\
+from repro.bsp.api import VertexProgram
+from repro.bsp.combiners import MinCombiner
+
+class MiniCC(VertexProgram):
+    combiner = MinCombiner()
+    def init_state(self, vertex_id, graph):
+        return vertex_id
+    def compute(self, ctx, state, messages):
+        candidate = min(messages, default=state)
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(state)
+        elif candidate < state:
+            state = candidate
+            ctx.send_to_neighbors(state)
+        ctx.vote_to_halt()
+        return state
+"""
+
+BAD = """\
+class Bad(VertexProgram):
+    def compute(self, ctx, state, messages):
+        messages.sort()
+        ctx.vote_to_halt()
+        return state
+"""
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "good.py").write_text(PROGRAM)
+    (tmp_path / "bad.py").write_text(BAD)
+    return tmp_path
+
+
+def test_warm_run_skips_all_unchanged_files(tree, tmp_path):
+    cache = AnalysisCache(root=tmp_path)
+    cold = analyze_paths_detailed(
+        [str(tree)], profile=True, kernel_plan=True, cache=cache
+    )
+    assert all(not fr.cached for fr in cold)
+    assert cache.hits == 0 and cache.misses == len(cold)
+
+    warm_cache = AnalysisCache(root=tmp_path)
+    warm = analyze_paths_detailed(
+        [str(tree)], profile=True, kernel_plan=True, cache=warm_cache
+    )
+    assert all(fr.cached for fr in warm)
+    assert warm_cache.hits == len(warm) and warm_cache.misses == 0
+    # Replayed results are structurally identical.
+    for a, b in zip(cold, warm):
+        assert a.path == b.path
+        assert a.findings == b.findings
+        assert [p.as_dict() for p in a.profiles] == [
+            p.as_dict() for p in b.profiles
+        ]
+        assert [v.as_dict() for v in a.plans] == [
+            v.as_dict() for v in b.plans
+        ]
+        # Cached elapsed_ms reports the original analysis time.
+        assert b.elapsed_ms == pytest.approx(a.elapsed_ms)
+
+
+def test_source_change_invalidates_only_that_file(tree, tmp_path):
+    cache = AnalysisCache(root=tmp_path)
+    analyze_paths_detailed([str(tree)], cache=cache)
+    (tree / "bad.py").write_text(BAD + "\n# touched\n")
+    again = analyze_paths_detailed(
+        [str(tree)], cache=AnalysisCache(root=tmp_path)
+    )
+    by_name = {Path(fr.path).name: fr for fr in again}
+    assert by_name["good.py"].cached
+    assert not by_name["bad.py"].cached
+
+
+def test_flags_and_config_partition_the_cache(tree, tmp_path):
+    cache = AnalysisCache(root=tmp_path)
+    analyze_paths_detailed([str(tree)], cache=cache)
+    # Same files, different flags: no hit (the stored envelope would be
+    # missing the profile/plan payloads).
+    other = AnalysisCache(root=tmp_path)
+    res = analyze_paths_detailed(
+        [str(tree)], profile=True, cache=other
+    )
+    assert all(not fr.cached for fr in res)
+
+
+def test_analyzer_version_invalidates(tree, tmp_path):
+    cache = AnalysisCache(root=tmp_path)
+    source = (tree / "good.py").read_text()
+    key = cache.key_for(source, ANALYZER_VERSION, "sig", False, False)
+    cache.store(key, {"analyzer_version": "0.0", "findings": []})
+    assert cache.load(key, ANALYZER_VERSION) is None
+
+
+def test_corrupt_entry_is_a_miss(tree, tmp_path):
+    cache = AnalysisCache(root=tmp_path)
+    analyze_paths_detailed([str(tree)], cache=cache)
+    for entry in cache.directory.iterdir():
+        entry.write_text("{not json")
+    res = analyze_paths_detailed(
+        [str(tree)], cache=AnalysisCache(root=tmp_path)
+    )
+    assert all(not fr.cached for fr in res)
+
+
+def test_library_default_is_no_cache(tree, monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    analyze_paths_detailed([str(tree)])
+    assert not (tmp_path / ".repro-cache").exists()
+
+
+def _check(*argv: str) -> int:
+    parser = argparse.ArgumentParser()
+    add_check_arguments(parser)
+    return run_check(parser.parse_args(list(argv)))
+
+
+def test_cli_cache_default_on_and_no_cache_flag(
+    tree, monkeypatch, tmp_path, capsys
+):
+    monkeypatch.chdir(tmp_path)
+    assert _check(str(tree), "--no-config", "--format", "json") == 1
+    assert (tmp_path / ".repro-cache" / "check").exists()
+    capsys.readouterr()
+    assert _check(str(tree), "--no-config", "--format", "json") == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert all(entry["cached"] for entry in payload["files"])
+
+    # --no-cache neither reads nor grows the store.
+    before = sorted((tmp_path / ".repro-cache" / "check").iterdir())
+    capsys.readouterr()
+    assert _check(
+        str(tree), "--no-config", "--format", "json", "--no-cache"
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert all(not entry["cached"] for entry in payload["files"])
+    assert sorted((tmp_path / ".repro-cache" / "check").iterdir()) == before
+
+
+def test_list_rules_json_matches_golden(capsys):
+    assert _check("--list-rules", "--format", "json") == 0
+    out = capsys.readouterr().out
+    golden = GOLDEN.read_text()
+    assert json.loads(out) == json.loads(golden)
+    # Byte-stable, not just structurally equal: consumers diff this.
+    assert out == golden, (
+        "repro check --list-rules --format json output changed; if the "
+        "rule catalog legitimately changed, regenerate "
+        "tests/check/data/list_rules_golden.json"
+    )

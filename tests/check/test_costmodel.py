@@ -340,6 +340,7 @@ EXPECTED_CLASSES = {
     "PageRankProgram": FanoutClass.OUT_DEGREE,
     "ConvergentPageRankProgram": FanoutClass.OUT_DEGREE,
     "ConnectedComponentsProgram": FanoutClass.OUT_DEGREE,
+    "WCCProgram": FanoutClass.OUT_DEGREE,
     "LabelPropagationProgram": FanoutClass.OUT_DEGREE,
     "SSSPProgram": FanoutClass.OUT_DEGREE,
     "DiameterEstimationProgram": FanoutClass.OUT_DEGREE,
@@ -443,3 +444,77 @@ def test_prior_rejects_bad_worker_count():
         estimate_bytes_per_root(
             profile_of(BCProgram), num_vertices=10, num_edges=10, num_workers=0
         )
+
+
+# ----------------------------------------------------------------------
+# Robustness: walrus bindings, match statements, chained send aliasing
+# ----------------------------------------------------------------------
+def test_chained_send_alias_is_a_send_site():
+    p = one_profile("""
+        class Alias(VertexProgram):
+            def compute(self, ctx, state, messages):
+                emit = ctx.send_to_neighbors
+                send = emit
+                send(state + 1.0)
+                ctx.vote_to_halt()
+                return state
+    """)
+    assert p.fanout is FanoutClass.OUT_DEGREE
+    assert [s.call for s in p.send_sites] == ["send_to_neighbors"]
+
+
+def test_aliased_point_to_point_send_in_message_loop():
+    p = one_profile("""
+        class AliasSend(VertexProgram):
+            def compute(self, ctx, state, messages):
+                point = ctx.send
+                for m in messages:
+                    point(m[0], (state, 1.0))
+                ctx.vote_to_halt()
+                return state
+    """)
+    assert p.fanout is FanoutClass.OUT_DEGREE
+    (site,) = p.send_sites
+    assert site.call == "send"
+    assert site.payload.kind == "tuple"
+
+
+def test_match_statement_pins_supersteps():
+    p = one_profile("""
+        class MatchPin(VertexProgram):
+            def compute(self, ctx, state, messages):
+                match ctx.superstep:
+                    case 0:
+                        ctx.send_to_neighbors(state)
+                    case 1:
+                        ctx.send_to_neighbors(state * 2.0)
+                    case _:
+                        ctx.vote_to_halt()
+                return state
+    """)
+    assert [s.superstep for s in p.send_sites] == [0, 1]
+
+
+def test_walrus_bound_neighbors_classify_as_degree_fanout():
+    p = one_profile("""
+        class WalrusNeighbors(VertexProgram):
+            def compute(self, ctx, state, messages):
+                if (ns := ctx.out_neighbors()) is not None:
+                    for v in ns:
+                        ctx.send(v, 1.0)
+                ctx.vote_to_halt()
+                return state
+    """)
+    assert p.fanout is FanoutClass.OUT_DEGREE
+
+
+def test_near_miss_alias_of_unrelated_method_is_not_a_send():
+    p = one_profile("""
+        class NotASend(VertexProgram):
+            def compute(self, ctx, state, messages):
+                halt = ctx.vote_to_halt
+                halt()
+                return state
+    """)
+    assert p.fanout is FanoutClass.NONE
+    assert p.send_sites == ()

@@ -41,9 +41,13 @@ def test_clean_program_has_no_findings():
 
 
 def test_rule_catalog_covers_all_rules():
+    from repro.check.vectorize import KERNEL_RULES
+
     catalog = rule_catalog()
-    assert [r["id"] for r in catalog] == [r.id for r in RULES]
-    assert len(catalog) == 14
+    assert [r["id"] for r in catalog] == sorted(
+        r.id for r in (*RULES, *KERNEL_RULES)
+    )
+    assert len(catalog) == 18
     assert all(r["summary"] and r["hint"] for r in catalog)
 
 
