@@ -42,10 +42,14 @@ class RunConfig:
     perf_model: PerfModel = DEFAULT_PERF_MODEL
     max_supersteps: int = 100_000
     #: execution backend: "sim" (sequential), "threaded", "process"
-    #: (real worker processes, repro.dist), or "dense-ref" (NumPy
+    #: (real worker processes, repro.dist), "tcp" (worker sessions on
+    #: ``repro worker`` daemons, repro.net), or "dense-ref" (NumPy
     #: interpreter over the program's static KernelPlan — refuses
     #: programs the lifter cannot prove) — see docs/runtime.md
     engine: str = "sim"
+    #: TCP backend endpoints: a list of ``(host, port)`` pairs or a
+    #: workers-file path (str).  None auto-spawns localhost daemons.
+    tcp_hosts: Any = None
     #: optional observability sinks (repro.obs), threaded into every job
     tracer: Any = None
     metrics: Any = None
@@ -98,13 +102,20 @@ def _make_engine(cfg: RunConfig, job: JobSpec) -> BSPEngine:
         from ..dist import ProcessBSPEngine
 
         return ProcessBSPEngine(job)
+    if cfg.engine == "tcp":
+        from ..net.engine import TcpBSPEngine
+
+        hosts = cfg.tcp_hosts
+        if isinstance(hosts, str):
+            return TcpBSPEngine(job, workers_file=hosts)
+        return TcpBSPEngine(job, endpoints=hosts)
     if cfg.engine == "dense-ref":
         from ..bsp.dense_ref import DenseRefEngine
 
         return DenseRefEngine(job)
     raise ValueError(
-        f"unknown engine {cfg.engine!r}; use 'sim', 'threaded', 'process' "
-        "or 'dense-ref'"
+        f"unknown engine {cfg.engine!r}; use 'sim', 'threaded', 'process', "
+        "'tcp' or 'dense-ref'"
     )
 
 

@@ -336,7 +336,9 @@ def certify_determinism(
     pure partitioning effects), ``"threaded"``
     (:class:`~repro.bsp.parallel.ThreadedBSPEngine`, adds real
     concurrency), ``"process"`` (:class:`~repro.dist.ProcessBSPEngine`,
-    adds serialization and real process boundaries), or ``"dense-ref"``
+    adds serialization and real process boundaries), ``"tcp"``
+    (:class:`~repro.net.TcpBSPEngine`, adds sockets to auto-spawned
+    localhost worker daemons), or ``"dense-ref"``
     (:class:`~repro.bsp.dense_ref.DenseRefEngine`, interprets the
     program's static KernelPlan with NumPy — this is how RPC015 claims
     are certified).  ``threaded=False`` is the deprecated spelling of
@@ -369,14 +371,18 @@ def certify_determinism(
         from ..dist import ProcessBSPEngine
 
         engine_cls = ProcessBSPEngine
+    elif engine == "tcp":
+        from ..net.engine import TcpBSPEngine
+
+        engine_cls = TcpBSPEngine
     elif engine == "dense-ref":
         from ..bsp.dense_ref import DenseRefEngine
 
         engine_cls = DenseRefEngine
     else:
         raise ValueError(
-            f"unknown engine {engine!r}; use 'sim', 'threaded', 'process' "
-            "or 'dense-ref'"
+            f"unknown engine {engine!r}; use 'sim', 'threaded', 'process', "
+            "'tcp' or 'dense-ref'"
         )
     alt = engine_cls(
         JobSpec(

@@ -177,12 +177,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=30, help="pagerank rounds")
     p.add_argument("--roots", type=int, default=20, help="bc/apsp traversal roots")
     p.add_argument(
-        "--engine", choices=["sim", "threaded", "process", "dense-ref"],
+        "--engine",
+        choices=["sim", "threaded", "process", "tcp", "dense-ref"],
         default="sim",
         help="execution backend: sequential simulator, thread pool, real "
-             "worker processes (repro.dist), or the NumPy kernel-plan "
-             "interpreter (refuses programs `repro check --kernel-plan` "
-             "cannot lift) — see docs/runtime.md",
+             "worker processes (repro.dist), TCP worker daemons "
+             "(repro.net — see --hosts/--workers-file), or the NumPy "
+             "kernel-plan interpreter (refuses programs `repro check "
+             "--kernel-plan` cannot lift) — see docs/runtime.md",
+    )
+    p.add_argument(
+        "--hosts", metavar="HOST:PORT,...",
+        help="--engine tcp: comma-separated `repro worker` daemon "
+             "endpoints (default: auto-spawn localhost daemons)",
+    )
+    p.add_argument(
+        "--workers-file", metavar="PATH",
+        help="--engine tcp: file naming one daemon host:port per line "
+             "(# comments allowed); alternative to --hosts",
     )
     p.add_argument(
         "--sizer", choices=["all", "static", "sampling", "adaptive"], default="all",
@@ -326,6 +338,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.2)
     p.add_argument("--workers", type=int, default=8)
     p.add_argument("--roots", type=int, default=20)
+
+    p = sub.add_parser(
+        "worker",
+        help="TCP worker daemon for `repro run --engine tcp` (repro.net)",
+    )
+    wsub = p.add_subparsers(dest="worker_command", required=True)
+    ws = wsub.add_parser(
+        "serve",
+        help="host PartitionWorker sessions for a remote coordinator "
+             "(pickle transport: bind to trusted networks only)",
+    )
+    ws.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; pickle frames execute "
+             "code — never expose to an untrusted network)",
+    )
+    ws.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (0 = ephemeral; see --port-file)",
+    )
+    ws.add_argument(
+        "--port-file", metavar="PATH",
+        help="write the bound port here once listening (for scripts "
+             "launching with --port 0)",
+    )
+    ws.add_argument(
+        "--max-sessions", type=int, default=None, metavar="N",
+        help="refuse worker sessions beyond N at once (default: unlimited)",
+    )
+    wst = wsub.add_parser(
+        "status", help="probe a daemon's vitals and print them as JSON"
+    )
+    wst.add_argument("endpoint", help="daemon address, host:port")
     return parser
 
 
@@ -462,11 +507,22 @@ def _cmd_run(args) -> int:
             from pathlib import Path
 
             Path(args.live_port_file).write_text(f"{server.port}\n")
+    tcp_hosts = None
+    if getattr(args, "hosts", None):
+        from .net import parse_endpoint
+
+        tcp_hosts = [
+            parse_endpoint(spec)
+            for spec in args.hosts.split(",") if spec.strip()
+        ]
+    elif getattr(args, "workers_file", None):
+        tcp_hosts = args.workers_file
     cfg = RunConfig(
         num_workers=args.workers,
         partitioner=_STRATEGIES[args.strategy](args.seed),
         perf_model=SCALED_PERF_MODEL,
         engine=args.engine,
+        tcp_hosts=tcp_hosts,
         tracer=tracer,
         metrics=metrics,
         timeline=timeline,
@@ -678,6 +734,29 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    if args.worker_command == "serve":
+        from .net.daemon import serve
+
+        return serve(
+            host=args.host, port=args.port, port_file=args.port_file,
+            max_sessions=args.max_sessions,
+        )
+    # status
+    import json
+
+    from .net import parse_endpoint, probe_endpoint
+    from .net.transport import TransportError
+
+    try:
+        vitals = probe_endpoint(parse_endpoint(args.endpoint))
+    except (TransportError, ValueError, OSError) as exc:
+        print(f"repro worker: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(vitals, indent=2, sort_keys=True))
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
@@ -689,6 +768,7 @@ _COMMANDS = {
     "perf": _cmd_perf,
     "postmortem": _cmd_postmortem,
     "report": _cmd_report,
+    "worker": _cmd_worker,
 }
 
 

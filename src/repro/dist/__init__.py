@@ -1,12 +1,15 @@
-"""repro.dist: multiprocess BSP runtime (real worker processes).
+"""repro.dist: distributed BSP runtime (real worker processes).
 
 The third execution backend next to the sequential
 :class:`~repro.bsp.engine.BSPEngine` and the thread-pool
 :class:`~repro.bsp.parallel.ThreadedBSPEngine`:
-:class:`ProcessBSPEngine` runs each partition worker in its own OS
-process with bulk frame transport (:mod:`repro.dist.frames`), heartbeat
-failure detection, and checkpointed recovery that restarts replacement
-processes.  ``docs/runtime.md`` compares the three engines.
+:class:`ProcessBSPEngine` runs each partition worker behind a pluggable
+transport (:mod:`repro.net`) — forked local processes with pipe frames
+by default, ``repro worker`` TCP daemons via
+:class:`repro.net.TcpBSPEngine` — with bulk frame transport
+(:mod:`repro.net.codec`), heartbeat failure detection, and checkpointed
+recovery that restarts replacement workers.  ``docs/runtime.md``
+compares the engines.
 """
 
 from .engine import (
@@ -16,13 +19,15 @@ from .engine import (
     WorkerFailure,
     run_job_process,
 )
-from .frames import pack_frame, unpack_frame
+from .frames import FrameError, pack_frame, unpack_frame
 
 __all__ = [
     "ProcessBSPEngine",
     "WorkerFailure",
     "ChildError",
+    "ProgramSafetyError",
     "run_job_process",
+    "FrameError",
     "pack_frame",
     "unpack_frame",
 ]

@@ -1,54 +1,61 @@
-"""Multiprocess BSP engine: one OS process per partition worker.
+"""Distributed BSP engine: one worker per process or remote session.
 
-:class:`ProcessBSPEngine` is the reproduction's second *execution backend*
-— the same job model, vertex programs, simulated-cloud accounting, trace
-format, and checkpoint/rollback semantics as the sequential
-:class:`~repro.bsp.engine.BSPEngine`, but with every
-:class:`~repro.bsp.worker.PartitionWorker` running in its own
-``multiprocessing`` process, the way Pregel.NET runs workers as real
-processes on Azure VMs (§III).  Pure-Python ``compute()`` escapes the GIL
-ceiling that caps :class:`~repro.bsp.parallel.ThreadedBSPEngine`.
+:class:`ProcessBSPEngine` is the reproduction's distributed *execution
+backend* — the same job model, vertex programs, simulated-cloud
+accounting, trace format, and checkpoint/rollback semantics as the
+sequential :class:`~repro.bsp.engine.BSPEngine`, but with every
+:class:`~repro.bsp.worker.PartitionWorker` hosted behind a pluggable
+:class:`~repro.net.transport.Transport`, the way Pregel.NET runs workers
+as real processes on Azure VMs (§III).  Pure-Python ``compute()`` escapes
+the GIL ceiling that caps :class:`~repro.bsp.parallel.ThreadedBSPEngine`.
 
 Architecture (the paper's job-manager/worker split, §III):
 
 * the parent is the coordinator: it drives the barrier protocol (inject →
   compute → deliver → aggregator merge → master compute → accounting),
-  routes bulk message frames between children, merges aggregator partials
+  routes bulk message frames between workers, merges aggregator partials
   in worker-id order, runs ``master_compute``, prices the superstep on the
   cloud models, and owns the checkpoint;
-* each child owns its partition's state and serves the command loop in
-  :mod:`repro.dist.worker_proc`; messages cross the wire as length-prefixed
-  pickle-5 frames (:mod:`repro.dist.frames`), combiners already applied
-  sender-side.
+* each worker owns its partition's state and serves the command loop in
+  :class:`repro.net.session.WorkerSession`; messages cross the wire as
+  length-prefixed pickle-5 frames (:mod:`repro.net.codec`), combiners
+  already applied sender-side.
 
-Determinism: children compute independently, but frames are routed to each
+Transports (:mod:`repro.net`): the default
+:class:`~repro.net.transport.PipeTransport` forks one local OS process
+per worker (the historical ``repro.dist`` shape);
+:class:`~repro.net.tcp.TcpTransport` places sessions on ``repro worker``
+daemons over sockets (:class:`repro.net.TcpBSPEngine` is the
+pre-configured subclass behind ``--engine tcp``).  The coordinator logic
+below is transport-agnostic.
+
+Determinism: workers compute independently, but frames are routed to each
 destination in source-worker-id order and applied in emission order —
 exactly the sequential engine's flush order — and aggregator partials merge
 in worker-id order, so ``extract()`` output is bit-identical to the
-sequential engine (``certify_determinism(engine="process")`` checks this).
+sequential engine (``certify_determinism(engine="process")`` and
+``engine="tcp"`` check this).
 
-Robustness: children heartbeat on a dedicated pipe; the parent detects
-death (``is_alive``/pipe errors) and hangs (heartbeat age beyond
-``heartbeat_timeout``), SIGKILLs the victim if needed, restarts a
-replacement process, and replays Pregel-style coordinated rollback from the
-last checkpoint using the engine's existing checkpoint machinery.
-:meth:`ProcessBSPEngine.kill_worker_at` schedules a *real* SIGKILL through
+Robustness: workers heartbeat through their channel; the parent detects
+death (``healthy()``/channel errors) and hangs (heartbeat age beyond
+``heartbeat_timeout`` on the **monotonic** clock — wall-time jumps cannot
+fake a timeout), kills the victim if needed, launches a replacement, and
+replays Pregel-style coordinated rollback from the last checkpoint using
+the engine's existing checkpoint machinery.
+:meth:`ProcessBSPEngine.kill_worker_at` schedules a *real* kill through
 the same ``failure_schedule`` dict that
 :func:`repro.cloud.spot.spot_failure_schedule` produces.
 
-Telemetry parity: children keep private metric registries and ship deltas
+Telemetry parity: workers keep private metric registries and ship deltas
 at each barrier (:mod:`repro.obs.sync`); the parent folds them into the
-job's registry, records per-child compute host time as ``worker-compute``
+job's registry, records per-worker compute host time as ``worker-compute``
 spans, and adds transport (``dist_frames_total``, ``dist_frame_bytes_total``)
-and liveness (``dist_heartbeats_total``, ``dist_workers_alive``) series.
-
-Start method: ``fork`` where available (programs need not be picklable);
-under ``spawn`` the graph, program, and model must pickle.
+and liveness (``dist_heartbeats_total``, ``dist_workers_alive``) series,
+all labeled with the transport name.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import sys
 from time import monotonic
 from typing import Any
@@ -58,10 +65,15 @@ import numpy as np
 from ..bsp.engine import BSPEngine
 from ..bsp.job import JobResult, JobSpec
 from ..bsp.superstep import SuperstepStats
+from ..net.transport import (
+    PipeTransport,
+    Transport,
+    TransportClosed,
+    WorkerChannel,
+    WorkerInit,
+)
 from ..obs.metrics import DEFAULT_SIZE_BUCKETS
 from ..obs.sync import apply_snapshot
-from .frames import pack_frame, unpack_frame
-from .worker_proc import worker_main
 
 __all__ = [
     "ProcessBSPEngine",
@@ -78,7 +90,7 @@ except ImportError:  # pragma: no cover - perf_counter is always there
 
 
 class WorkerFailure(RuntimeError):
-    """A worker process died or hung (SIGKILL, crash, heartbeat timeout)."""
+    """A worker died or hung (SIGKILL, crash, drop, heartbeat timeout)."""
 
     def __init__(self, worker_id: int, reason: str) -> None:
         super().__init__(f"worker {worker_id} failed: {reason}")
@@ -89,7 +101,7 @@ class WorkerFailure(RuntimeError):
 class ProgramSafetyError(RuntimeError):
     """The static analyzer found state the process engine cannot pickle.
 
-    Raised *before any child process is forked* (RPC011): lambdas, open
+    Raised *before any worker is launched* (RPC011): lambdas, open
     handles, or locks stored in program/vertex state would otherwise
     surface as an opaque ``PicklingError`` deep inside the first
     checkpoint, recovery, or result extraction.  Carries the individual
@@ -114,15 +126,15 @@ class ProgramSafetyError(RuntimeError):
 
 
 class ChildError(RuntimeError):
-    """A worker process raised inside a command handler (carries the
-    child's traceback; the process itself is still alive)."""
+    """A worker raised inside a command handler (carries the worker's
+    traceback; the hosting process itself is still alive)."""
 
 
 class _WorkerView:
-    """Parent-side mirror of one child's resource numbers and step stats.
+    """Parent-side mirror of one worker's resource numbers and step stats.
 
     Duck-types the per-worker surface
-    :meth:`BSPEngine._account_superstep` reads; refreshed from the child's
+    :meth:`BSPEngine._account_superstep` reads; refreshed from the worker's
     barrier report each superstep.
     """
 
@@ -166,64 +178,57 @@ class _WorkerView:
         return self._memory
 
 
-class _ChildHandle:
-    """One worker process plus its pipes and liveness bookkeeping."""
-
-    __slots__ = (
-        "worker_id", "proc", "conn", "hb_conn", "pending", "last_beat",
-        "alive",
-    )
-
-    def __init__(self, worker_id, proc, conn, hb_conn) -> None:
-        self.worker_id = worker_id
-        self.proc = proc
-        self.conn = conn
-        self.hb_conn = hb_conn
-        self.pending = 0  # replies owed for commands already sent
-        self.last_beat = monotonic()
-        self.alive = True
-
-
 class _DistInstruments:
-    """Transport + liveness metrics (names in ``docs/runtime.md``)."""
+    """Transport + liveness metrics (names in ``docs/runtime.md``).
 
-    def __init__(self, registry) -> None:
+    Every series carries a ``transport`` label (``pipe``, ``tcp``, …) so
+    mixed-backend dashboards can tell the planes apart.
+    """
+
+    def __init__(self, registry, transport: str) -> None:
         self._registry = registry
+        self._transport = transport
         self.frames = registry.counter(
             "dist_frames_total",
             help="Bulk message frames routed through the coordinator",
+            transport=transport,
         )
         self.frame_bytes = registry.counter(
             "dist_frame_bytes_total",
             help="Serialized bytes of routed message frames",
+            transport=transport,
         )
         self.frame_size = registry.histogram(
             "dist_frame_size_bytes",
             help="Size distribution of routed message frames",
             buckets=DEFAULT_SIZE_BUCKETS,
+            transport=transport,
         )
         self.failures = registry.counter(
             "dist_worker_failures_total",
-            help="Worker processes lost (killed, crashed, or hung)",
+            help="Workers lost (killed, crashed, dropped, or hung)",
+            transport=transport,
         )
         self.respawns = registry.counter(
             "dist_worker_respawns_total",
-            help="Replacement worker processes started",
+            help="Replacement workers started",
+            transport=transport,
         )
         self.alive = registry.gauge(
-            "dist_workers_alive", help="Live worker processes"
+            "dist_workers_alive", help="Live workers", transport=transport,
         )
 
     def heartbeats(self, worker_id: int):
         return self._registry.counter(
             "dist_heartbeats_total",
-            help="Heartbeats received from worker processes",
+            help="Heartbeats received from workers",
             worker=str(worker_id),
+            transport=self._transport,
         )
 
 
 class ProcessBSPEngine(BSPEngine):
-    """BSPEngine whose workers are real OS processes (see module docs)."""
+    """BSPEngine whose workers live behind a Transport (see module docs)."""
 
     def __init__(
         self,
@@ -233,6 +238,7 @@ class ProcessBSPEngine(BSPEngine):
         start_method: str | None = None,
         check_program: bool = True,
         max_respawns: int | None = None,
+        transport: Transport | None = None,
     ) -> None:
         if check_program:
             self._gate_program(job.program)
@@ -247,33 +253,32 @@ class ProcessBSPEngine(BSPEngine):
         self._hb_timeout = (
             None if heartbeat_timeout is None else float(heartbeat_timeout)
         )
-        #: respawn budget: replacement processes allowed before the run is
+        #: respawn budget: replacement workers allowed before the run is
         #: declared dead (None = unlimited, the historical behavior)
         self._max_respawns = max_respawns
         self._respawns = 0
-        if start_method is None:
-            # fork keeps unpicklable (e.g. test-local) programs usable.
-            start_method = (
-                "fork" if "fork" in mp.get_all_start_methods() else None
-            )
-        self._mp = mp.get_context(start_method)
+        self._transport = (
+            transport if transport is not None
+            else PipeTransport(start_method)
+        )
         self._epoch = 0
         self._active_ids = job.initial_active_ids()
         self._dm = (
-            _DistInstruments(self.metrics) if self.metrics is not None else None
+            _DistInstruments(self.metrics, self._transport.name)
+            if self.metrics is not None else None
         )
         self._views = [_WorkerView(w) for w in self.workers]
-        self._handles: list[_ChildHandle | None] = [None] * self.num_workers
+        self._handles: list[WorkerChannel | None] = [None] * self.num_workers
         try:
             for w in range(self.num_workers):
-                self._handles[w] = self._spawn_child(w)
+                self._handles[w] = self._launch_worker(w)
         except Exception:
             self.shutdown()
             raise
 
     @staticmethod
     def _gate_program(program: Any) -> None:
-        """RPC011 pre-fork gate: fail fast on statically unpicklable state."""
+        """RPC011 pre-launch gate: fail fast on statically unpicklable state."""
         from ..check.costmodel import profile_of
 
         profile = profile_of(program)
@@ -281,7 +286,7 @@ class ProcessBSPEngine(BSPEngine):
             raise ProgramSafetyError(profile.program, profile.pickle_risks)
 
     # ------------------------------------------------------------------
-    # Control-plane injection: buffered here, flushed to children at the
+    # Control-plane injection: buffered here, flushed to workers at the
     # next superstep (or checkpoint) boundary — same visibility as the
     # sequential engine's direct in_next append.
     # ------------------------------------------------------------------
@@ -378,7 +383,7 @@ class ProcessBSPEngine(BSPEngine):
         epoch = self._epoch
         handles = self._handles
 
-        # Compute phase: every child drains its input buffer concurrently.
+        # Compute phase: every worker drains its input buffer concurrently.
         compute_span = (
             tracer.start("compute", sim=self.sim_time)
             if tracer is not None else None
@@ -449,11 +454,12 @@ class ProcessBSPEngine(BSPEngine):
 
     @staticmethod
     def _emit_child_output(worker_id: int, text: str) -> None:
-        """Relay a child's captured stdout/stderr, atomically.
+        """Relay a worker's captured stdout/stderr, atomically.
 
-        Children never touch the shared stderr (worker_proc captures it);
-        the coordinator is the only writer, so progress lines and worker
-        prints cannot interleave mid-line.  One write() call per batch.
+        Pipe-backend children never touch the shared stderr (worker_proc
+        captures it); the coordinator is the only writer, so progress
+        lines and worker prints cannot interleave mid-line.  One write()
+        call per batch.
         """
         prefix = f"[worker {worker_id}] "
         body = "".join(
@@ -481,15 +487,17 @@ class ProcessBSPEngine(BSPEngine):
         }
 
     def _fail_worker(self, worker_id: int) -> None:
-        """The scheduled-failure hook: a real SIGKILL, not a model."""
+        """The scheduled-failure hook: a real kill, not a model.
+
+        The transport decides what "kill" means: SIGKILL the worker
+        process (pipe) or SIGKILL/sever the hosting daemon (tcp).
+        """
         h = self._handles[worker_id]
-        if h.proc.is_alive():
-            h.proc.kill()
-            h.proc.join()
+        self._transport.kill_host(h)
         self._mark_dead(h, "SIGKILL (scheduled failure)")
 
     def kill_worker_at(self, superstep: int, worker_id: int) -> None:
-        """Schedule a SIGKILL of ``worker_id`` after ``superstep`` completes.
+        """Schedule a kill of ``worker_id`` after ``superstep`` completes.
 
         Feeds the same schedule dict as ``JobSpec.failure_schedule`` /
         :func:`repro.cloud.spot.spot_failure_schedule`, so spot-eviction
@@ -520,7 +528,7 @@ class ProcessBSPEngine(BSPEngine):
         self._epoch += 1  # replies from before the rollback are now stale
         epoch = self._epoch
         for i, h in enumerate(self._handles):
-            if h is None or not h.alive or not h.proc.is_alive():
+            if h is None or not h.alive or not h.healthy():
                 if h is not None:
                     self._reap(h)
                 if (
@@ -532,7 +540,7 @@ class ProcessBSPEngine(BSPEngine):
                         f"budget ({self._max_respawns}) is exhausted after "
                         f"{self._respawns} respawns"
                     )
-                self._handles[i] = self._spawn_child(i)
+                self._handles[i] = self._launch_worker(i, respawn=True)
                 self._respawns += 1
                 if self.flight is not None:
                     self.flight.record(
@@ -554,8 +562,7 @@ class ProcessBSPEngine(BSPEngine):
             )
 
     def worker_liveness(self) -> list[dict]:
-        """Real per-process liveness (the /healthz view of the fleet)."""
-        now = monotonic()
+        """Real per-worker liveness (the /healthz view of the fleet)."""
         out = []
         for w, h in enumerate(self._handles):
             if h is None:
@@ -563,8 +570,10 @@ class ProcessBSPEngine(BSPEngine):
                 continue
             out.append({
                 "worker": w,
-                "alive": bool(h.alive and h.proc.is_alive()),
-                "heartbeat_age_seconds": round(now - h.last_beat, 3),
+                "alive": bool(h.alive and h.healthy()),
+                "heartbeat_age_seconds": round(h.heartbeat_age(), 3),
+                "endpoint": h.endpoint,
+                "transport": h.transport,
             })
         return out
 
@@ -578,27 +587,34 @@ class ProcessBSPEngine(BSPEngine):
         return values
 
     # ------------------------------------------------------------------
-    # Process management and the request/reply transport
+    # Worker lifecycle and the request/reply protocol, written against
+    # the Transport/WorkerChannel interface (repro.net.transport).
     # ------------------------------------------------------------------
-    def _spawn_child(self, worker_id: int) -> _ChildHandle:
-        parent_conn, child_conn = self._mp.Pipe(duplex=True)
-        hb_recv, hb_send = self._mp.Pipe(duplex=False)
-        proc = self._mp.Process(
-            target=worker_main,
-            name=f"bsp-worker-{worker_id}",
-            args=(
-                worker_id, child_conn, hb_send, self.graph,
-                self.partition.vertices_of(worker_id), self.job.program,
-                self.model, self.partition.assignment, self._active_ids,
-                self._hb_interval, self.metrics is not None,
-                self.flight is not None,
-            ),
-            daemon=True,
+    def _worker_init(self, worker_id: int) -> WorkerInit:
+        return WorkerInit(
+            worker_id=worker_id,
+            graph=self.graph,
+            vertex_ids=self.partition.vertices_of(worker_id),
+            program=self.job.program,
+            model=self.model,
+            assignment=self.partition.assignment,
+            active_ids=self._active_ids,
+            heartbeat_interval=self._hb_interval,
+            want_metrics=self.metrics is not None,
+            want_flight=self.flight is not None,
         )
-        proc.start()
-        child_conn.close()
-        hb_send.close()
-        handle = _ChildHandle(worker_id, proc, parent_conn, hb_recv)
+
+    def _launch_worker(
+        self, worker_id: int, respawn: bool = False
+    ) -> WorkerChannel:
+        handle = self._transport.launch(self._worker_init(worker_id))
+        if self.flight is not None:
+            self.flight.record(
+                "worker-reconnect" if respawn else "worker-connect",
+                superstep=self.superstep, sim=self.sim_time,
+                connected_worker=worker_id, endpoint=handle.endpoint,
+                transport=handle.transport,
+            )
         if self._dm is not None:
             self._dm.heartbeats(worker_id)  # create the series eagerly
             self._dm.alive.set(
@@ -609,7 +625,7 @@ class ProcessBSPEngine(BSPEngine):
             )
         return handle
 
-    def _mark_dead(self, h: _ChildHandle, reason: str = "unknown") -> None:
+    def _mark_dead(self, h: WorkerChannel, reason: str = "unknown") -> None:
         if not h.alive:
             return
         h.alive = False
@@ -625,90 +641,68 @@ class ProcessBSPEngine(BSPEngine):
                 sum(1 for x in self._handles if x is not None and x.alive)
             )
 
-    def _reap(self, h: _ChildHandle) -> None:
+    def _reap(self, h: WorkerChannel) -> None:
         self._mark_dead(h)
-        if h.proc.is_alive():
-            h.proc.kill()
-        h.proc.join()
-        for conn in (h.conn, h.hb_conn):
-            try:
-                conn.close()
-            except OSError:
-                pass
+        h.kill()
+        h.close()
 
-    def _send(self, h: _ChildHandle, msg: tuple) -> None:
+    def _send(self, h: WorkerChannel, msg: tuple) -> None:
         self._drain(h)
         if not h.alive:
-            raise WorkerFailure(h.worker_id, "process is gone")
+            raise WorkerFailure(h.worker_id, "worker is gone")
         try:
-            h.conn.send_bytes(pack_frame(msg))
-        except (BrokenPipeError, OSError) as exc:
-            self._mark_dead(h, "pipe closed")
-            raise WorkerFailure(h.worker_id, f"pipe closed: {exc}") from exc
+            h.send(msg)
+        except TransportClosed as exc:
+            self._mark_dead(h, str(exc))
+            raise WorkerFailure(h.worker_id, str(exc)) from exc
         h.pending += 1
 
-    def _drain(self, h: _ChildHandle) -> None:
+    def _drain(self, h: WorkerChannel) -> None:
         """Consume replies owed from an aborted exchange (discarded)."""
         while h.pending and h.alive:
             self._recv_raw(h)
 
-    def _recv_raw(self, h: _ChildHandle) -> tuple:
-        conn = h.conn
+    def _recv_raw(self, h: WorkerChannel) -> tuple:
         while True:
             try:
-                ready = conn.poll(0.01)
-            except (OSError, EOFError) as exc:
-                self._mark_dead(h, "pipe error")
-                raise WorkerFailure(h.worker_id, "pipe error") from exc
-            if ready:
-                try:
-                    data = conn.recv_bytes()
-                except (EOFError, OSError) as exc:
-                    self._mark_dead(h, "pipe closed mid-reply")
-                    raise WorkerFailure(
-                        h.worker_id, "pipe closed mid-reply"
-                    ) from exc
+                msg = h.recv(0.01)
+            except TransportClosed as exc:
+                self._mark_dead(h, str(exc))
+                raise WorkerFailure(h.worker_id, str(exc)) from exc
+            if msg is not None:
                 h.pending -= 1
-                return unpack_frame(data)
+                return msg
             self._check_liveness(h)
 
     def _drain_heartbeats(self) -> None:
-        now = monotonic()
         for h in self._handles:
             if h is None or not h.alive:
                 continue
-            try:
-                while h.hb_conn.poll(0):
-                    h.hb_conn.recv_bytes()
-                    h.last_beat = now
-                    if self._dm is not None:
-                        self._dm.heartbeats(h.worker_id).inc()
-            except (EOFError, OSError):
-                pass  # beats stop when the child dies; is_alive() decides
+            beats = h.drain_heartbeats()
+            if beats and self._dm is not None:
+                self._dm.heartbeats(h.worker_id).inc(beats)
 
-    def _check_liveness(self, waiting_on: _ChildHandle) -> None:
+    def _check_liveness(self, waiting_on: WorkerChannel) -> None:
         """Drain heartbeats; fail the awaited worker if dead or hung."""
         self._drain_heartbeats()
         h = waiting_on
-        if not h.proc.is_alive():
-            self._mark_dead(
-                h, f"process exited (code {h.proc.exitcode})"
-            )
-            raise WorkerFailure(
-                h.worker_id, f"process exited (code {h.proc.exitcode})"
-            )
+        if not h.healthy():
+            reason = h.death_reason()
+            self._mark_dead(h, reason)
+            raise WorkerFailure(h.worker_id, reason)
+        # Heartbeat ages live on the monotonic clock (channel-internal):
+        # a wall-clock jump must never fake a timeout.
         if (
             self._hb_timeout is not None
-            and monotonic() - h.last_beat > self._hb_timeout
+            and h.heartbeat_age() > self._hb_timeout
         ):
             if self.flight is not None:
                 self.flight.record(
                     "heartbeat-miss", superstep=self.superstep,
                     sim=self.sim_time, lost_worker=h.worker_id,
-                    age_seconds=round(monotonic() - h.last_beat, 3),
+                    age_seconds=round(h.heartbeat_age(), 3),
                 )
-            h.proc.kill()
-            h.proc.join()
+            h.kill()
             self._mark_dead(
                 h, f"heartbeat timeout ({self._hb_timeout:g}s)"
             )
@@ -716,7 +710,7 @@ class ProcessBSPEngine(BSPEngine):
                 h.worker_id, f"heartbeat timeout ({self._hb_timeout:g}s)"
             )
 
-    def _expect(self, h: _ChildHandle, kind: str, epoch: int):
+    def _expect(self, h: WorkerChannel, kind: str, epoch: int):
         while True:
             r_kind, r_epoch, payload = self._recv_raw(h)
             if r_epoch != epoch:
@@ -740,31 +734,30 @@ class ProcessBSPEngine(BSPEngine):
             self.shutdown()
 
     def shutdown(self) -> None:
-        """Stop and reap every worker process (idempotent)."""
+        """Stop and reap every worker, then the transport (idempotent)."""
         handles = getattr(self, "_handles", None)
         if not handles:
+            transport = getattr(self, "_transport", None)
+            if transport is not None:
+                transport.shutdown()
             return
         for h in handles:
             if h is None or not h.alive:
                 continue
             try:
                 self._drain(h)
-                h.conn.send_bytes(pack_frame(("stop", self._epoch, None)))
-            except (WorkerFailure, BrokenPipeError, OSError):
+                h.send(("stop", self._epoch, None))
+            except (WorkerFailure, TransportClosed):
                 continue
         for h in handles:
             if h is None:
                 continue
-            h.proc.join(timeout=5.0)
-            if h.proc.is_alive():
-                h.proc.kill()
-                h.proc.join()
-            for conn in (h.conn, h.hb_conn):
-                try:
-                    conn.close()
-                except OSError:
-                    pass
+            h.join(timeout=5.0)
+            if h.healthy():
+                h.kill()
+            h.close()
             h.alive = False
+        self._transport.shutdown()
 
 
 def run_job_process(job: JobSpec, **engine_kwargs: Any) -> JobResult:

@@ -1,66 +1,20 @@
-"""Bulk frame codec for the multiprocess transport (pickle 5, out-of-band).
+"""Compatibility shim: the frame codec now lives in :mod:`repro.net.codec`.
 
-Pregelix's lesson (PAPERS.md) — and the wire model :mod:`repro.cloud.network`
-simulates — is that BSP message movement should be bulk, serialized dataflow,
-not per-message sends.  The process engine therefore moves one *frame* per
-(source worker, destination worker) pair per superstep: the sender's whole
-post-combine ``out_remote`` bucket, serialized once.
-
-Layout (little-endian, length-prefixed):
-
-    [u32 n_buffers]
-    [u64 pickle_len][pickle bytes (protocol 5)]
-    n_buffers x ([u64 buf_len][raw buffer bytes])
-
-NumPy payload arrays travel as out-of-band :class:`pickle.PickleBuffer`\\ s:
-the pickle stream holds only array metadata, the raw bytes ride behind it,
-and :func:`unpack_frame` hands them back as zero-copy memoryview slices of
-the received blob (read-only — which is exactly the message contract,
-RPC001).
+The pickle-5 out-of-band frame format started life here as the process
+engine's private wire format; the TCP runtime (:mod:`repro.net`) made it
+the shared codec for every transport.  Import from
+:mod:`repro.net.codec` in new code — this module re-exports the original
+names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import pickle
-import struct
+from ..net.codec import (  # noqa: F401
+    _U32,
+    _U64,
+    FrameError,
+    pack_frame,
+    unpack_frame,
+)
 
-__all__ = ["pack_frame", "unpack_frame"]
-
-_U32 = struct.Struct("<I")
-_U64 = struct.Struct("<Q")
-
-
-def pack_frame(obj: object) -> bytes:
-    """Serialize ``obj`` into one self-contained length-prefixed frame."""
-    buffers: list[pickle.PickleBuffer] = []
-    payload = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
-    parts: list[bytes | memoryview] = [
-        _U32.pack(len(buffers)),
-        _U64.pack(len(payload)),
-        payload,
-    ]
-    for buf in buffers:
-        raw = buf.raw()
-        parts.append(_U64.pack(raw.nbytes))
-        parts.append(raw)
-    return b"".join(parts)
-
-
-def unpack_frame(blob: bytes | memoryview) -> object:
-    """Inverse of :func:`pack_frame`; buffers stay views into ``blob``."""
-    view = memoryview(blob)
-    (n_buffers,) = _U32.unpack_from(view, 0)
-    offset = _U32.size
-    (pickle_len,) = _U64.unpack_from(view, offset)
-    offset += _U64.size
-    payload = view[offset:offset + pickle_len]
-    offset += pickle_len
-    buffers = []
-    for _ in range(n_buffers):
-        (buf_len,) = _U64.unpack_from(view, offset)
-        offset += _U64.size
-        buffers.append(view[offset:offset + buf_len])
-        offset += buf_len
-    if offset != view.nbytes:
-        raise ValueError(f"frame has {view.nbytes - offset} trailing bytes")
-    return pickle.loads(payload, buffers=buffers)
+__all__ = ["pack_frame", "unpack_frame", "FrameError"]

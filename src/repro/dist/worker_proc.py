@@ -1,35 +1,21 @@
-"""Child-process side of the multiprocess BSP runtime.
+"""Child-process side of the pipe (fork) transport.
 
-:func:`worker_main` is the entry point each worker process runs: it builds
-its own :class:`~repro.bsp.worker.PartitionWorker` (and, when the parent
-wants telemetry, a private :class:`~repro.obs.metrics.MetricsRegistry` so
-hot-path instrumentation never crosses the process boundary), then serves
-the coordinator's command loop over a pipe:
+:func:`worker_main` is the entry point each forked worker process runs.
+The command protocol itself — inject/compute/deliver/snapshot/restore/
+extract/stop with epoch-tagged replies — lives in the transport-shared
+:class:`repro.net.session.WorkerSession`; this module only supplies the
+pipe plumbing around it: frame I/O on the duplex command pipe, the
+heartbeat thread on its dedicated pipe, and stdout/stderr capture.
 
-``inject``    queue control-plane activation messages
-``compute``   begin the superstep, run compute(), return the per-destination
-              message frames (combiners already applied sender-side by
-              :meth:`PartitionWorker.emit`), step stats, and aggregator
-              partials
-``deliver``   apply inbound frames from other workers in the order given
-              (the coordinator sends them in source-worker-id order, which
-              reproduces the sequential engine's delivery order exactly),
-              and return the barrier report: resource numbers, metric
-              deltas, and any sanitizer violations since the last barrier
-``snapshot``  / ``restore``  checkpointing, reusing the worker's own
-              snapshot()/restore()
-``extract``   map final vertex states through ``program.extract``
-``stop``      exit the loop
+A worker process must never write to the shared stdout/stderr —
+concurrent children interleave mid-line and corrupt the parent's progress
+display.  Everything (user ``print()`` in compute(), library chatter) is
+captured and shipped to the coordinator at each barrier, which emits it
+atomically with a ``[worker N]`` prefix.
 
-Every command is a ``(cmd, epoch, payload)`` frame and every reply echoes
-the epoch, so the coordinator can discard replies that predate a recovery.
-Exceptions inside a handler are returned as ``("error", epoch, traceback)``
-rather than killing the process; actual process death is the parent's
-heartbeat/liveness monitor's business.
-
-A daemon thread sends a heartbeat byte on a dedicated pipe every
-``heartbeat_interval`` seconds; the parent tracks receive times to detect
-hung (not just dead) workers.
+A daemon thread sends a heartbeat byte on the dedicated pipe every
+``heartbeat_interval`` seconds; the parent tracks receive times on the
+monotonic clock to detect hung (not just dead) workers.
 """
 
 from __future__ import annotations
@@ -37,12 +23,9 @@ from __future__ import annotations
 import io
 import sys
 import threading
-import traceback
-from time import perf_counter
-from typing import Any
 
-from ..bsp.worker import PartitionWorker
-from .frames import pack_frame, unpack_frame
+from ..net.codec import pack_frame, unpack_frame
+from ..net.session import WorkerSession
 
 __all__ = ["worker_main"]
 
@@ -61,21 +44,6 @@ def _heartbeat_loop(
             flight.record("heartbeat-send", beats=beats)
 
 
-def _report(worker: PartitionWorker) -> dict[str, Any]:
-    """Resource numbers the parent mirrors into its per-worker view
-    (the duck-typed surface ``BSPEngine._account_superstep`` reads)."""
-    return {
-        "active": worker.active_count,
-        "buffered": worker.has_buffered_messages,
-        "buffered_bytes": worker.buffered_message_bytes(),
-        "queue_depth": worker.buffered_message_count(),
-        "graph_bytes": worker.graph_bytes,
-        "state_bytes": worker.total_state_bytes,
-        "in_next_bytes": worker.in_next_payload_bytes,
-        "memory": worker.memory_footprint(),
-    }
-
-
 def worker_main(
     worker_id: int,
     conn,
@@ -91,11 +59,6 @@ def worker_main(
     want_flight: bool = False,
 ) -> None:
     """Command loop for one worker process (the child's ``main``)."""
-    # A worker process must never write to the shared stdout/stderr —
-    # concurrent children interleave mid-line and corrupt the parent's
-    # progress display.  Capture everything (user print() in compute(),
-    # library chatter) and ship it to the coordinator at each barrier,
-    # which emits it atomically with a "[worker N]" prefix.
     captured = io.StringIO()
     sys.stdout = sys.stderr = captured
 
@@ -106,139 +69,25 @@ def worker_main(
             captured.truncate()
         return text
 
-    registry = None
-    snapshot_registry = delta_snapshot = None
-    if want_metrics:
-        from ..obs.metrics import MetricsRegistry
-        from ..obs.sync import delta_snapshot, snapshot_registry
-
-        registry = MetricsRegistry()
-    # Child-private flight recorder: the fresh tail ships to the
-    # coordinator in every barrier ("delivered") reply, which folds it in
-    # with FlightRecorder.merge_remote — same delta pattern as metrics.
-    flight = None
-    flight_cursor = -1
-    if want_flight:
-        from ..obs.flight import FlightRecorder
-
-        flight = FlightRecorder(capacity=1024)
-    worker = PartitionWorker(
-        worker_id=worker_id,
-        graph=graph,
-        vertex_ids=vertex_ids,
-        program=program,
-        model=model,
-        assignment=assignment,
-        initially_active=active_ids is None,
-        metrics=registry,
+    session = WorkerSession(
+        worker_id, graph, vertex_ids, program, model, assignment, active_ids,
+        want_metrics=want_metrics, want_flight=want_flight,
+        drain_output=_drain_output,
     )
-    if active_ids is not None:
-        for v in active_ids:
-            v = int(v)
-            if int(assignment[v]) == worker_id:
-                worker.halted[v] = False
 
     stop = threading.Event()
     threading.Thread(
         target=_heartbeat_loop,
-        args=(hb_conn, heartbeat_interval, stop, flight),
+        args=(hb_conn, heartbeat_interval, stop, session.flight),
         daemon=True,
     ).start()
 
-    prev_metrics = snapshot_registry(registry) if registry is not None else {}
-    violations_seen = 0
     try:
         while True:
             cmd, epoch, payload = unpack_frame(conn.recv_bytes())
+            conn.send_bytes(pack_frame(session.handle(cmd, epoch, payload)))
             if cmd == "stop":
-                conn.send_bytes(pack_frame(("bye", epoch, None)))
                 return
-            try:
-                if cmd == "inject":
-                    for dst, p in payload:
-                        worker.inject(int(dst), p)
-                    reply = ("ok", epoch, _report(worker))
-                elif cmd == "compute":
-                    superstep, agg_values = payload
-                    t0 = perf_counter()
-                    worker.begin_superstep(superstep, agg_values)
-                    worker.run_compute()
-                    host = perf_counter() - t0
-                    if flight is not None:
-                        flight.record(
-                            "worker-compute", superstep=superstep,
-                            host_seconds=round(host, 6),
-                            msgs=worker.stats.msgs_out_local
-                            + worker.stats.msgs_out_remote,
-                        )
-                    worker.stats.peers_out = len(worker.out_remote)
-                    worker.stats.bytes_out = worker.out_remote_wire_bytes
-                    # One frame per destination: the whole post-combine
-                    # bucket in its emission (insertion) order.
-                    frames = {
-                        int(dw): pack_frame(list(pv.items()))
-                        for dw, pv in worker.out_remote.items()
-                    }
-                    reply = ("computed", epoch, {
-                        "frames": frames,
-                        "stats": worker.stats,
-                        "agg_partials": worker._agg_partials,
-                        "host_seconds": host,
-                    })
-                elif cmd == "deliver":
-                    recv_msgs = 0
-                    recv_bytes = 0.0
-                    for _src, frame in payload:
-                        for dst_v, payloads in unpack_frame(frame):
-                            recv_bytes += worker.deliver_remote(
-                                int(dst_v), list(payloads)
-                            )
-                            recv_msgs += len(payloads)
-                    metrics_delta = None
-                    if registry is not None:
-                        cur = snapshot_registry(registry)
-                        metrics_delta = delta_snapshot(cur, prev_metrics)
-                        prev_metrics = cur
-                    # Sanitizer support: a wrapping program (duck-typed via
-                    # its `violations` list) accumulates in this process;
-                    # ship the fresh entries so the parent-side observer
-                    # sees them at the barrier, engine-independent.
-                    fresh: tuple = ()
-                    v_list = getattr(worker.program, "violations", None)
-                    if isinstance(v_list, list):
-                        fresh = tuple(v_list[violations_seen:])
-                        violations_seen = len(v_list)
-                    flight_events = None
-                    if flight is not None:
-                        tail, flight_cursor = flight.events_since(
-                            flight_cursor
-                        )
-                        flight_events = [e.to_dict() for e in tail]
-                    reply = ("delivered", epoch, {
-                        "recv_msgs": recv_msgs,
-                        "recv_bytes": recv_bytes,
-                        "report": _report(worker),
-                        "metrics": metrics_delta,
-                        "violations": fresh,
-                        "flight": flight_events,
-                        "output": _drain_output(),
-                    })
-                elif cmd == "snapshot":
-                    reply = ("snapshotted", epoch, worker.snapshot())
-                elif cmd == "restore":
-                    worker.restore(payload)
-                    reply = ("restored", epoch, _report(worker))
-                elif cmd == "extract":
-                    prog = worker.program
-                    reply = ("extracted", epoch, {
-                        int(v): prog.extract(int(v), st)
-                        for v, st in worker.states.items()
-                    })
-                else:
-                    raise ValueError(f"unknown command {cmd!r}")
-            except Exception:
-                reply = ("error", epoch, traceback.format_exc())
-            conn.send_bytes(pack_frame(reply))
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # coordinator went away; exit quietly
     finally:

@@ -13,6 +13,7 @@ from .live import (
     LiveActiveFraction,
     LiveElasticEngine,
     LiveFixed,
+    LiveFleetGuard,
     LiveHealthGuard,
     LivePolicy,
     LiveSkewGuard,
@@ -34,6 +35,7 @@ __all__ = [
     "LiveActiveFraction",
     "LiveElasticEngine",
     "LiveFixed",
+    "LiveFleetGuard",
     "LiveHealthGuard",
     "LivePolicy",
     "LiveSkewGuard",

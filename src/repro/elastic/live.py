@@ -37,6 +37,7 @@ __all__ = [
     "LiveFixed",
     "LiveSkewGuard",
     "LiveHealthGuard",
+    "LiveFleetGuard",
     "LiveElasticEngine",
 ]
 
@@ -163,6 +164,39 @@ class LiveHealthGuard(LivePolicy):
     @property
     def label(self) -> str:
         return f"HealthGuard({self.inner.label})"
+
+
+@dataclass
+class LiveFleetGuard(LivePolicy):
+    """Wrap a policy; cap scale-*out* at a remote fleet's live capacity.
+
+    Consumes a :class:`repro.net.WorkerFleet` (duck-typed: anything with
+    a ``capacity() -> int``), which probes ``repro worker`` daemons and
+    sums their advertised session slots.  On a real cluster a scale-out
+    decision is only as good as the machines backing it — asking for 16
+    workers when the reachable daemons can host 8 sessions would stall
+    the resize (or land every extra worker on an overloaded host).  A
+    request beyond capacity is *clamped* to it, never below the current
+    size; scale-in always passes.  Capacity is probed only when the
+    inner policy actually asks to grow, so steady state costs nothing.
+    """
+
+    inner: LivePolicy
+    fleet: "object"
+    vetoes: int = field(default=0, repr=False)
+
+    def decide(self, engine, stats) -> int:
+        want = int(self.inner.decide(engine, stats))
+        if want > engine.num_workers:
+            cap = int(self.fleet.capacity())
+            if want > cap:
+                self.vetoes += 1
+                return max(engine.num_workers, cap)
+        return want
+
+    @property
+    def label(self) -> str:
+        return f"FleetGuard({self.inner.label})"
 
 
 class LiveElasticEngine(BSPEngine):

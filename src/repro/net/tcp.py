@@ -1,0 +1,451 @@
+"""Coordinator-side TCP transport: sockets to ``repro worker`` daemons.
+
+:class:`TcpTransport` implements the
+:class:`~repro.net.transport.Transport` interface over TCP sessions
+hosted by :mod:`repro.net.daemon` daemons.  Endpoints come from an
+explicit host list, a ``--workers-file``, or — when neither is given —
+an auto-spawned :class:`LocalDaemonFleet` of localhost daemons (which is
+what lets ``certify_determinism(engine="tcp")`` and the tests run with
+zero external setup).
+
+Placement is round-robin by worker id with failover: worker *w* is
+offered to endpoint ``w % n`` first, then the rest in order, and the
+first daemon that completes the handshake hosts it.  That single rule is
+both initial placement and the *respawn-or-reassign* policy — when a
+daemon dies mid-job, the engine's existing checkpoint recovery relaunches
+the lost workers and this transport simply lands them on the surviving
+daemons (or on the original's replacement if one came back).
+
+SIGKILL-equivalent semantics: :meth:`TcpChannel.kill` closes the socket
+abortively (``SO_LINGER`` zero ⇒ RST), so the daemon observes a drop —
+not a graceful shutdown — exactly as the coordinator observes a daemon
+crash.  :meth:`TcpTransport.kill_host` escalates to a real ``SIGKILL``
+of the hosting daemon process when this transport spawned it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import socket
+import struct
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .codec import StreamDecoder, encode_stream_frame
+from .daemon import PROTOCOL_VERSION, _daemon_process_main
+from .transport import (
+    Transport,
+    TransportClosed,
+    TransportError,
+    WorkerChannel,
+    WorkerInit,
+    monotonic_now,
+)
+
+__all__ = [
+    "LocalDaemonFleet",
+    "TcpChannel",
+    "TcpTransport",
+    "WorkerFleet",
+    "load_workers_file",
+    "parse_endpoint",
+]
+
+Endpoint = tuple  # (host, port)
+
+_RECV_CHUNK = 1 << 20
+
+
+def parse_endpoint(spec: str) -> Endpoint:
+    """``"host:port"`` → ``(host, port)`` (IPv6 via ``[addr]:port``)."""
+    spec = spec.strip()
+    if spec.startswith("["):  # [::1]:9000
+        host, _, rest = spec[1:].partition("]")
+        port = rest.lstrip(":")
+    else:
+        host, _, port = spec.rpartition(":")
+    if not host or not port:
+        raise ValueError(
+            f"bad endpoint {spec!r}: expected host:port or [ipv6]:port"
+        )
+    return (host, int(port))
+
+
+def load_workers_file(path: str | Path) -> list[Endpoint]:
+    """Parse a workers file: one ``host:port`` per line, ``#`` comments."""
+    endpoints = []
+    for raw in Path(path).read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            endpoints.append(parse_endpoint(line))
+    if not endpoints:
+        raise ValueError(f"workers file {path} names no endpoints")
+    return endpoints
+
+
+class TcpChannel(WorkerChannel):
+    """One worker session on a remote daemon, over one TCP socket."""
+
+    transport = "tcp"
+
+    def __init__(self, worker_id: int, sock: socket.socket, endpoint: str) -> None:
+        super().__init__(worker_id, endpoint=endpoint)
+        sock.setblocking(True)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not fatal; just latency
+        self._sock = sock
+        self._decoder = StreamDecoder()
+        self._inbox: deque = deque()
+        self._beats = 0  # heartbeats received but not yet drained
+        self._eof = False
+
+    # -- internals -----------------------------------------------------
+    def _pump(self, timeout: float) -> bool:
+        """Read whatever the socket has within ``timeout``; route frames.
+
+        Returns True when bytes arrived.  Raises TransportClosed on EOF
+        or a socket error (the daemon-side session is gone).
+        """
+        if self._eof:
+            raise TransportClosed(f"connection to {self.endpoint} is closed")
+        self._sock.settimeout(timeout if timeout > 0 else 0.0)
+        try:
+            data = self._sock.recv(_RECV_CHUNK)
+        except (socket.timeout, BlockingIOError, InterruptedError):
+            return False
+        except OSError as exc:
+            self._eof = True
+            raise TransportClosed(
+                f"connection to {self.endpoint} failed: {exc}"
+            ) from exc
+        if not data:
+            self._eof = True
+            raise TransportClosed(
+                f"connection to {self.endpoint} dropped by peer"
+            )
+        for msg in self._decoder.feed(data):
+            if isinstance(msg, tuple) and msg and msg[0] == "hb":
+                self._beats += 1
+                self.note_beat()
+            else:
+                self._inbox.append(msg)
+        return True
+
+    # -- WorkerChannel -------------------------------------------------
+    def send(self, msg: tuple) -> None:
+        if self._eof:
+            raise TransportClosed(f"connection to {self.endpoint} is closed")
+        try:
+            self._sock.sendall(encode_stream_frame(msg))
+        except OSError as exc:
+            self._eof = True
+            raise TransportClosed(
+                f"send to {self.endpoint} failed: {exc}"
+            ) from exc
+
+    def recv(self, timeout: float) -> tuple | None:
+        if self._inbox:
+            return self._inbox.popleft()
+        self._pump(timeout)
+        return self._inbox.popleft() if self._inbox else None
+
+    def drain_heartbeats(self) -> int:
+        try:
+            while not self._eof and self._pump(0):
+                pass
+        except TransportClosed:
+            pass  # healthy() / the next recv reports the loss
+        beats, self._beats = self._beats, 0
+        return beats
+
+    def healthy(self) -> bool:
+        # A dead TCP peer is only visible on read: poll without blocking.
+        if not self._eof:
+            try:
+                self._pump(0)
+            except TransportClosed:
+                pass
+        return not self._eof
+
+    def death_reason(self) -> str:
+        return f"connection to {self.endpoint} lost"
+
+    def kill(self) -> None:
+        # SIGKILL-equivalent: abortive close (RST), so the daemon sees a
+        # drop — never a graceful FIN it could mistake for a clean stop.
+        try:
+            self._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+        except OSError:
+            pass
+        self.close()
+
+    def close(self) -> None:
+        self._eof = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class LocalDaemonFleet:
+    """N localhost daemons spawned as forked child processes.
+
+    Forking (where available) keeps unpicklable-by-reference test
+    programs importable in the daemon — the same reason the pipe backend
+    prefers ``fork``.  Daemon processes are ``daemon=True`` so an
+    abandoned coordinator cannot leak them.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        host: str = "127.0.0.1",
+        max_sessions: int | None = None,
+        start_method: str | None = None,
+        spawn_timeout: float = 30.0,
+    ) -> None:
+        if count < 1:
+            raise ValueError("a daemon fleet needs at least one daemon")
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else None
+            )
+        ctx = mp.get_context(start_method)
+        self._procs: dict[Endpoint, Any] = {}
+        try:
+            for _ in range(count):
+                recv, send = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_daemon_process_main,
+                    name="repro-worker-daemon",
+                    args=(host, send, max_sessions),
+                    daemon=True,
+                )
+                proc.start()
+                send.close()
+                if not recv.poll(spawn_timeout):
+                    proc.kill()
+                    raise TransportError(
+                        "local worker daemon did not report a port within "
+                        f"{spawn_timeout:g}s"
+                    )
+                port = recv.recv()
+                recv.close()
+                self._procs[(host, int(port))] = proc
+        except Exception:
+            self.shutdown()
+            raise
+
+    def endpoints(self) -> list[Endpoint]:
+        return list(self._procs)
+
+    def kill(self, endpoint: Endpoint) -> bool:
+        """SIGKILL the daemon at ``endpoint`` (failure injection)."""
+        proc = self._procs.get(tuple(endpoint))
+        if proc is None or not proc.is_alive():
+            return False
+        proc.kill()
+        proc.join()
+        return True
+
+    def shutdown(self) -> None:
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+
+
+class WorkerFleet:
+    """A probeable view of a daemon fleet (elastic scaling's worker pool).
+
+    ``capacity()`` answers "how many worker sessions can this fleet host
+    right now" — the number :class:`repro.elastic.LiveFleetGuard` caps
+    scale-out decisions at.  Daemons that advertise no ``max_sessions``
+    count as ``default_slots`` each.
+    """
+
+    def __init__(
+        self,
+        endpoints: Iterable[Endpoint],
+        default_slots: int = 8,
+        probe_timeout: float = 2.0,
+    ) -> None:
+        self.endpoints = [tuple(e) for e in endpoints]
+        self.default_slots = int(default_slots)
+        self.probe_timeout = float(probe_timeout)
+
+    def probe(self) -> list[dict[str, Any]]:
+        """``status`` every endpoint; unreachable ones report alive=False."""
+        out = []
+        for host, port in self.endpoints:
+            status: dict[str, Any] = {
+                "endpoint": f"{host}:{port}", "alive": False,
+            }
+            try:
+                status.update(probe_endpoint(
+                    (host, port), timeout=self.probe_timeout
+                ))
+                status["alive"] = True
+            except (TransportError, OSError):
+                pass
+            out.append(status)
+        return out
+
+    def capacity(self) -> int:
+        total = 0
+        for status in self.probe():
+            if not status["alive"]:
+                continue
+            slots = status.get("max_sessions")
+            total += self.default_slots if slots is None else int(slots)
+        return total
+
+
+def probe_endpoint(
+    endpoint: Endpoint, timeout: float = 2.0
+) -> dict[str, Any]:
+    """Send a ``status`` probe to one daemon; return its vitals dict."""
+    host, port = endpoint
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(encode_stream_frame(("status", 0, None)))
+        decoder = StreamDecoder()
+        sock.settimeout(timeout)
+        while True:
+            data = sock.recv(_RECV_CHUNK)
+            if not data:
+                raise TransportError(
+                    f"daemon at {host}:{port} closed before replying"
+                )
+            for msg in decoder.feed(data):
+                kind, _epoch, payload = msg
+                if kind != "status-reply":
+                    raise TransportError(
+                        f"daemon at {host}:{port} answered {kind!r} "
+                        "to a status probe"
+                    )
+                return payload
+
+
+class TcpTransport(Transport):
+    """Launch worker sessions on TCP daemons (round-robin + failover)."""
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        endpoints: Sequence[Endpoint] | None = None,
+        auto_daemons: int | None = None,
+        connect_timeout: float = 10.0,
+        handshake_timeout: float = 60.0,
+        local_fleet: LocalDaemonFleet | None = None,
+    ) -> None:
+        self._connect_timeout = float(connect_timeout)
+        self._handshake_timeout = float(handshake_timeout)
+        self._fleet = local_fleet
+        self._owns_fleet = False
+        if endpoints is not None:
+            self._endpoints = [tuple(e) for e in endpoints]
+            if not self._endpoints:
+                raise ValueError("endpoint list is empty")
+        elif local_fleet is not None:
+            self._endpoints = local_fleet.endpoints()
+        else:
+            self._fleet = LocalDaemonFleet(auto_daemons or 3)
+            self._owns_fleet = True
+            self._endpoints = self._fleet.endpoints()
+        self._down: set[Endpoint] = set()
+
+    @property
+    def endpoints(self) -> list[Endpoint]:
+        return list(self._endpoints)
+
+    @property
+    def local_fleet(self) -> LocalDaemonFleet | None:
+        return self._fleet
+
+    def launch(self, init: WorkerInit) -> TcpChannel:
+        n = len(self._endpoints)
+        order = [
+            self._endpoints[(init.worker_id + i) % n] for i in range(n)
+        ]
+        errors: list[str] = []
+        for endpoint in order:
+            if endpoint in self._down:
+                continue
+            try:
+                return self._connect(endpoint, init)
+            except (TransportError, OSError) as exc:
+                # Unreachable (refused/timed out socket) ⇒ skip it for
+                # the rest of this run; a daemon refusal (capacity,
+                # version) only skips it for this launch.
+                if isinstance(exc, OSError):
+                    self._down.add(endpoint)
+                errors.append(f"{endpoint[0]}:{endpoint[1]}: {exc}")
+        raise TransportError(
+            f"no worker daemon accepted worker {init.worker_id}; tried: "
+            + "; ".join(errors or ["(all endpoints marked down)"])
+        )
+
+    def _connect(self, endpoint: Endpoint, init: WorkerInit) -> TcpChannel:
+        host, port = endpoint
+        sock = socket.create_connection(
+            (host, port), timeout=self._connect_timeout
+        )
+        channel = TcpChannel(init.worker_id, sock, f"{host}:{port}")
+        try:
+            channel.send(("hello", 0, {
+                "version": PROTOCOL_VERSION,
+                "init": init,
+            }))
+            deadline = monotonic_now() + self._handshake_timeout
+            while True:
+                reply = channel.recv(0.05)
+                if reply is not None:
+                    break
+                if monotonic_now() > deadline:
+                    raise TransportError(
+                        f"daemon at {host}:{port} did not answer the "
+                        f"handshake within {self._handshake_timeout:g}s"
+                    )
+            kind, _epoch, payload = reply
+            if kind != "ready":
+                raise TransportError(
+                    f"daemon at {host}:{port} refused worker "
+                    f"{init.worker_id}: {payload}"
+                )
+            return channel
+        except TransportClosed as exc:
+            channel.close()
+            raise TransportError(
+                f"daemon at {host}:{port} dropped the handshake: {exc}"
+            ) from exc
+        except Exception:
+            channel.close()
+            raise
+
+    def kill_host(self, channel: WorkerChannel) -> None:
+        """SIGKILL the hosting daemon when we spawned it; else cut the cord.
+
+        Either way the daemon side experiences an abrupt loss — which is
+        the point: scheduled failures must exercise the same recovery
+        path a real daemon crash does.
+        """
+        if self._fleet is not None:
+            endpoint = parse_endpoint(channel.endpoint)
+            self._fleet.kill(endpoint)
+            self._down.add(endpoint)
+        channel.kill()
+
+    def shutdown(self) -> None:
+        if self._owns_fleet and self._fleet is not None:
+            self._fleet.shutdown()

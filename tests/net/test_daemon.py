@@ -1,0 +1,143 @@
+"""The ``repro worker`` daemon: status probes, handshake refusals,
+fleet capacity accounting, and the worker CLI.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.net.codec import StreamDecoder, encode_stream_frame
+from repro.net.daemon import PROTOCOL_VERSION
+from repro.net.tcp import (
+    LocalDaemonFleet,
+    WorkerFleet,
+    probe_endpoint,
+)
+from repro.net.transport import TransportError
+
+
+@pytest.fixture(scope="module")
+def one_daemon():
+    fleet = LocalDaemonFleet(1)
+    yield fleet.endpoints()[0]
+    fleet.shutdown()
+
+
+def _roundtrip(endpoint, frame, timeout=10.0):
+    """Open a fresh connection, send one frame, return the first reply."""
+    host, port = endpoint
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(encode_stream_frame(frame))
+        decoder = StreamDecoder()
+        sock.settimeout(timeout)
+        while True:
+            data = sock.recv(1 << 16)
+            if not data:
+                raise AssertionError("daemon closed without replying")
+            msgs = decoder.feed(data)
+            if msgs:
+                return msgs[0]
+
+
+class TestStatusProbe:
+    def test_probe_returns_vitals(self, one_daemon):
+        vitals = probe_endpoint(one_daemon)
+        assert vitals["version"] == PROTOCOL_VERSION
+        assert vitals["pid"] > 0
+        assert vitals["sessions_active"] == 0
+        assert vitals["endpoint"].endswith(f":{one_daemon[1]}")
+
+    def test_probe_unreachable_raises(self):
+        with pytest.raises(OSError):
+            probe_endpoint(("127.0.0.1", 1), timeout=0.5)
+
+
+class TestHandshakeRefusals:
+    def test_version_mismatch_refused(self, one_daemon):
+        kind, _epoch, msg = _roundtrip(
+            one_daemon, ("hello", 0, {"version": PROTOCOL_VERSION + 99})
+        )
+        assert kind == "error"
+        assert "version mismatch" in msg
+
+    def test_malformed_hello_refused(self, one_daemon):
+        kind, _epoch, msg = _roundtrip(one_daemon, ("hello", 0, "garbage"))
+        assert kind == "error"
+        assert "malformed hello" in msg
+
+    def test_non_hello_first_frame_refused(self, one_daemon):
+        kind, _epoch, msg = _roundtrip(one_daemon, ("compute", 0, None))
+        assert kind == "error"
+        assert "expected hello or status" in msg
+
+    def test_capacity_refusal(self):
+        fleet = LocalDaemonFleet(1, max_sessions=0)
+        try:
+            kind, _epoch, msg = _roundtrip(
+                fleet.endpoints()[0],
+                ("hello", 0, {"version": PROTOCOL_VERSION}),
+            )
+            assert kind == "error"
+            assert "capacity" in msg
+        finally:
+            fleet.shutdown()
+
+
+class TestWorkerFleet:
+    def test_capacity_sums_advertised_slots(self):
+        fleet = LocalDaemonFleet(2, max_sessions=3)
+        try:
+            pool = WorkerFleet(fleet.endpoints())
+            assert pool.capacity() == 6
+        finally:
+            fleet.shutdown()
+
+    def test_unreachable_daemons_count_zero(self, one_daemon):
+        pool = WorkerFleet(
+            [one_daemon, ("127.0.0.1", 1)],
+            default_slots=5, probe_timeout=0.5,
+        )
+        rows = pool.probe()
+        assert [r["alive"] for r in rows] == [True, False]
+        # The live daemon advertises no max_sessions => default_slots.
+        assert pool.capacity() == 5
+
+    def test_probe_rows_name_their_endpoints(self, one_daemon):
+        (row,) = WorkerFleet([one_daemon]).probe()
+        assert row["endpoint"] == f"{one_daemon[0]}:{one_daemon[1]}"
+
+
+class TestWorkerCli:
+    def test_status_prints_vitals_json(self, one_daemon, capsys):
+        from repro.cli import main
+
+        host, port = one_daemon
+        assert main(["worker", "status", f"{host}:{port}"]) == 0
+        vitals = json.loads(capsys.readouterr().out)
+        assert vitals["version"] == PROTOCOL_VERSION
+
+    def test_status_unreachable_fails(self, capsys):
+        from repro.cli import main
+
+        assert main(["worker", "status", "127.0.0.1:1"]) == 1
+        assert "repro worker" in capsys.readouterr().err
+
+    def test_fleet_probe_is_what_the_guard_consumes(self, one_daemon):
+        # WorkerFleet satisfies LiveFleetGuard's duck type end to end.
+        from repro.elastic import LiveFixed, LiveFleetGuard
+
+        class Eng:
+            num_workers = 1
+
+        guard = LiveFleetGuard(
+            inner=LiveFixed(100),
+            fleet=WorkerFleet([one_daemon], default_slots=4),
+        )
+        assert guard.decide(Eng(), None) == 4
+        assert guard.vetoes == 1
+
+    def test_transport_error_importable_from_net(self):
+        import repro.net as net
+
+        assert net.TransportError is TransportError
