@@ -10,6 +10,12 @@ Two numbers matter for the kernel-plan pipeline and both land in
   (NumPy gather/scatter over CSR) vs the per-vertex simulation engine on
   a web-Google-scale synthetic analogue, same values to 1e-9.  The
   acceptance floor is 5x; the gap is the whole argument for lifting.
+
+A third table compares **fused vs unfused plans**: each algorithm's raw
+lifted plan against ``optimize_plan``'s output on the same dense
+executor (the hoist/CSE passes move arc-space payload evaluation into
+vertex space).  Fused must never be slower, and at least two algorithms
+must clear the 1.2x fusion floor from the issue.
 """
 
 import json
@@ -17,10 +23,18 @@ import math
 import time
 from pathlib import Path
 
-from repro.algorithms import PageRankProgram
+import numpy as np
+
+from repro.algorithms import (
+    ConnectedComponentsProgram,
+    PageRankProgram,
+    SSSPProgram,
+)
 from repro.bsp import BSPEngine, JobSpec
 from repro.bsp.dense_ref import DenseRefEngine
-from repro.check.vectorize import lift_paths
+from repro.check.planopt import optimize_plan
+from repro.check.vectorize import lift_of, lift_paths
+from repro.graph.csr import CSRGraph
 from repro.graph.datasets import load
 
 from helpers import banner, run_once
@@ -42,6 +56,57 @@ ITERATIONS = 10
 #: Acceptance floor from the issue: dense-ref PageRank must beat the
 #: simulation engine by at least this factor on this workload.
 SPEEDUP_FLOOR = 5.0
+
+#: Fusion floors: optimized plans may never run slower than raw plans
+#: (5% timer-noise allowance), and at least this many algorithms must
+#: beat the raw plan by FUSION_FLOOR.
+FUSION_FLOOR = 1.2
+FUSION_WINNERS = 2
+FUSION_REPEATS = 5
+
+
+def _fused_vs_unfused():
+    """Best-of-N raw-plan vs optimized-plan timings on the dense engine."""
+    graph = load("WG", scale=GRAPH_SCALE)
+    rng = np.random.default_rng(5)
+    weighted = CSRGraph(
+        graph.num_vertices, graph.indptr, graph.indices,
+        undirected=graph.undirected,
+        weights=rng.uniform(0.5, 3.0, graph.indices.shape[0]),
+    )
+    cases = [
+        ("pagerank", lambda: PageRankProgram(iterations=ITERATIONS), graph),
+        ("sssp", lambda: SSSPProgram(source=0), weighted),
+        ("cc", ConnectedComponentsProgram, graph),
+    ]
+
+    rows = []
+    for name, factory, g in cases:
+        raw = lift_of(factory()).plan
+        fused = optimize_plan(raw).plan
+
+        def best_of(plan):
+            best, result = float("inf"), None
+            for _ in range(FUSION_REPEATS):
+                job = JobSpec(program=factory(), graph=g, num_workers=1)
+                t0 = time.perf_counter()
+                result = DenseRefEngine(job, plan=plan).run()
+                best = min(best, time.perf_counter() - t0)
+            return best, result
+
+        t_raw, res_raw = best_of(raw)
+        t_fused, res_fused = best_of(fused)
+        # Honesty first: the fused plan must produce the same answer.
+        assert res_raw.values == res_fused.values, name
+        assert res_raw.supersteps == res_fused.supersteps, name
+        rows.append({
+            "algorithm": name,
+            "unfused_seconds": t_raw,
+            "fused_seconds": t_fused,
+            "fusion_speedup": t_raw / t_fused,
+            "fused_digest": fused.digest,
+        })
+    return rows
 
 
 def test_vectorize_front_end_and_dense_speedup(benchmark):
@@ -105,6 +170,27 @@ def test_vectorize_front_end_and_dense_speedup(benchmark):
         f"{SPEEDUP_FLOOR}x acceptance floor"
     )
 
+    planopt_rows = _fused_vs_unfused()
+    print(f"{'algorithm':<12} {'unfused s':>10} {'fused s':>10} {'fusion':>8}")
+    for row in planopt_rows:
+        print(
+            f"{row['algorithm']:<12} {row['unfused_seconds']:>10.3f} "
+            f"{row['fused_seconds']:>10.3f} "
+            f"{row['fusion_speedup']:>7.2f}x"
+        )
+    for row in planopt_rows:
+        assert row["fused_seconds"] <= row["unfused_seconds"] * 1.05, (
+            f"fused {row['algorithm']} plan ran slower than unfused "
+            f"({row['fused_seconds']:.3f}s vs {row['unfused_seconds']:.3f}s)"
+        )
+    winners = sum(
+        1 for row in planopt_rows if row["fusion_speedup"] >= FUSION_FLOOR
+    )
+    assert winners >= FUSION_WINNERS, (
+        f"only {winners} algorithm(s) cleared the {FUSION_FLOOR}x fusion "
+        f"floor (need {FUSION_WINNERS}): {planopt_rows}"
+    )
+
     payload = {
         "workload": {
             "targets": [str(t.relative_to(REPO_ROOT)) for t in TARGETS],
@@ -127,6 +213,12 @@ def test_vectorize_front_end_and_dense_speedup(benchmark):
         "speedup_floor": SPEEDUP_FLOOR,
         "supersteps": dense.supersteps,
         "value_mismatches": mismatches,
+        "planopt": {
+            "fusion_floor": FUSION_FLOOR,
+            "fusion_winners_required": FUSION_WINNERS,
+            "repeats": FUSION_REPEATS,
+            "rows": planopt_rows,
+        },
     }
     with open("BENCH_vectorize.json", "w") as f:
         json.dump(payload, f, indent=2)

@@ -43,9 +43,11 @@ class RunConfig:
     max_supersteps: int = 100_000
     #: execution backend: "sim" (sequential), "threaded", "process"
     #: (real worker processes, repro.dist), "tcp" (worker sessions on
-    #: ``repro worker`` daemons, repro.net), or "dense-ref" (NumPy
+    #: ``repro worker`` daemons, repro.net), "dense-ref" (NumPy
     #: interpreter over the program's static KernelPlan — refuses
-    #: programs the lifter cannot prove) — see docs/runtime.md
+    #: programs the lifter cannot prove), or "auto" (static ranking over
+    #: all of the above, repro.analysis.engine_select) — see
+    #: docs/runtime.md
     engine: str = "sim"
     #: TCP backend endpoints: a list of ``(host, port)`` pairs or a
     #: workers-file path (str).  None auto-spawns localhost daemons.
@@ -113,9 +115,16 @@ def _make_engine(cfg: RunConfig, job: JobSpec) -> BSPEngine:
         from ..bsp.dense_ref import DenseRefEngine
 
         return DenseRefEngine(job)
+    if cfg.engine == "auto":
+        # the runners resolve "auto" via _resolve_auto before building
+        # the job; reaching here means a caller skipped that step
+        raise ValueError(
+            "engine 'auto' must be resolved by the runner before "
+            "_make_engine (see _resolve_auto)"
+        )
     raise ValueError(
         f"unknown engine {cfg.engine!r}; use 'sim', 'threaded', 'process', "
-        "'tcp' or 'dense-ref'"
+        "'tcp', 'dense-ref' or 'auto'"
     )
 
 
@@ -146,9 +155,11 @@ def _auto_profile(cfg: RunConfig, program) -> Any:
 
 
 def _auto_plan(cfg: RunConfig, program) -> Any:
-    """Static KernelPlan of ``program``, recorded in metrics when present.
+    """Static lift verdict of ``program``, recorded in metrics when present.
 
-    Mirrors :func:`_auto_profile`: never fails the run.  Programs whose
+    Mirrors :func:`_auto_profile`: never fails the run.  Returns the full
+    :class:`~repro.check.vectorize.LiftResult` (engine auto-selection
+    needs the refusal reason, not just the plan); programs whose
     compute() the lifter refuses (or with no locatable source) come back
     with no plan — the ``repro_kernel_plan_lifted`` gauge records 0 so
     dashboards can tell "refused" apart from "analysis disabled".
@@ -178,7 +189,64 @@ def _auto_plan(cfg: RunConfig, program) -> Any:
                 help="Total kernel ops across the lifted plan's phases",
                 program=verdict.program,
             ).set(verdict.plan.num_ops)
-    return verdict.plan
+    return verdict
+
+
+def _resolve_auto(
+    cfg: RunConfig,
+    program,
+    profile,
+    verdict,
+    *,
+    observers: Sequence = (),
+    sanitized: bool = False,
+    initial_messages: Sequence = (),
+) -> tuple[RunConfig, Any]:
+    """Resolve ``engine="auto"`` to a concrete engine before the job runs.
+
+    Returns ``(cfg, decision)``: ``cfg`` unchanged (decision None) for
+    explicit engines, else a copy with the selected engine and the full
+    :class:`~repro.analysis.engine_select.EngineDecision`, which is also
+    recorded in the flight event stream (``engine.autoselect``).
+    """
+    if cfg.engine != "auto":
+        return cfg, None
+    from .engine_select import dense_refused_features, select_engine
+
+    sinks = [
+        name
+        for name, sink in (
+            ("tracer", cfg.tracer),
+            ("metrics", cfg.metrics),
+            ("timeline", cfg.timeline),
+        )
+        if sink is not None
+    ]
+    features = dense_refused_features(
+        program,
+        verdict,
+        observers=observers,
+        sanitize=sanitized,
+        sinks=sinks,
+        initial_messages=initial_messages,
+    )
+    decision = select_engine(
+        verdict=verdict,
+        profile=profile,
+        num_workers=cfg.num_workers,
+        tcp_hosts=cfg.tcp_hosts,
+        features=features,
+    )
+    if cfg.flight is not None:
+        cfg.flight.record(
+            "engine.autoselect",
+            engine=decision.engine,
+            reasons=list(decision.reasons),
+            ranking=[[e, s] for e, s in decision.ranking],
+            excluded=[[e, r] for e, r in decision.excluded],
+            hazards=list(decision.hazards),
+        )
+    return replace(cfg, engine=decision.engine), decision
 
 
 @dataclass
@@ -219,12 +287,17 @@ def run_pagerank(
     if wrap_program is not None:
         program = wrap_program(program)
     profile = _auto_profile(cfg, program)
-    plan = _auto_plan(cfg, program)
+    verdict = _auto_plan(cfg, program)
+    cfg, decision = _resolve_auto(
+        cfg, program, profile, verdict,
+        observers=observers, sanitized=wrap_program is not None,
+    )
     job = cfg.job(program, graph, observers=list(observers))
     result = _make_engine(cfg, job).run()
     result.profile = profile
-    if result.kernel_plan is None:
-        result.kernel_plan = plan
+    if result.kernel_plan is None and verdict is not None:
+        result.kernel_plan = verdict.plan
+    result.engine_decision = decision
     return result
 
 
@@ -259,7 +332,7 @@ def run_traversal(
     if wrap_program is not None:
         program = wrap_program(program)
     profile = _auto_profile(cfg, program)
-    plan = _auto_plan(cfg, program)
+    verdict = _auto_plan(cfg, program)
     controller = SwathController(
         roots=roots,
         start_factory=start_factory,
@@ -268,14 +341,20 @@ def run_traversal(
         metrics=cfg.metrics,
         timeline=cfg.timeline,
     )
+    cfg, decision = _resolve_auto(
+        cfg, program, profile, verdict,
+        observers=[controller, *extra_observers],
+        sanitized=wrap_program is not None,
+    )
     job = cfg.job(
         program, graph, initially_active=False,
         observers=[controller, *extra_observers],
     )
     result = _make_engine(cfg, job).run()
     result.profile = profile
-    if result.kernel_plan is None:
-        result.kernel_plan = plan
+    if result.kernel_plan is None and verdict is not None:
+        result.kernel_plan = verdict.plan
+    result.engine_decision = decision
     if not controller.completed_all:
         raise RuntimeError(
             "traversal ended with pending roots "

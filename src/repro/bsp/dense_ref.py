@@ -127,6 +127,57 @@ class _Eval:
     def arc(self, expr, arcs: np.ndarray) -> Any:
         return self._eval(expr, arcs, self.e.src[arcs])
 
+    def arc_hoisted(self, expr, arcs: np.ndarray) -> Any:
+        """Arc-space evaluation that computes edge-weight-free subtrees in
+        vertex space — where the memo already shares them with the state
+        update and masks — and indexes the result per-arc.
+
+        Elementwise ufuncs commute with indexing (``f(x)[rows] ==
+        f(x[rows])`` bitwise), so this is exactly :meth:`arc` with the
+        evaluation order rearranged to reuse vertex-space work; the
+        optimizer (repro.check.planopt) only marks ``hoist`` on payloads
+        where that sharing exists.
+        """
+        key = (id(expr), id(arcs))
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        out = self._eval_hoist(expr, arcs, self.e.src[arcs])
+        self._memo[key] = out
+        return out
+
+    def _eval_hoist(self, expr, arcs, rows) -> Any:
+        if not self.e._touches_weight(expr):
+            v = self._eval(expr, None, None)
+            if isinstance(v, np.ndarray) and v.ndim == 1 \
+                    and v.shape[0] == self.e.n:
+                return v[rows]
+            return v
+        head = expr[0]
+        if head == "edge_weight":
+            return self.e.weights[arcs]
+        a = self._eval_hoist(expr[1], arcs, rows)
+        if head == "not":
+            return np.logical_not(a)
+        if head == "neg":
+            return np.negative(a)
+        if head == "abs":
+            return np.abs(a)
+        if head == "cast_int":
+            return np.asarray(a).astype(np.int64) if isinstance(
+                a, np.ndarray) else int(a)
+        if head == "cast_float":
+            return np.asarray(a).astype(np.float64) if isinstance(
+                a, np.ndarray) else float(a)
+        if head == "cast_bool":
+            return np.asarray(a).astype(bool) if isinstance(
+                a, np.ndarray) else bool(a)
+        b = self._eval_hoist(expr[2], arcs, rows)
+        if head == "where":
+            c = self._eval_hoist(expr[3], arcs, rows)
+            return np.where(a, b, c)
+        return _BINARY[head](a, b)
+
     def _eval(self, expr, arcs, rows) -> Any:
         key = (id(expr), -1 if arcs is None else id(arcs))
         hit = self._memo.get(key)
@@ -219,9 +270,14 @@ class DenseRefEngine:
     ``plan`` defaults to lifting the job's program from source (via
     :func:`repro.check.vectorize.lift_of`); a refusal raises
     :class:`PlanRefusedError` with the blocking rule and reason.
+    Auto-lifted plans run through the static optimizer
+    (:func:`repro.check.planopt.optimize_plan`, certified bit-identical
+    by the test suite) unless ``optimize=False``; an explicitly passed
+    ``plan`` is always executed exactly as given.
     """
 
-    def __init__(self, job: JobSpec, plan: "KernelPlan | None" = None):
+    def __init__(self, job: JobSpec, plan: "KernelPlan | None" = None,
+                 optimize: bool = True):
         self.job = job
         program = job.program
         unwrapped = 0
@@ -244,7 +300,12 @@ class DenseRefEngine:
                     f"{verdict.refusal_line}: {verdict.reason}"
                 )
             plan = verdict.plan
+            if optimize:
+                from ..check.planopt import optimize_plan
+
+                plan = optimize_plan(plan).plan
         self.plan = plan
+        self._weight_cache: dict[int, bool] = {}
         self.params: dict[str, Any] = {}
         for name in plan.requires_none:
             if getattr(program, name, None) is not None:
@@ -283,6 +344,20 @@ class DenseRefEngine:
                 "peel plans cannot start from injected messages (no arc "
                 "identity to prune)"
             )
+
+    def _touches_weight(self, expr) -> bool:
+        """Does ``expr`` read the ``edge_weight`` leaf?  id-cached — plan
+        expression tuples are stable for the engine's lifetime."""
+        key = id(expr)
+        hit = self._weight_cache.get(key)
+        if hit is None:
+            hit = expr[0] == "edge_weight" or any(
+                self._touches_weight(c)
+                for c in expr[1:]
+                if isinstance(c, tuple)
+            )
+            self._weight_cache[key] = hit
+        return hit
 
     # -- graph helpers -------------------------------------------------
     def _reverse_arcs(self) -> np.ndarray:
@@ -463,10 +538,13 @@ class DenseRefEngine:
                             arcs = np.flatnonzero(arc_sel)
                             if arcs.size == 0:
                                 continue
+                            raw = (
+                                ev.arc_hoisted(op.payload, arcs)
+                                if getattr(op, "hoist", False)
+                                else ev.arc(op.payload, arcs)
+                            )
                             payload = np.broadcast_to(
-                                np.asarray(
-                                    ev.arc(op.payload, arcs), dtype=mdt
-                                ),
+                                np.asarray(raw, dtype=mdt),
                                 arcs.shape,
                             )
                             next_dst.append(self.dst[arcs])
@@ -561,6 +639,7 @@ class DenseRefEngine:
         )
 
 
-def run_job_dense_ref(job: JobSpec, plan: "KernelPlan | None" = None) -> JobResult:
+def run_job_dense_ref(job: JobSpec, plan: "KernelPlan | None" = None,
+                      optimize: bool = True) -> JobResult:
     """Lift the job's program and interpret its KernelPlan with NumPy."""
-    return DenseRefEngine(job, plan=plan).run()
+    return DenseRefEngine(job, plan=plan, optimize=optimize).run()

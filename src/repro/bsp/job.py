@@ -124,6 +124,9 @@ class JobResult:
     #: static :class:`~repro.check.vectorize.KernelPlan` the program lifted
     #: to, when the runner auto-attached one (None when refused / disabled)
     kernel_plan: Any = None
+    #: :class:`~repro.analysis.engine_select.EngineDecision` recorded when
+    #: the job ran under ``--engine auto`` (None for explicit engines)
+    engine_decision: Any = None
 
     @property
     def total_time(self) -> float:

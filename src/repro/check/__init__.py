@@ -27,6 +27,16 @@ those contracts before and during a run:
   reduction monoid).  Every claimed plan is certified bit-equivalent
   against the simulation engine (``certify_determinism(engine=
   "dense-ref")``).
+* **Plan optimizer** — module :mod:`repro.check.planopt` statically
+  rewrites lifted plans (mask fusion, constant folding, dead-op
+  elimination, phase fusion, scatter hoisting, CSE) into the form
+  dense-ref actually executes, each rewrite certified bit-identical to
+  the unoptimized plan (:func:`certify_optimization`).  Surfaced under
+  ``--kernel-plan`` as RPC019 (plan optimized, digest), RPC020 (fusion
+  blocked by an order-sensitive op), RPC021 (costmodel / kernel-plan
+  verdict disagreement), RPC022 (engine-selection hazard); the optimized
+  digests feed ``repro run --engine auto``'s static engine ranking
+  (:mod:`repro.analysis.engine_select`).
 * **Dynamic sanitizer** — :class:`SanitizingProgram` +
   :class:`SanitizerObserver` fingerprint delivered payloads against
   in-place mutation, :func:`certify_determinism` diffs 1-vs-N-worker
@@ -74,6 +84,20 @@ from .sanitizer import (
     check_aggregator_laws,
     freeze,
     run_sanitize_smoke,
+)
+from .planopt import (
+    PLANOPT_RULES,
+    PLANOPT_SIGNATURE,
+    FusionBlock,
+    OptCertification,
+    PassReport,
+    PlanOptResult,
+    PlanVerdict,
+    certify_optimization,
+    optimize_file,
+    optimize_plan,
+    optimize_source,
+    plan_profile_disagreements,
 )
 from .vectorize import (
     KERNEL_RULES,
@@ -131,4 +155,16 @@ __all__ = [
     "lift_of",
     "lift_paths",
     "lift_source",
+    "PLANOPT_RULES",
+    "PLANOPT_SIGNATURE",
+    "FusionBlock",
+    "OptCertification",
+    "PassReport",
+    "PlanOptResult",
+    "PlanVerdict",
+    "certify_optimization",
+    "optimize_file",
+    "optimize_plan",
+    "optimize_source",
+    "plan_profile_disagreements",
 ]

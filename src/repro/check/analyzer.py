@@ -40,7 +40,7 @@ __all__ = [
 #: envelope/profile changes, the major on breaking ones — CI diffs and
 #: editor integrations key on this (and the on-disk result cache keys on
 #: it, so bumping invalidates every cached entry).
-ANALYZER_VERSION = "2.1"
+ANALYZER_VERSION = "2.2"
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\s*\[\s*([A-Za-z0-9_,\s]+?)\s*\])?", re.IGNORECASE
@@ -107,7 +107,8 @@ def analyze_source(
     """Run the enabled rules over one module's source text.
 
     ``kernel_plan`` additionally runs the vectorization eligibility rules
-    (RPC015-018, :mod:`.vectorize`) — opt-in because every program then
+    (RPC015-018, :mod:`.vectorize`) and the plan-optimizer rules
+    (RPC019-022, :mod:`.planopt`) — opt-in because every program then
     gets exactly one verdict finding, including the advisory RPC015 on
     programs with nothing wrong.
     """
@@ -130,9 +131,11 @@ def analyze_source(
     lines = source.splitlines()
     active_rules = list(RULES)
     if kernel_plan:
+        from .planopt import PLANOPT_RULES
         from .vectorize import KERNEL_RULES
 
         active_rules.extend(KERNEL_RULES)
+        active_rules.extend(PLANOPT_RULES)
     findings: list[Finding] = []
     for program in _find_programs(tree):
         for rule in active_rules:
@@ -228,7 +231,8 @@ class FileResult:
     findings: list[Finding] = field(default_factory=list)
     #: ProgramProfile list; populated only when profiling was requested.
     profiles: list = field(default_factory=list)
-    #: LiftResult list; populated only when --kernel-plan was requested.
+    #: PlanVerdict list (lift verdict + optimization report); populated
+    #: only when --kernel-plan was requested.
     plans: list = field(default_factory=list)
     elapsed_ms: float = 0.0
     #: True when this result was replayed from the on-disk cache; the
@@ -268,9 +272,15 @@ def analyze_paths_detailed(
             except (OSError, UnicodeDecodeError):
                 source = None  # unreadable: fall through, uncached
             if source is not None:
+                if kernel_plan:
+                    from .planopt import PLANOPT_SIGNATURE
+
+                    planopt_sig = PLANOPT_SIGNATURE
+                else:
+                    planopt_sig = ""
                 key = cache.key_for(
                     source, ANALYZER_VERSION, config_sig, profile,
-                    kernel_plan,
+                    kernel_plan, planopt_sig,
                 )
                 entry = cache.load(key, ANALYZER_VERSION)
                 if entry is not None:
@@ -287,9 +297,9 @@ def analyze_paths_detailed(
 
             result.profiles = profile_file(path)
         if kernel_plan:
-            from .vectorize import lift_file
+            from .planopt import optimize_file
 
-            result.plans = lift_file(path)
+            result.plans = optimize_file(path)
         result.elapsed_ms = (time.perf_counter() - t0) * 1000.0
         if cache is not None and key is not None:
             cache.store(

@@ -82,7 +82,12 @@ class AnalysisCache:
         config_signature: str,
         profile: bool,
         kernel_plan: bool,
+        planopt_signature: str = "",
     ) -> str:
+        """Content key.  ``planopt_signature`` is the optimizer pass/version
+        signature (:data:`~repro.check.planopt.PLANOPT_SIGNATURE`) — hashed
+        only when non-empty, so a pass-version bump invalidates every
+        cached kernel-plan envelope without touching plain-check keys."""
         h = hashlib.sha256()
         for part in (
             analyzer_version,
@@ -91,6 +96,9 @@ class AnalysisCache:
             f"kernel_plan={kernel_plan}",
         ):
             h.update(part.encode("utf-8"))
+            h.update(b"\x00")
+        if planopt_signature:
+            h.update(f"planopt={planopt_signature}".encode("utf-8"))
             h.update(b"\x00")
         h.update(source.encode("utf-8"))
         return h.hexdigest()

@@ -50,7 +50,9 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         "--kernel-plan", action="store_true", dest="kernel_plan",
         help="run the vectorization front-end: lift each program to a "
              "dense KernelPlan (RPC015) or report exactly why it cannot "
-             "be lifted (RPC016-018)",
+             "be lifted (RPC016-018), then run the plan optimizer "
+             "(RPC019-022: fusion, folding, engine-selection hazards) "
+             "with per-pass elapsed_ms in the JSON envelope",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -213,6 +215,16 @@ def run_check(args: argparse.Namespace) -> int:
                         f"(digest {d['digest'][:16]}, reduce={d['reduce']}, "
                         f"{d['phases']} phase(s), {d['ops']} op(s))"
                     )
+                    opt = d.get("opt")
+                    if opt and opt.get("changed"):
+                        rewrites = sum(
+                            p["rewrites"] for p in opt.get("passes", ())
+                        )
+                        print(
+                            f"    optimized -> {opt['digest'][:16]} "
+                            f"({rewrites} rewrite(s), {opt['ops']} op(s), "
+                            f"{opt['hoisted']} hoisted)"
+                        )
                 else:
                     print(
                         f"  {d['program']}: refused {d['rule']} at "

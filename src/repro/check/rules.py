@@ -911,11 +911,13 @@ RULES: tuple[Rule, ...] = (
 def rule_catalog() -> list[dict]:
     """Metadata for every rule (docs, ``repro check --list-rules``).
 
-    Includes the kernel-plan rules (RPC015-018) even though the analyzer
-    only runs them under ``--kernel-plan``: the catalog documents the
-    full vocabulary.  Imported lazily — :mod:`.vectorize` imports this
-    module for its rule base class.
+    Includes the kernel-plan rules (RPC015-018) and the plan-optimizer
+    rules (RPC019-022) even though the analyzer only runs them under
+    ``--kernel-plan``: the catalog documents the full vocabulary.
+    Imported lazily — :mod:`.vectorize` and :mod:`.planopt` import this
+    module for their rule base class.
     """
+    from .planopt import PLANOPT_RULES
     from .vectorize import KERNEL_RULES
 
     return sorted(
@@ -926,7 +928,7 @@ def rule_catalog() -> list[dict]:
                 "summary": r.summary,
                 "hint": r.hint,
             }
-            for r in (*RULES, *KERNEL_RULES)
+            for r in (*RULES, *KERNEL_RULES, *PLANOPT_RULES)
         ),
         key=lambda entry: entry["id"],
     )

@@ -158,6 +158,10 @@ class KOp:
     payload: Expr | None = None  # scatter
     name: str | None = None  # aggregate
     value: Expr | None = None  # aggregate
+    #: optimizer mark (repro.check.planopt): the payload's vertex-space
+    #: subtrees are shared with other vertex-evaluated expressions, so the
+    #: dense executor should evaluate vertex-space then index per-arc.
+    hoist: bool = False
 
     def as_dict(self) -> dict:
         out: dict[str, Any] = {"op": self.kind}
@@ -169,6 +173,8 @@ class KOp:
             out["name"] = self.name
         if self.value is not None:
             out["value"] = _expr_json(self.value)
+        if self.hoist:
+            out["hoist"] = True
         return out
 
 

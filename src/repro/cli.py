@@ -178,13 +178,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--roots", type=int, default=20, help="bc/apsp traversal roots")
     p.add_argument(
         "--engine",
-        choices=["sim", "threaded", "process", "tcp", "dense-ref"],
+        choices=["sim", "threaded", "process", "tcp", "dense-ref", "auto"],
         default="sim",
         help="execution backend: sequential simulator, thread pool, real "
              "worker processes (repro.dist), TCP worker daemons "
-             "(repro.net — see --hosts/--workers-file), or the NumPy "
+             "(repro.net — see --hosts/--workers-file), the NumPy "
              "kernel-plan interpreter (refuses programs `repro check "
-             "--kernel-plan` cannot lift) — see docs/runtime.md",
+             "--kernel-plan` cannot lift), or 'auto' (static ranking "
+             "over all of the above from the kernel-plan verdict, cost "
+             "profile and topology; decision + reasons recorded in the "
+             "result and flight stream) — see docs/runtime.md",
     )
     p.add_argument(
         "--hosts", metavar="HOST:PORT,...",
@@ -609,6 +612,8 @@ def _cmd_run(args) -> int:
         if server is not None:
             server.stop()
         flight.close()
+    if res.engine_decision is not None:
+        print(res.engine_decision.render())
     if res.profile is not None:
         print(f"profile: {res.profile.render()}")
     print(

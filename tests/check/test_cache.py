@@ -112,6 +112,45 @@ def test_analyzer_version_invalidates(tree, tmp_path):
     assert cache.load(key, ANALYZER_VERSION) is None
 
 
+def test_planopt_signature_partitions_the_key(tree, tmp_path):
+    # A pass-version bump must produce a different key (stale optimized
+    # plans can never replay), while the empty signature — every
+    # non-kernel-plan run — must keep the historical key shape.
+    cache = AnalysisCache(root=tmp_path)
+    source = (tree / "good.py").read_text()
+    base = cache.key_for(source, ANALYZER_VERSION, "sig", False, True)
+    assert base == cache.key_for(
+        source, ANALYZER_VERSION, "sig", False, True, ""
+    )
+    now = cache.key_for(
+        source, ANALYZER_VERSION, "sig", False, True, "fuse-masks=1"
+    )
+    bumped = cache.key_for(
+        source, ANALYZER_VERSION, "sig", False, True, "fuse-masks=2"
+    )
+    assert len({base, now, bumped}) == 3
+
+
+def test_planopt_version_bump_invalidates_kernel_plan_entries(
+    tree, tmp_path, monkeypatch
+):
+    import repro.check.planopt as planopt
+
+    cache = AnalysisCache(root=tmp_path)
+    analyze_paths_detailed([str(tree)], kernel_plan=True, cache=cache)
+    warm = analyze_paths_detailed(
+        [str(tree)], kernel_plan=True, cache=AnalysisCache(root=tmp_path)
+    )
+    assert all(fr.cached for fr in warm)
+    monkeypatch.setattr(
+        planopt, "PLANOPT_SIGNATURE", planopt.PLANOPT_SIGNATURE + ";new=1"
+    )
+    cold = analyze_paths_detailed(
+        [str(tree)], kernel_plan=True, cache=AnalysisCache(root=tmp_path)
+    )
+    assert all(not fr.cached for fr in cold)
+
+
 def test_corrupt_entry_is_a_miss(tree, tmp_path):
     cache = AnalysisCache(root=tmp_path)
     analyze_paths_detailed([str(tree)], cache=cache)

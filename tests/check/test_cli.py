@@ -111,12 +111,13 @@ def test_list_rules_text_and_json(capsys):
     text = capsys.readouterr().out
     assert "RPC001" in text and "RPC014" in text and "fix:" in text
     assert "RPC015" in text and "RPC018" in text
+    assert "RPC019" in text and "RPC022" in text
     assert check("--list-rules", "--format", "json") == 0
     envelope = json.loads(capsys.readouterr().out)
     assert envelope["version"].count(".") == 1
     catalog = envelope["rules"]
-    assert len(catalog) == 18
-    assert {r["id"] for r in catalog} == {f"RPC{i:03d}" for i in range(1, 19)}
+    assert len(catalog) == 22
+    assert {r["id"] for r in catalog} == {f"RPC{i:03d}" for i in range(1, 23)}
     # Sorted by id — the envelope is golden-tested, so order is contract.
     assert [r["id"] for r in catalog] == sorted(r["id"] for r in catalog)
 

@@ -41,13 +41,14 @@ def test_clean_program_has_no_findings():
 
 
 def test_rule_catalog_covers_all_rules():
+    from repro.check.planopt import PLANOPT_RULES
     from repro.check.vectorize import KERNEL_RULES
 
     catalog = rule_catalog()
     assert [r["id"] for r in catalog] == sorted(
-        r.id for r in (*RULES, *KERNEL_RULES)
+        r.id for r in (*RULES, *KERNEL_RULES, *PLANOPT_RULES)
     )
-    assert len(catalog) == 18
+    assert len(catalog) == 22
     assert all(r["summary"] and r["hint"] for r in catalog)
 
 

@@ -387,7 +387,8 @@ def test_cli_json_envelope_carries_plan_digests(tmp_path, capsys):
     # INFO findings must never fail the build, even under --strict.
     assert run_check(args) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert payload["infos"] == 1
+    # RPC015 (lifted) + RPC019 (the optimizer fuses MiniCC's masks)
+    assert payload["infos"] == 2
     assert payload["warnings"] == 0
     (plan,) = payload["plans"]
     assert plan["status"] == "lifted"
@@ -395,6 +396,17 @@ def test_cli_json_envelope_carries_plan_digests(tmp_path, capsys):
     assert plan["reduce"] == "min"
     info = [f for f in payload["findings"] if f["rule"] == "RPC015"]
     assert info and plan["digest"][:16] in info[0]["message"]
+    opt = plan["opt"]
+    assert opt["changed"] and opt["original_digest"] == plan["digest"]
+    assert len(opt["digest"]) == 64 and opt["digest"] != plan["digest"]
+    # the small-fix satellite: per-pass elapsed_ms rides in the envelope
+    assert [p["name"] for p in opt["passes"]] == [
+        "fuse-masks", "const-fold", "dead-op", "phase-fuse",
+        "hoist-scatter", "cse",
+    ]
+    assert all(p["elapsed_ms"] >= 0 for p in opt["passes"])
+    opt_info = [f for f in payload["findings"] if f["rule"] == "RPC019"]
+    assert opt_info and opt["digest"][:16] in opt_info[0]["message"]
 
 
 def test_runner_attaches_plan_and_coverage_gauges():

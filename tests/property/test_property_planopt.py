@@ -1,0 +1,99 @@
+"""Property: optimized plans are bit-identical to unoptimized plans.
+
+Every lifted algorithm x every seeded graph: run ``DenseRefEngine`` with
+the raw lifted plan and with the optimizer's output and diff every
+observable at the bit level, then re-certify the optimized execution path
+against the simulation engine with ``certify_determinism(engine=
+"dense-ref")`` (which runs the default — optimizing — engine).  Includes
+the two edge cases the rewrites are most likely to disturb: the k-core
+peel (topology mutation + prune masks) and LPA's lexicographic mode
+tie-break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ConnectedComponentsProgram,
+    KCoreProgram,
+    LabelPropagationProgram,
+    PageRankProgram,
+    SSSPProgram,
+    WCCProgram,
+)
+from repro.bsp import JobSpec
+from repro.check.planopt import certify_optimization
+from repro.check.sanitizer import certify_determinism
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+
+
+def _weighted(g: CSRGraph, seed: int) -> CSRGraph:
+    rng = np.random.default_rng(seed)
+    return CSRGraph(
+        g.num_vertices, g.indptr, g.indices, undirected=g.undirected,
+        weights=rng.uniform(0.5, 3.0, g.indices.shape[0]),
+    )
+
+
+def _graphs():
+    return [
+        ("er", gen.erdos_renyi(60, 0.08, seed=3, directed=True)),
+        ("ws", gen.watts_strogatz(60, 4, 0.3, seed=7).as_undirected()),
+        ("ba", gen.barabasi_albert(50, 3, seed=11).as_undirected()),
+        # path graph: every interior vertex ties on degree — the k-core
+        # peel and LPA tie-break edge cases
+        ("path", gen.path(24).as_undirected()),
+    ]
+
+
+def _cases():
+    graphs = _graphs()
+    out = []
+    for gname, g in graphs:
+        out.append((f"pagerank-{gname}", lambda g=g: JobSpec(
+            PageRankProgram(iterations=12), g, num_workers=1)))
+        out.append((f"sssp-{gname}", lambda g=g, s=gname: JobSpec(
+            SSSPProgram(source=0), _weighted(g, seed=len(s)),
+            num_workers=1)))
+        out.append((f"cc-{gname}", lambda g=g: JobSpec(
+            ConnectedComponentsProgram(), g, num_workers=1)))
+        out.append((f"wcc-{gname}", lambda g=g: JobSpec(
+            WCCProgram(), g, num_workers=1)))
+        out.append((f"kcore-{gname}", lambda g=g: JobSpec(
+            KCoreProgram(k=2), g, num_workers=1)))
+        out.append((f"lpa-{gname}", lambda g=g: JobSpec(
+            LabelPropagationProgram(max_rounds=20), g, num_workers=1)))
+    return out
+
+
+@pytest.mark.parametrize(
+    "make_job", [pytest.param(mk, id=name) for name, mk in _cases()]
+)
+def test_optimized_plan_is_bit_identical(make_job):
+    cert = certify_optimization(make_job)
+    assert cert.ok, cert.summary()
+
+
+@pytest.mark.parametrize(
+    "program_factory",
+    [
+        lambda: PageRankProgram(iterations=10),
+        lambda: SSSPProgram(source=0),
+        ConnectedComponentsProgram,
+        WCCProgram,
+        lambda: KCoreProgram(k=2),
+        lambda: LabelPropagationProgram(max_rounds=15),
+    ],
+    ids=["pagerank", "sssp", "cc", "wcc", "kcore", "lpa"],
+)
+def test_optimized_execution_stays_certified_vs_sim(program_factory):
+    # certify_determinism's dense-ref arm builds the default engine, which
+    # optimizes — so a divergent rewrite fails this, not just the raw diff
+    g = gen.watts_strogatz(48, 4, 0.3, seed=9).as_undirected()
+    report = certify_determinism(
+        program_factory, g, num_workers=4, engine="dense-ref"
+    )
+    assert report.ok, report.summary()
