@@ -21,6 +21,7 @@ from typing import Any
 import numpy as np
 
 from ..cloud.billing import BillingMeter
+from ..cloud.costmeter import attribute_cost
 from ..cloud.memorymodel import MemoryModel
 from ..cloud.network import NetworkModel, TrafficSummary
 from ..cloud.services import QueueService
@@ -301,6 +302,10 @@ class BSPEngine:
             halted=halted,
             aggregates=dict(self._agg_values),
             recoveries=list(self.recoveries),
+            cost=attribute_cost(
+                self.trace, worker_vm=self.vm_spec,
+                manager_vm=self.job.manager_vm,
+            ),
         )
         for obs in self._observers:
             on_job_end = getattr(obs, "on_job_end", None)

@@ -127,6 +127,9 @@ class JobResult:
     #: :class:`~repro.analysis.engine_select.EngineDecision` recorded when
     #: the job ran under ``--engine auto`` (None for explicit engines)
     engine_decision: Any = None
+    #: :class:`~repro.cloud.costmeter.CostReport` with per-superstep and
+    #: per-worker dollar attribution (set by the engine at job end)
+    cost: Any = None
 
     @property
     def total_time(self) -> float:

@@ -22,6 +22,9 @@ location, application, worker count, partitioning scheme) as a CLI::
         --live-port-file port.txt --events-out events.ndjson
     python -m repro trace summarize events.ndjson
     python -m repro postmortem repro-crash.postmortem
+    python -m repro worker serve --port 9001 --telemetry-port 0 \\
+        --telemetry-port-file telemetry.port
+    python -m repro cluster status localhost:9001 localhost:9002
 
 ``run`` prints the simulated runtime/cost summary and optionally dumps the
 per-superstep trace (JSON) for plotting.  The observability flags attach
@@ -59,7 +62,14 @@ bundle to ``--postmortem-out`` and still flushes every ``--*-out``
 artifact recorded so far.  ``repro postmortem <bundle>`` renders the
 incident report; ``run --live-port N`` serves ``/metrics`` (Prometheus
 text), ``/healthz`` (liveness/progress JSON) and ``/events?since=``
-(flight tail) from a background thread while the job runs.
+(flight tail) from a background thread while the job runs.  On a
+``--engine tcp`` run with explicit hosts the live server also serves
+``/cluster``: a fan-out scrape of every daemon's own telemetry server
+(``worker serve --telemetry-port``) merged into one host-labelled
+registry; ``repro cluster status`` prints the same merged view from
+the shell.  Metrics-attached runs ride a live
+:class:`~repro.cloud.CostMeter` along, so ``/metrics`` carries running
+``repro_cost_*`` dollar gauges while the job is in flight.
 
 ``run`` auto-profiles the program (disable with ``--no-profile``): the
 profile is printed with the summary, recorded on the result/metrics, and
@@ -77,8 +87,10 @@ import sys
 from .analysis import RunConfig, run_pagerank, run_traversal
 from .analysis.traces import read_json, write_json
 from .bsp.debug import InvariantChecker
+from .cloud import CostMeter
 from .cloud.costmodel import SCALED_PERF_MODEL
 from .obs import (
+    ClusterScraper,
     DiagnosticMonitor,
     EngineHealth,
     FlightRecorder,
@@ -88,6 +100,7 @@ from .obs import (
     RunReporter,
     RunTimeline,
     SpanTracer,
+    discover_members,
     load_postmortem,
     perf_diff,
     perf_report,
@@ -370,10 +383,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-sessions", type=int, default=None, metavar="N",
         help="refuse worker sessions beyond N at once (default: unlimited)",
     )
+    ws.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="serve this daemon's own /metrics /healthz /events /sync "
+             "on PORT (0 = ephemeral; scraped by the coordinator's "
+             "/cluster route and `repro cluster status`)",
+    )
+    ws.add_argument(
+        "--telemetry-port-file", metavar="PATH",
+        help="write the bound telemetry port here (for scrapers when "
+             "--telemetry-port 0 picked an ephemeral port)",
+    )
     wst = wsub.add_parser(
         "status", help="probe a daemon's vitals and print them as JSON"
     )
     wst.add_argument("endpoint", help="daemon address, host:port")
+
+    p = sub.add_parser(
+        "cluster",
+        help="inspect a fleet of worker daemons (repro.obs.cluster)",
+    )
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+    cs = csub.add_parser(
+        "status",
+        help="probe daemons, scrape their telemetry servers, and print "
+             "the merged fleet status as JSON",
+    )
+    cs.add_argument(
+        "endpoints", nargs="+", metavar="HOST:PORT",
+        help="daemon endpoints to probe",
+    )
+    cs.add_argument(
+        "--timeout", type=float, default=2.0,
+        help="per-daemon probe/scrape timeout in seconds",
+    )
     return parser
 
 
@@ -477,6 +520,13 @@ def _cmd_run(args) -> int:
     flight = FlightRecorder(capacity=args.flight_size)
     if args.events_out:
         flight.attach_sink(args.events_out)
+    if metrics is not None:
+        flight.bind_dropped_counter(
+            metrics.counter(
+                "repro_flight_dropped_total",
+                help="flight events evicted from the bounded ring",
+            )
+        )
     postmortem = PostmortemWriter(args.postmortem_out)
     extra_observers = []
     monitor = None
@@ -497,19 +547,10 @@ def _cmd_run(args) -> int:
         sanitizer = SanitizerObserver(metrics=metrics)
         wrap_program = SanitizingProgram
         extra_observers.append(sanitizer)
-    server = None
-    if live:
-        health = EngineHealth()
-        extra_observers.append(health)
-        server = LiveTelemetryServer(
-            metrics=metrics, flight=flight, health=health,
-            port=args.live_port,
-        ).start()
-        print(f"live telemetry at {server.url}", file=sys.stderr)
-        if args.live_port_file:
-            from pathlib import Path
-
-            Path(args.live_port_file).write_text(f"{server.port}\n")
+    if metrics is not None:
+        # Live dollar attribution: running repro_cost_* gauges on
+        # /metrics, finalized (billing-grain surcharge) at job end.
+        extra_observers.append(CostMeter(metrics))
     tcp_hosts = None
     if getattr(args, "hosts", None):
         from .net import parse_endpoint
@@ -520,6 +561,36 @@ def _cmd_run(args) -> int:
         ]
     elif getattr(args, "workers_file", None):
         tcp_hosts = args.workers_file
+    server = None
+    if live:
+        health = EngineHealth(metrics=metrics)
+        extra_observers.append(health)
+        cluster = None
+        if args.engine == "tcp" and tcp_hosts is not None:
+            # Federate the fleet: probe each daemon for its telemetry
+            # server and let /cluster fan-out scrape the lot.
+            endpoints = tcp_hosts
+            if isinstance(endpoints, str):
+                from .net import load_workers_file
+
+                endpoints = load_workers_file(endpoints)
+            members, errs = discover_members(endpoints)
+            for name, why in errs.items():
+                print(
+                    f"cluster scrape disabled for {name}: {why}",
+                    file=sys.stderr,
+                )
+            if members:
+                cluster = ClusterScraper(members, local=metrics)
+        server = LiveTelemetryServer(
+            metrics=metrics, flight=flight, health=health,
+            port=args.live_port, cluster=cluster,
+        ).start()
+        print(f"live telemetry at {server.url}", file=sys.stderr)
+        if args.live_port_file:
+            from pathlib import Path
+
+            Path(args.live_port_file).write_text(f"{server.port}\n")
     cfg = RunConfig(
         num_workers=args.workers,
         partitioner=_STRATEGIES[args.strategy](args.seed),
@@ -621,6 +692,8 @@ def _cmd_run(args) -> int:
         f"messages {trace.total_messages:,} | peak worker memory "
         f"{trace.peak_memory / 1e6:.2f} MB"
     )
+    if res.cost is not None:
+        print(f"cost attribution: {res.cost.summary()}")
     if args.trace_out:
         write_json(trace, args.trace_out)
         print(f"trace written to {args.trace_out}")
@@ -746,6 +819,8 @@ def _cmd_worker(args) -> int:
         return serve(
             host=args.host, port=args.port, port_file=args.port_file,
             max_sessions=args.max_sessions,
+            telemetry_port=args.telemetry_port,
+            telemetry_port_file=args.telemetry_port_file,
         )
     # status
     import json
@@ -762,6 +837,18 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    """`repro cluster status`: probe + scrape a daemon fleet, print JSON."""
+    import json
+
+    members, errors = discover_members(args.endpoints, timeout=args.timeout)
+    scraper = ClusterScraper(members, timeout=args.timeout)
+    payload = scraper.status()
+    payload["errors"].update(errors)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 1 if payload["errors"] else 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
@@ -774,6 +861,7 @@ _COMMANDS = {
     "postmortem": _cmd_postmortem,
     "report": _cmd_report,
     "worker": _cmd_worker,
+    "cluster": _cmd_cluster,
 }
 
 

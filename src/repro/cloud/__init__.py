@@ -13,6 +13,13 @@ from .costmodel import DEFAULT_PERF_MODEL, PerfModel
 from .network import NetworkModel, TrafficSummary
 from .memorymodel import MemoryModel, MemoryUsage
 from .billing import BillingMeter, ChargeLine
+from .costmeter import (
+    DEFAULT_PRICES,
+    CostMeter,
+    CostReport,
+    PriceBook,
+    attribute_cost,
+)
 from .provisioner import ElasticProvisioner, ScaleEvent
 from .services import BlobStore, CloudQueue, QueueService
 from .spot import expected_evictions, spot_failure_schedule, spot_price
@@ -32,6 +39,11 @@ __all__ = [
     "MemoryUsage",
     "BillingMeter",
     "ChargeLine",
+    "CostMeter",
+    "CostReport",
+    "DEFAULT_PRICES",
+    "PriceBook",
+    "attribute_cost",
     "ElasticProvisioner",
     "ScaleEvent",
     "BlobStore",

@@ -71,6 +71,7 @@ from ..net.transport import (
     TransportClosed,
     WorkerChannel,
     WorkerInit,
+    monotonic_now,
 )
 from ..obs.metrics import DEFAULT_SIZE_BUCKETS
 from ..obs.sync import apply_snapshot
@@ -225,6 +226,25 @@ class _DistInstruments:
             worker=str(worker_id),
             transport=self._transport,
         )
+
+    def record_clock(self, worker_id: int, stats: dict) -> None:
+        """Mirror a channel's ClockSync estimate into per-worker gauges."""
+        labels = {"worker": str(worker_id), "transport": self._transport}
+        self._registry.gauge(
+            "dist_clock_offset_seconds",
+            help="Estimated remote-minus-local monotonic clock offset",
+            **labels,
+        ).set(stats["offset_seconds"])
+        self._registry.gauge(
+            "dist_clock_uncertainty_seconds",
+            help="Clock offset error bound (half the handshake RTT)",
+            **labels,
+        ).set(stats["uncertainty_seconds"])
+        self._registry.gauge(
+            "dist_clock_drift_rate",
+            help="Relative clock drift (remote seconds per local second)",
+            **labels,
+        ).set(stats["drift_rate"])
 
 
 class ProcessBSPEngine(BSPEngine):
@@ -395,9 +415,21 @@ class ProcessBSPEngine(BSPEngine):
             tracer.end(compute_span)
         if tracer is not None:
             for h, rep in zip(handles, computed):
+                extra = {}
+                clock_end = rep.get("clock_end")
+                if clock_end is not None:
+                    # Place the span where the compute actually ended in
+                    # this tracer's timebase (remote stamp mapped through
+                    # the channel's clock alignment), not at the moment
+                    # the reply happened to arrive.
+                    since_end = monotonic_now() - h.clock.to_local(
+                        float(clock_end)
+                    )
+                    extra["host_end"] = tracer.now() - max(0.0, since_end)
                 tracer.record(
                     "worker-compute", sim=self.sim_time, category="dist",
                     host_duration=rep["host_seconds"], worker=h.worker_id,
+                    **extra,
                 )
 
         # Flush phase: route each source's frames to their destinations in
@@ -426,13 +458,20 @@ class ProcessBSPEngine(BSPEngine):
         recv_bytes = np.array([d["recv_bytes"] for d in delivered])
         peers_in = [len(inbound[w]) for w in range(self.num_workers)]
         violations = getattr(self.job.program, "violations", None)
-        for view, comp, deliv in zip(self._views, computed, delivered):
+        for view, h, comp, deliv in zip(
+            self._views, handles, computed, delivered
+        ):
             view.stats = comp["stats"]
             view.apply_report(deliv["report"])
             if self.metrics is not None and deliv["metrics"]:
                 apply_snapshot(self.metrics, deliv["metrics"])
             if self.flight is not None and deliv.get("flight"):
-                self.flight.merge_remote(view.worker_id, deliv["flight"])
+                self.flight.merge_remote(
+                    view.worker_id, deliv["flight"],
+                    restamp=self._flight_restamp(
+                        h, deliv.get("flight_epoch")
+                    ),
+                )
             if isinstance(violations, list) and deliv["violations"]:
                 violations.extend(deliv["violations"])
             if deliv.get("output"):
@@ -615,6 +654,20 @@ class ProcessBSPEngine(BSPEngine):
                 connected_worker=worker_id, endpoint=handle.endpoint,
                 transport=handle.transport,
             )
+        if handle.clock.synchronized:
+            stats = handle.clock.stats()
+            if self.flight is not None:
+                self.flight.record(
+                    "clock-sync", superstep=self.superstep,
+                    sim=self.sim_time, synced_worker=worker_id,
+                    endpoint=handle.endpoint,
+                    offset_seconds=round(stats["offset_seconds"], 6),
+                    uncertainty_seconds=round(
+                        stats["uncertainty_seconds"], 6
+                    ),
+                )
+            if self._dm is not None:
+                self._dm.record_clock(worker_id, stats)
         if self._dm is not None:
             self._dm.heartbeats(worker_id)  # create the series eagerly
             self._dm.alive.set(
@@ -681,6 +734,37 @@ class ProcessBSPEngine(BSPEngine):
             beats = h.drain_heartbeats()
             if beats and self._dm is not None:
                 self._dm.heartbeats(h.worker_id).inc(beats)
+                if h.clock.synchronized:
+                    # Heartbeats carry one-way clock samples; refresh the
+                    # per-worker skew/drift gauges as the estimate moves.
+                    self._dm.record_clock(h.worker_id, h.clock.stats())
+
+    def _flight_restamp(self, h: WorkerChannel, flight_epoch):
+        """Build the remote→local flight-event restamp for one worker.
+
+        A shipped event's ``host`` is seconds since the remote session
+        recorder's epoch.  ``epoch + host`` is absolute remote liveness
+        time; the channel's ClockSync maps it into the local liveness
+        clock; and an anchor pair read *now* converts that into this
+        recorder's timebase.  The map is affine per merge batch, so
+        per-worker event order is always preserved.  Returns ``None``
+        (merge-time stamping) when the remote epoch is unknown — e.g. a
+        pre-v2 daemon.
+        """
+        if flight_epoch is None:
+            flight_epoch = h.flight_epoch
+        if flight_epoch is None or self.flight is None:
+            return None
+        epoch = float(flight_epoch)
+        clock = h.clock
+        anchor_rec = self.flight.now()
+        anchor_local = monotonic_now()
+
+        def restamp(worker_host: float) -> float:
+            local_t = clock.to_local(epoch + worker_host)
+            return anchor_rec - (anchor_local - local_t)
+
+        return restamp
 
     def _check_liveness(self, waiting_on: WorkerChannel) -> None:
         """Drain heartbeats; fail the awaited worker if dead or hung."""

@@ -42,12 +42,14 @@ from .codec import (
     encode_stream_frame,
     unpack_frame,
 )
+from .transport import monotonic_now
 
 __all__ = ["PROTOCOL_VERSION", "WorkerDaemon", "serve"]
 
 #: Handshake protocol version; a coordinator/daemon mismatch refuses the
-#: session rather than failing mid-superstep.
-PROTOCOL_VERSION = 1
+#: session rather than failing mid-superstep.  v2 added clock-alignment
+#: stamps to the ready payload and heartbeat frames (dict payload).
+PROTOCOL_VERSION = 2
 
 
 async def read_stream_frame(
@@ -87,7 +89,15 @@ class WorkerDaemon:
         self.max_sessions = max_sessions
         self.sessions_active = 0
         self.sessions_served = 0
+        self.heartbeats_sent = 0
         self._server: asyncio.AbstractServer | None = None
+        # Optional per-daemon telemetry (attach_telemetry): advertised in
+        # status() so coordinators can discover the scrape surface.
+        self.telemetry_port: int | None = None
+        self.flight = None
+        self._m_sessions_active = None
+        self._m_sessions_total = None
+        self._m_heartbeats = None
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -118,7 +128,34 @@ class WorkerDaemon:
             "sessions_active": self.sessions_active,
             "sessions_served": self.sessions_served,
             "max_sessions": self.max_sessions,
+            "telemetry_port": self.telemetry_port,
         }
+
+    def attach_telemetry(self, registry, flight=None) -> None:
+        """Wire daemon vitals into a metrics registry (and flight ring).
+
+        Call after :meth:`start` so the bound endpoint is known — it
+        becomes the ``host`` label every federated scrape keys on.
+        """
+        labels = {"host": self.endpoint, "transport": "tcp"}
+        self._m_sessions_active = registry.gauge(
+            "repro_daemon_sessions_active",
+            help="Worker sessions currently hosted by this daemon.",
+            **labels,
+        )
+        self._m_sessions_total = registry.counter(
+            "repro_daemon_sessions_total",
+            help="Worker sessions accepted since daemon start.",
+            **labels,
+        )
+        self._m_heartbeats = registry.counter(
+            "repro_daemon_heartbeats_sent_total",
+            help="Heartbeat frames multiplexed onto reply streams.",
+            **labels,
+        )
+        self.flight = flight
+        if flight is not None:
+            flight.record("daemon-start", endpoint=self.endpoint)
 
     # ------------------------------------------------------------------
     async def _on_connect(
@@ -129,6 +166,10 @@ class WorkerDaemon:
                 kind, _epoch, payload = await read_stream_frame(reader)
             except (asyncio.IncompleteReadError, FrameError, ConnectionError):
                 return
+            # NTP-style t1: daemon clock at hello receipt.  Stamped here,
+            # before session construction, so handshake clock alignment
+            # excludes the (potentially heavy) graph unpickling below.
+            clock_recv = monotonic_now()
             if kind == "status":
                 writer.write(
                     encode_stream_frame(("status-reply", 0, self.status()))
@@ -146,7 +187,7 @@ class WorkerDaemon:
                 writer.write(encode_stream_frame(("error", 0, refusal)))
                 await writer.drain()
                 return
-            await self._serve_session(reader, writer, payload)
+            await self._serve_session(reader, writer, payload, clock_recv)
         finally:
             try:
                 writer.close()
@@ -178,6 +219,7 @@ class WorkerDaemon:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         hello: dict,
+        clock_recv: float,
     ) -> None:
         from .session import WorkerSession
 
@@ -196,10 +238,27 @@ class WorkerDaemon:
         )
         self.sessions_active += 1
         self.sessions_served += 1
+        if self._m_sessions_active is not None:
+            self._m_sessions_active.set(self.sessions_active)
+            self._m_sessions_total.inc()
+        if self.flight is not None:
+            self.flight.record("session-open", worker=init.worker_id)
         writer.write(encode_stream_frame(("ready", 0, {
             "pid": os.getpid(),
             "endpoint": self.endpoint,
             "worker_id": init.worker_id,
+            # Clock-alignment stamps: t1 (hello receipt) and t2 (ready
+            # send) on this host's liveness clock.  t2 is read here —
+            # after session construction — so the coordinator's NTP
+            # arithmetic subtracts the build time from the RTT.
+            "clock_recv": clock_recv,
+            "clock_send": monotonic_now(),
+            # The session recorder's epoch on the same clock: lets the
+            # coordinator turn shipped flight-event offsets into
+            # absolute remote time for restamping.
+            "flight_epoch": (
+                session.flight.epoch if session.flight is not None else None
+            ),
         })))
         await writer.drain()
         stop = asyncio.Event()
@@ -228,30 +287,60 @@ class WorkerDaemon:
             stop.set()
             hb_task.cancel()
             self.sessions_active -= 1
+            if self._m_sessions_active is not None:
+                self._m_sessions_active.set(self.sessions_active)
+            if self.flight is not None:
+                self.flight.record("session-close", worker=init.worker_id)
 
-    @staticmethod
     async def _heartbeats(
+        self,
         writer: asyncio.StreamWriter,
         interval: float,
         flight,
         stop: asyncio.Event,
     ) -> None:
-        """Multiplex ``("hb", -1, n)`` frames onto the reply stream.
+        """Multiplex ``("hb", -1, {...})`` frames onto the reply stream.
 
-        No ``drain()``: a concurrent drain with the session loop's is not
-        allowed on every Python, and heartbeat frames are tiny — the
-        transport buffer absorbs them even under backpressure.
+        The payload carries this host's liveness-clock reading — each
+        arrival gives the coordinator a one-way clock sample for drift
+        tracking on long runs.  No ``drain()``: a concurrent drain with
+        the session loop's is not allowed on every Python, and heartbeat
+        frames are tiny — the transport buffer absorbs them even under
+        backpressure.
         """
         beats = 0
         try:
             while not stop.is_set():
                 await asyncio.sleep(interval)
-                writer.write(encode_stream_frame(("hb", -1, beats)))
+                writer.write(encode_stream_frame(
+                    ("hb", -1, {"n": beats, "clock": monotonic_now()})
+                ))
                 beats += 1
+                self.heartbeats_sent += 1
+                if self._m_heartbeats is not None:
+                    self._m_heartbeats.inc()
                 if flight is not None:
                     flight.record("heartbeat-send", beats=beats)
         except (ConnectionError, OSError, asyncio.CancelledError):
             return
+
+
+class _DaemonHealth:
+    """Duck-typed health source for a daemon's ``/healthz`` route."""
+
+    def __init__(self, daemon: WorkerDaemon) -> None:
+        self._daemon = daemon
+
+    def snapshot(self) -> dict[str, Any]:
+        status = self._daemon.status()
+        at_capacity = (
+            self._daemon.max_sessions is not None
+            and self._daemon.sessions_active >= self._daemon.max_sessions
+        )
+        status["state"] = "serving"
+        status["at_capacity"] = at_capacity
+        status["ok"] = not at_capacity
+        return status
 
 
 def serve(
@@ -259,25 +348,58 @@ def serve(
     port: int = 0,
     port_file: str | None = None,
     max_sessions: int | None = None,
+    telemetry_port: int | None = None,
+    telemetry_port_file: str | None = None,
 ) -> int:
     """Blocking daemon entry point (``repro worker serve``).
 
     Binds, announces the endpoint on stderr, optionally writes the bound
     port to ``port_file`` (so scripts can launch with ``--port 0`` and
-    discover the port), then serves until interrupted.
+    discover the port), then serves until interrupted.  With
+    ``telemetry_port`` (0 = ephemeral) the daemon also hosts its own
+    :class:`~repro.obs.live.LiveTelemetryServer` — the per-host scrape
+    surface the coordinator's ``/cluster`` route federates.
     """
 
     async def main() -> None:
         daemon = WorkerDaemon(host=host, port=port, max_sessions=max_sessions)
         await daemon.start()
+        telemetry = None
+        if telemetry_port is not None:
+            from ..obs.flight import FlightRecorder
+            from ..obs.live import LiveTelemetryServer
+            from ..obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            flight = FlightRecorder(capacity=1024, clock=monotonic_now)
+            daemon.attach_telemetry(registry, flight)
+            telemetry = LiveTelemetryServer(
+                metrics=registry,
+                flight=flight,
+                health=_DaemonHealth(daemon),
+                host=host,
+                port=telemetry_port,
+            )
+            telemetry.start()
+            daemon.telemetry_port = telemetry.port
+            if telemetry_port_file:
+                Path(telemetry_port_file).write_text(f"{telemetry.port}\n")
         print(
             f"repro worker: listening on {daemon.endpoint} "
-            "(pickle transport — trusted networks only)",
+            + (
+                f"(telemetry on :{daemon.telemetry_port}) "
+                if telemetry is not None else ""
+            )
+            + "(pickle transport — trusted networks only)",
             file=sys.stderr, flush=True,
         )
         if port_file:
             Path(port_file).write_text(f"{daemon.port}\n")
-        await daemon.serve_forever()
+        try:
+            await daemon.serve_forever()
+        finally:
+            if telemetry is not None:
+                telemetry.stop()
 
     try:
         asyncio.run(main())

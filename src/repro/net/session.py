@@ -39,6 +39,7 @@ from typing import Any, Callable
 
 from ..bsp.worker import PartitionWorker
 from .codec import pack_frame, unpack_frame
+from .transport import monotonic_now
 
 __all__ = ["WorkerSession"]
 
@@ -95,7 +96,10 @@ class WorkerSession:
         if want_flight:
             from ..obs.flight import FlightRecorder
 
-            self.flight = FlightRecorder(capacity=1024)
+            # The recorder runs on the liveness clock so its epoch and
+            # every host stamp live in the timebase ClockSync aligns —
+            # the coordinator can then restamp merged events exactly.
+            self.flight = FlightRecorder(capacity=1024, clock=monotonic_now)
         self.worker = PartitionWorker(
             worker_id=worker_id,
             graph=graph,
@@ -158,6 +162,11 @@ class WorkerSession:
                 "stats": worker.stats,
                 "agg_partials": worker._agg_partials,
                 "host_seconds": host,
+                # This host's liveness-clock stamp at compute end; with
+                # the channel's ClockSync offset the coordinator places
+                # the compute span at its true position in its own
+                # timebase instead of at reply-arrival time.
+                "clock_end": monotonic_now(),
             })
         if cmd == "deliver":
             recv_msgs = 0
@@ -195,6 +204,13 @@ class WorkerSession:
                 "metrics": metrics_delta,
                 "violations": fresh,
                 "flight": flight_events,
+                # Liveness-clock reading of this recorder's epoch lets
+                # the coordinator convert shipped event host stamps
+                # (seconds since epoch) back into absolute remote-clock
+                # time, then into its own timebase via ClockSync.
+                "flight_epoch": (
+                    self.flight.epoch if self.flight is not None else None
+                ),
                 "output": (
                     self._drain_output() if self._drain_output else ""
                 ),

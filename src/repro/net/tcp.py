@@ -130,6 +130,13 @@ class TcpChannel(WorkerChannel):
             if isinstance(msg, tuple) and msg and msg[0] == "hb":
                 self._beats += 1
                 self.note_beat()
+                # v2 heartbeats carry the daemon's liveness-clock stamp
+                # — a one-way clock sample for drift tracking.
+                payload = msg[2] if len(msg) > 2 else None
+                if isinstance(payload, dict) and "clock" in payload:
+                    self.clock.observe_oneway(
+                        float(payload["clock"]), monotonic_now()
+                    )
             else:
                 self._inbox.append(msg)
         return True
@@ -403,11 +410,12 @@ class TcpTransport(Transport):
         )
         channel = TcpChannel(init.worker_id, sock, f"{host}:{port}")
         try:
+            t0 = monotonic_now()  # NTP t0: hello leaves the coordinator
             channel.send(("hello", 0, {
                 "version": PROTOCOL_VERSION,
                 "init": init,
             }))
-            deadline = monotonic_now() + self._handshake_timeout
+            deadline = t0 + self._handshake_timeout
             while True:
                 reply = channel.recv(0.05)
                 if reply is not None:
@@ -417,12 +425,23 @@ class TcpTransport(Transport):
                         f"daemon at {host}:{port} did not answer the "
                         f"handshake within {self._handshake_timeout:g}s"
                     )
+            t3 = monotonic_now()  # NTP t3: ready reached the coordinator
             kind, _epoch, payload = reply
             if kind != "ready":
                 raise TransportError(
                     f"daemon at {host}:{port} refused worker "
                     f"{init.worker_id}: {payload}"
                 )
+            # v2 ready payloads stamp t1/t2 on the daemon's clock; feed
+            # the four-timestamp exchange into the channel's ClockSync.
+            # (The t1..t2 gap — session construction — cancels out of
+            # the RTT by the NTP arithmetic.)
+            if isinstance(payload, dict) and "clock_recv" in payload:
+                channel.clock.observe_handshake(
+                    t0, float(payload["clock_recv"]),
+                    float(payload["clock_send"]), t3,
+                )
+                channel.flight_epoch = payload.get("flight_epoch")
             return channel
         except TransportClosed as exc:
             channel.close()

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from time import monotonic
 from typing import Any
 
+from ..obs.cluster import ClockSync
 from .codec import pack_frame, unpack_frame
 
 __all__ = [
@@ -92,6 +93,13 @@ class WorkerChannel(ABC):
         self.pending = 0  # replies owed for commands already sent
         self.last_beat = monotonic_now()
         self.alive = True
+        #: remote-clock alignment; transports with a real handshake feed
+        #: it (TCP).  Same-host backends leave it empty — offset() is
+        #: then 0.0, which is exactly right for a forked process.
+        self.clock = ClockSync()
+        #: the remote session's flight-recorder epoch on its own
+        #: liveness clock (None when unknown); set by the handshake.
+        self.flight_epoch: float | None = None
 
     def heartbeat_age(self) -> float:
         """Seconds since the last beat, on the monotonic clock."""

@@ -30,7 +30,12 @@ engine stack reports into:
   and the incident-report renderer (backs ``repro postmortem``);
 * :mod:`repro.obs.live` — :class:`LiveTelemetryServer`, a scrapeable
   ``/metrics`` + ``/healthz`` + ``/events`` HTTP endpoint for in-flight
-  runs (backs ``repro run --live-port``).
+  runs (backs ``repro run --live-port``);
+* :mod:`repro.obs.cluster` — cluster telemetry plane: NTP-style
+  :class:`ClockSync` remote-clock alignment, the JSON wire encoding of
+  registry snapshots, and :class:`ClusterScraper` federation over every
+  fleet daemon's telemetry server (backs ``/cluster`` and
+  ``repro cluster status``).
 
 Attach instruments through the job spec and read them after the run::
 
@@ -45,6 +50,14 @@ A job with neither attached runs exactly as before: every instrumentation
 site in the engine is guarded by a single ``is None`` check.
 """
 
+from .cluster import (
+    ClockSync,
+    ClusterMember,
+    ClusterScraper,
+    discover_members,
+    snapshot_to_wire,
+    wire_to_snapshot,
+)
 from .diagnose import (
     DiagnosticMonitor,
     StragglerFlag,
@@ -129,6 +142,12 @@ __all__ = [
     "read_event_log",
     "EngineHealth",
     "LiveTelemetryServer",
+    "ClockSync",
+    "ClusterMember",
+    "ClusterScraper",
+    "discover_members",
+    "snapshot_to_wire",
+    "wire_to_snapshot",
     "PostmortemWriter",
     "build_bundle",
     "write_postmortem",

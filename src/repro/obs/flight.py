@@ -133,12 +133,30 @@ class FlightRecorder:
         self._sink = None
         self._sink_path: Path | None = None
         self._sink_pending = 0
+        self._dropped_counter = None
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def _now(self) -> float:
         return self._clock() - self._epoch
+
+    @property
+    def epoch(self) -> float:
+        """The clock reading all ``host`` stamps are relative to."""
+        return self._epoch
+
+    def now(self) -> float:
+        """Current recorder time (seconds since epoch), for anchoring."""
+        return self._now()
+
+    def bind_dropped_counter(self, counter: Any) -> None:
+        """Mirror ring evictions into a metrics counter (``.inc()``).
+
+        Lets ``repro_flight_dropped_total`` expose eviction pressure on
+        the live scrape surface without the recorder importing metrics.
+        """
+        self._dropped_counter = counter
 
     def record(
         self,
@@ -167,6 +185,8 @@ class FlightRecorder:
         """Ring + sink append; caller holds the lock."""
         if len(self._ring) == self.capacity:
             self.dropped += 1
+            if self._dropped_counter is not None:
+                self._dropped_counter.inc()
         self._ring.append(event)
         if self._sink is not None:
             self._sink.write(json.dumps(event.to_dict()) + "\n")
@@ -176,30 +196,44 @@ class FlightRecorder:
                 self._sink_pending = 0
 
     def merge_remote(
-        self, worker: int, events: Iterable[Mapping[str, Any]]
+        self,
+        worker: int,
+        events: Iterable[Mapping[str, Any]],
+        restamp: Callable[[float], float] | None = None,
     ) -> int:
         """Fold a child process's shipped event dicts into this ring.
 
         Events are appended in the order given (the child sends its own
         recording order, so per-worker order is preserved); each gets a
-        fresh coordinator ``seq`` and host stamp, with the child's own
-        ``seq``/``host`` preserved as ``worker_seq``/``worker_host`` attrs.
-        Returns the number of events merged.
+        fresh coordinator ``seq``, with the child's own ``seq``/``host``
+        preserved as ``worker_seq``/``worker_host`` attrs.
+
+        Without ``restamp`` the coordinator stamps merge time (arrival
+        order — fine on one host, where all clocks agree).  With it,
+        each event's ``host`` becomes ``restamp(child_host)``: the
+        caller maps the child's recorder time into this recorder's
+        timebase (see :class:`~repro.obs.cluster.ClockSync`), so a
+        multi-host trace is monotonic in one clock.  Returns the number
+        of events merged.
         """
         n = 0
         with self._lock:
             for d in events:
+                worker_host = float(d.get("host", 0.0))
                 event = FlightEvent(
                     seq=self._next_seq,
                     kind=str(d["kind"]),
                     superstep=int(d.get("superstep", -1)),
                     worker=int(worker),
-                    host=self._now(),
+                    host=(
+                        self._now() if restamp is None
+                        else restamp(worker_host)
+                    ),
                     sim=float(d.get("sim", 0.0)),
                     attrs={
                         **dict(d.get("attrs", {})),
                         "worker_seq": int(d["seq"]),
-                        "worker_host": float(d.get("host", 0.0)),
+                        "worker_host": worker_host,
                     },
                 )
                 self._next_seq += 1
@@ -224,19 +258,37 @@ class FlightRecorder:
         with self._lock:
             return list(self._ring)
 
-    def events_since(self, cursor: int = -1) -> tuple[list[FlightEvent], int]:
+    def events_since(
+        self, cursor: int = -1, mark_gaps: bool = False
+    ) -> tuple[list[FlightEvent], int]:
         """Tail the ring: events with ``seq > cursor`` plus the new cursor.
 
         The cursor is the last ``seq`` the reader has seen (-1 = from the
         beginning).  It stays monotonic across ring wraps: events evicted
-        before the reader caught up are silently skipped (the gap is
-        visible as non-contiguous ``seq`` values), never replayed out of
-        order.  Returns ``(events, next_cursor)`` where ``next_cursor``
-        is the argument unchanged when nothing is new.
+        before the reader caught up are skipped, never replayed out of
+        order.  With ``mark_gaps`` a wrap between polls is reported
+        explicitly: when the oldest fresh event is not ``cursor + 1``, a
+        synthetic ``gap`` event (not stored in the ring) is prepended
+        with ``attrs["missed"]`` counting the evicted events.  Returns
+        ``(events, next_cursor)`` where ``next_cursor`` is the argument
+        unchanged when nothing is new.
         """
         cursor = int(cursor)
         with self._lock:
             fresh = [e for e in self._ring if e.seq > cursor]
+        if (
+            mark_gaps
+            and fresh
+            and cursor >= 0
+            and fresh[0].seq > cursor + 1
+        ):
+            missed = fresh[0].seq - cursor - 1
+            fresh.insert(0, FlightEvent(
+                seq=fresh[0].seq - 1,
+                kind="gap",
+                host=fresh[0].host,
+                attrs={"missed": missed},
+            ))
         return fresh, (fresh[-1].seq if fresh else cursor)
 
     def by_worker(self) -> dict[int, list[FlightEvent]]:

@@ -18,7 +18,13 @@ daemon thread (bind port 0 by default — the OS picks a free port), serving:
   process engine), and how long ago the engine last crossed a barrier;
 * ``GET /events?since=<seq>`` — JSON tail of the attached
   :class:`~repro.obs.flight.FlightRecorder` ring; the returned ``cursor``
-  feeds the next poll (monotonic across ring wraps).
+  feeds the next poll (monotonic across ring wraps; a wrap between polls
+  is reported as a synthetic ``gap`` event);
+* ``GET /sync``     — the registry as a lossless JSON snapshot, the
+  merge source cluster federation scrapes;
+* ``GET /cluster``  — coordinator-only fan-out: scrape every fleet
+  daemon's ``/sync``, merge with ``host`` labels, render Prometheus
+  text (``?format=json`` for the JSON snapshot + member summary).
 
 :class:`EngineHealth` is the glue: a superstep observer that keeps a
 thread-safe snapshot of engine progress, readable both by the HTTP
@@ -46,7 +52,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
+from .cluster import snapshot_to_wire
 from .export import to_prometheus_text
+from .sync import snapshot_registry
 
 __all__ = ["EngineHealth", "LiveTelemetryServer"]
 
@@ -64,13 +72,29 @@ class EngineHealth:
     ``stale_after`` bounds how old the last boundary may be before the
     snapshot reports ``ok: false`` (a hung superstep stops crossing
     barriers but keeps the process alive — exactly the case post-hoc
-    artifacts cannot see).
+    artifacts cannot see).  ``max_heartbeat_age`` (seconds) additionally
+    degrades ``ok`` when any live worker's heartbeat age exceeds it,
+    and with ``metrics`` attached every snapshot mirrors the ages into
+    ``repro_heartbeat_age_seconds{worker=…}`` gauges so ``/healthz``
+    degradation is graphable before it trips.
     """
 
-    def __init__(self, stale_after: float = 60.0) -> None:
+    def __init__(
+        self,
+        stale_after: float = 60.0,
+        max_heartbeat_age: float | None = None,
+        metrics: Any = None,
+    ) -> None:
         if stale_after <= 0:
             raise ValueError("stale_after must be positive")
+        if max_heartbeat_age is not None and max_heartbeat_age <= 0:
+            raise ValueError("max_heartbeat_age must be positive")
         self.stale_after = float(stale_after)
+        self.max_heartbeat_age = (
+            float(max_heartbeat_age) if max_heartbeat_age is not None
+            else None
+        )
+        self.metrics = metrics
         self._lock = threading.Lock()
         self._engine: Any = None
         self._state = "idle"
@@ -134,9 +158,27 @@ class EngineHealth:
         alive = sum(1 for w in workers if w.get("alive", True))
         snap["workers_alive"] = alive if workers else snap["workers"]
         snap["worker_liveness"] = workers
+        lagging = 0
+        for w in workers:
+            age = w.get("heartbeat_age_seconds")
+            if age is None:
+                continue
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "repro_heartbeat_age_seconds",
+                    help="Seconds since each worker's last heartbeat.",
+                    worker=str(w.get("worker")),
+                ).set(float(age))
+            if (
+                self.max_heartbeat_age is not None
+                and w.get("alive", True)
+                and float(age) > self.max_heartbeat_age
+            ):
+                lagging += 1
+        snap["workers_lagging"] = lagging
         stalled = state == "running" and boundary_age > self.stale_after
         dead = bool(workers) and alive < len(workers)
-        snap["ok"] = not (stalled or dead)
+        snap["ok"] = not (stalled or dead or lagging > 0)
         return snap
 
 
@@ -193,16 +235,55 @@ class _Handler(BaseHTTPRequestHandler):
                 except ValueError:
                     self._reply_json(400, {"error": "since must be an integer"})
                     return
-                events, cursor = owner.flight.events_since(since)
+                events, cursor = owner.flight.events_since(
+                    since, mark_gaps=True
+                )
                 self._reply_json(200, {
                     "events": [e.to_dict() for e in events],
                     "cursor": cursor,
                     "dropped": owner.flight.dropped,
                 })
+            elif route == "/sync":
+                # Lossless registry snapshot (JSON wire encoding) —
+                # the merge source /cluster federation scrapes; the
+                # Prometheus text on /metrics cannot be merged exactly.
+                if owner.metrics is None:
+                    self._reply_json(503, {"error":
+                                           "no metrics registry attached"})
+                    return
+                body: dict = {
+                    "snapshot": snapshot_to_wire(
+                        snapshot_registry(owner.metrics)
+                    ),
+                }
+                if owner.health is not None:
+                    body["health"] = owner.health.snapshot()
+                self._reply_json(200, body)
+            elif route == "/cluster":
+                if owner.cluster is None:
+                    self._reply_json(503, {"error":
+                                           "no cluster scraper attached"})
+                    return
+                registry, summary = owner.cluster.scrape()
+                query = parse_qs(parsed.query)
+                if query.get("format", [""])[0] == "json":
+                    self._reply_json(200, {
+                        "members": summary["members"],
+                        "errors": summary["errors"],
+                        "snapshot": snapshot_to_wire(
+                            snapshot_registry(registry)
+                        ),
+                    })
+                else:
+                    self._reply(
+                        200, to_prometheus_text(registry),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
             elif route == "/":
                 self._reply(
                     200,
-                    "repro live telemetry: /metrics /healthz /events?since=\n",
+                    "repro live telemetry: /metrics /healthz "
+                    "/events?since= /sync /cluster\n",
                     "text/plain; charset=utf-8",
                 )
             else:
@@ -228,10 +309,14 @@ class LiveTelemetryServer:
         health: EngineHealth | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        cluster: Any = None,
     ) -> None:
         self.metrics = metrics
         self.flight = flight
         self.health = health
+        #: optional :class:`~repro.obs.cluster.ClusterScraper` backing
+        #: the ``/cluster`` fan-out route (coordinator-side only)
+        self.cluster = cluster
         self._bind = (host, int(port))
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None

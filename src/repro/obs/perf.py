@@ -30,6 +30,19 @@ def _fmt_secs(x: float) -> str:
     return f"{x:.4g}s"
 
 
+def _cost_report(timeline):
+    """Price a timeline with the default book (paper's VM flavors).
+
+    Timeline dumps carry no VM information, so reports price them with
+    the paper's standard fleet (large workers, small manager) — the
+    same table the engines bill with by default, which keeps the perf
+    dollars comparable with ``JobResult.cost``.
+    """
+    from ..cloud.costmeter import attribute_cost
+
+    return attribute_cost(timeline)
+
+
 def perf_report(
     timeline,
     mad_threshold: float = 3.5,
@@ -39,6 +52,7 @@ def perf_report(
 ) -> str:
     """Human-readable attribution report for one recorded timeline."""
     cp = critical_path(timeline)
+    cost = _cost_report(timeline)
     flags = attribute_run(
         timeline,
         mad_threshold=mad_threshold,
@@ -51,7 +65,8 @@ def perf_report(
         "run: "
         f"{len(timeline.steps)} supersteps x {timeline.num_workers} workers, "
         f"{_fmt_secs(cp['total'])} simulated, "
-        f"{timeline.total_messages} messages"
+        f"{timeline.total_messages} messages, "
+        f"${cost.total:.4f}"
         + (
             f", {timeline.rolled_back_rows} rows rolled back by recovery"
             if timeline.rolled_back_rows
@@ -79,6 +94,9 @@ def perf_report(
     per_worker_flags = [0] * timeline.num_workers
     for f in flags:
         per_worker_flags[f.worker] += 1
+    worker_cost = {
+        entry["worker"]: entry["total"] for entry in cost.per_worker
+    }
     wrows = [
         (
             f"w{w}",
@@ -87,6 +105,7 @@ def perf_report(
             _fmt_secs(float(skew["comm_time"][w])),
             int(skew["msgs_out"][w]),
             int(skew["msgs_out_remote"][w]),
+            f"${worker_cost.get(w, 0.0):.4f}",
             per_worker_flags[w] or "",
         )
         for w in range(timeline.num_workers)
@@ -94,11 +113,12 @@ def perf_report(
     sections.append(
         table(
             ["worker", "elapsed", "compute", "comm",
-             "msgs out", "remote", "flags"],
+             "msgs out", "remote", "cost", "flags"],
             wrows,
             title="per-worker totals",
         )
     )
+    sections.append("cost: " + cost.summary())
 
     if flags:
         cause, count = dominant_cause(flags)
@@ -175,6 +195,22 @@ def perf_diff(
             str(mn),
             f"{mdelta:+.1%}" if mdelta != float("inf") else "new",
             "REGRESSED" if mdelta > threshold else "",
+        )
+    )
+    # Dollar gating: same threshold, same default price book both sides
+    # — a run that got faster but costlier (more workers, more egress)
+    # still flags.
+    cb, cn = _cost_report(base).total, _cost_report(new).total
+    cdelta = (cn - cb) / cb if cb > 0 else (float("inf") if cn > 0 else 0.0)
+    if cdelta > threshold:
+        regressed.append("cost")
+    rows.append(
+        (
+            "cost",
+            f"${cb:.4f}",
+            f"${cn:.4f}",
+            f"{cdelta:+.1%}" if cdelta != float("inf") else "new",
+            "REGRESSED" if cdelta > threshold else "",
         )
     )
     rows.append(

@@ -182,6 +182,22 @@ def build_bundle(engine: Any, error: BaseException) -> dict:
     )
     section("straggler_flags", lambda: _observer_flags(engine))
 
+    def _cost():
+        # Dollar attribution over whatever committed before the crash —
+        # the abandoned allocation is exactly what a postmortem should
+        # price.  Uses the engine's own VM flavors.
+        from ..cloud.costmeter import attribute_cost
+
+        if not len(engine.trace):
+            return None
+        return attribute_cost(
+            engine.trace,
+            worker_vm=engine.vm_spec,
+            manager_vm=engine.job.manager_vm,
+        ).to_dict()
+
+    section("cost", _cost)
+
     def _trace():
         from ..analysis.traces import trace_to_dict
 

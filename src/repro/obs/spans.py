@@ -122,6 +122,10 @@ class SpanTracer:
     def _now(self) -> float:
         return self._clock() - self._epoch
 
+    def now(self) -> float:
+        """Current tracer time (seconds since epoch), for restamping."""
+        return self._now()
+
     def start(self, name: str, sim: float = 0.0, category: str = "phase",
               **attrs: Any) -> Span:
         """Open a span; it becomes the parent of spans started before end."""
@@ -169,10 +173,16 @@ class SpanTracer:
 
     def record(self, name: str, sim: float = 0.0, sim_duration: float = 0.0,
                host_duration: float = 0.0, category: str = "phase",
-               **attrs: Any) -> Span:
-        """Emit an already-complete leaf span (no stack interaction)."""
+               host_end: float | None = None, **attrs: Any) -> Span:
+        """Emit an already-complete leaf span (no stack interaction).
+
+        By default the span ends *now* and extends ``host_duration``
+        backwards.  Pass ``host_end`` (tracer time) to place it
+        elsewhere — used when restamping remote work into this tracer's
+        timebase after clock alignment.
+        """
         parent = self._stack[-1] if self._stack else None
-        now = self._now()
+        now = self._now() if host_end is None else float(host_end)
         span = Span(
             index=len(self.spans),
             name=name,

@@ -108,6 +108,57 @@ class TestWorkerFleet:
         assert row["endpoint"] == f"{one_daemon[0]}:{one_daemon[1]}"
 
 
+class TestDaemonTelemetry:
+    def test_attach_telemetry_labels_vitals_with_endpoint(self):
+        import asyncio
+
+        from repro.net.daemon import WorkerDaemon, _DaemonHealth
+        from repro.obs import MetricsRegistry, to_prometheus_text
+
+        async def run():
+            daemon = WorkerDaemon()
+            await daemon.start()
+            try:
+                registry = MetricsRegistry()
+                daemon.attach_telemetry(registry)
+                text = to_prometheus_text(registry)
+                assert (
+                    f'repro_daemon_sessions_active{{host="{daemon.endpoint}"'
+                    in text
+                )
+                assert 'transport="tcp"' in text
+                assert "repro_daemon_sessions_total" in text
+                assert "repro_daemon_heartbeats_sent_total" in text
+                health = _DaemonHealth(daemon).snapshot()
+                assert health["ok"] and health["state"] == "serving"
+                assert not health["at_capacity"]
+            finally:
+                await daemon.close()
+
+        asyncio.run(run())
+
+    def test_discover_members_flags_telemetry_less_daemon(self, one_daemon):
+        # Fleet daemons run without a telemetry server: federation must
+        # degrade to a per-endpoint error, not a crash.
+        from repro.obs import discover_members
+
+        host, port = one_daemon
+        members, errors = discover_members([one_daemon, f"{host}:{port}"])
+        assert members == []
+        assert errors == {
+            f"{host}:{port}": "daemon exposes no telemetry server"
+        }
+
+    def test_discover_members_reports_unreachable(self):
+        from repro.obs import discover_members
+
+        members, errors = discover_members(
+            [("127.0.0.1", 1)], timeout=0.5
+        )
+        assert members == []
+        assert list(errors) == ["127.0.0.1:1"]
+
+
 class TestWorkerCli:
     def test_status_prints_vitals_json(self, one_daemon, capsys):
         from repro.cli import main

@@ -184,6 +184,71 @@ class TestTelemetry:
             engine.shutdown()
 
 
+class TestClockAlignment:
+    def test_handshake_synchronizes_every_channel(self, ring10, fleet3):
+        engine = TcpBSPEngine(
+            pr_job(ring10, flight=FlightRecorder()),
+            endpoints=fleet3.endpoints(),
+        )
+        try:
+            for h in engine._handles:
+                assert h.clock.synchronized
+                stats = h.clock.stats()
+                assert stats["handshakes"] >= 1
+                # loopback: same physical clock, so the estimate must be
+                # tiny, and bounded by the exchange's own uncertainty
+                assert abs(stats["offset_seconds"]) <= (
+                    stats["uncertainty_seconds"] + 0.05
+                )
+                # the daemon advertises its session recorder's epoch so
+                # shipped events can be restamped (flight attached)
+                assert h.flight_epoch is not None
+        finally:
+            engine.shutdown()
+
+    def test_clock_sync_surfaces_in_flight_and_metrics(self, ring10, fleet3):
+        flight = FlightRecorder()
+        m = MetricsRegistry()
+        run_job_tcp(
+            pr_job(ring10, flight=flight, metrics=m),
+            endpoints=fleet3.endpoints(),
+        )
+        synced = [e for e in flight.snapshot() if e.kind == "clock-sync"]
+        assert {e.attrs["synced_worker"] for e in synced} == {0, 1, 2, 3}
+        assert all("offset_seconds" in e.attrs for e in synced)
+        names = {
+            metric["name"] for metric in to_json_dict(m)["metrics"]
+        }
+        assert "dist_clock_offset_seconds" in names
+        assert "dist_clock_uncertainty_seconds" in names
+
+    def test_merged_remote_events_monotonic_per_worker(self, ring10, fleet3):
+        # Restamped through ClockSync, each worker's shipped events must
+        # land in its own recording order on the coordinator's clock,
+        # and the events_since cursor must stay monotonic.
+        flight = FlightRecorder(capacity=8192)
+        run_job_tcp(
+            pr_job(ring10, flight=flight), endpoints=fleet3.endpoints()
+        )
+        events, cursor = flight.events_since(-1)
+        assert cursor == events[-1].seq
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        per_worker: dict[int, list] = {}
+        for e in events:
+            if "worker_seq" in e.attrs:  # merged remote events
+                per_worker.setdefault(e.worker, []).append(e)
+        assert set(per_worker) == {0, 1, 2, 3}
+        for evs in per_worker.values():
+            # child order preserved...
+            worker_seqs = [e.attrs["worker_seq"] for e in evs]
+            assert worker_seqs == sorted(worker_seqs)
+            # ...and the restamped coordinator-clock stamps are
+            # monotonic with it (same-host daemons: offset ~0)
+            hosts = [e.host for e in evs]
+            assert hosts == sorted(hosts)
+
+
 class TestConfigValidation:
     def test_empty_endpoint_list_rejected(self, ring10):
         with pytest.raises(ValueError, match="empty"):

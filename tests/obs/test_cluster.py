@@ -1,0 +1,325 @@
+"""Cluster telemetry plane: ClockSync estimation edge cases, the JSON
+wire encoding of registry snapshots, fleet scraping/merging with host
+labels, and the /sync + /cluster HTTP routes."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    ClockSync,
+    ClusterMember,
+    ClusterScraper,
+    FlightRecorder,
+    LiveTelemetryServer,
+    MetricsRegistry,
+    snapshot_registry,
+    snapshot_to_wire,
+    wire_to_snapshot,
+)
+
+
+class TickClock:
+    """A controllable monotonic clock for exact restamp arithmetic."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+class TestClockSync:
+    def test_unsynced_is_identity(self):
+        clock = ClockSync()
+        assert not clock.synchronized
+        assert clock.offset() == 0.0
+        assert clock.to_local(42.5) == 42.5
+
+    def test_zero_rtt_loopback(self):
+        # Same host, sub-resolution timestamps: the exchange is
+        # instantaneous, the offset exact, the uncertainty zero.
+        clock = ClockSync()
+        clock.observe_handshake(5.0, 5.0, 5.0, 5.0)
+        assert clock.synchronized
+        assert clock.offset() == 0.0
+        assert clock.uncertainty() == 0.0
+        assert clock.to_local(7.25) == 7.25
+
+    def test_zero_rtt_with_offset(self):
+        # Remote clock runs 10s ahead; instantaneous exchange recovers
+        # the offset exactly.
+        clock = ClockSync()
+        clock.observe_handshake(1.0, 11.0, 11.0, 1.0)
+        assert clock.offset() == pytest.approx(10.0)
+        assert clock.uncertainty() == 0.0
+        assert clock.to_local(11.0) == pytest.approx(1.0)
+
+    def test_asymmetric_latency_bounded_by_half_rtt(self):
+        # True offset +10s; 8ms out, 2ms back.  The estimate is wrong by
+        # the asymmetry (3ms) but provably within uncertainty = rtt/2.
+        clock = ClockSync()
+        clock.observe_handshake(1.0, 11.008, 11.009, 1.011)
+        assert clock.rtt() == pytest.approx(0.010)
+        assert clock.uncertainty() == pytest.approx(0.005)
+        assert abs(clock.offset() - 10.0) <= clock.uncertainty() + 1e-12
+
+    def test_min_rtt_sample_wins(self):
+        clock = ClockSync()
+        clock.observe_handshake(0.0, 5.001, 5.001, 0.002)  # rtt 2ms
+        tight = clock.offset()
+        # A later, queue-delayed exchange must not loosen the estimate.
+        clock.observe_handshake(10.0, 15.2, 15.2, 10.4)  # rtt 400ms
+        assert clock.offset() == tight
+        assert clock.rtt() == pytest.approx(0.002)
+        assert clock.stats()["handshakes"] == 2.0
+
+    def test_negative_rtt_clamps_to_zero(self):
+        # Coarse timers can make (t2 - t1) exceed (t3 - t0) slightly.
+        clock = ClockSync()
+        clock.observe_handshake(0.0, 0.0005, 0.0015, 0.001)
+        assert clock.rtt() == 0.0
+        assert clock.uncertainty() == 0.0
+
+    def test_drift_tracked_across_long_run(self):
+        # Base handshake at offset 0, then heartbeats show the remote
+        # clock gaining 1ms per second.  to_local compensates.
+        clock = ClockSync()
+        clock.observe_handshake(0.0, 0.0, 0.0, 0.0)
+        clock.observe_oneway(0.050, 0.0)  # bias anchor (50ms latency)
+        clock.observe_oneway(100.150, 100.0)
+        assert clock.drift() == pytest.approx(0.001)
+        # A remote stamp at remote=200.2 is local 200.0 (the remote
+        # clock gained 0.2s).  The linear correction is first-order, so
+        # the residual is O(drift^2 * elapsed) ~ 2e-4, not machine eps.
+        assert clock.to_local(200.2) == pytest.approx(200.0, abs=5e-4)
+        assert abs(clock.to_local(200.2) - 200.0) < abs(200.2 - 200.0)
+        assert clock.stats()["oneway_samples"] == 2.0
+
+    def test_new_handshake_resets_drift_anchor(self):
+        clock = ClockSync()
+        clock.observe_handshake(0.0, 0.004, 0.004, 0.010)  # rtt 10ms
+        clock.observe_oneway(1.5, 1.0)
+        clock.observe_oneway(11.6, 11.0)
+        assert clock.drift() != 0.0
+        # A tighter exchange replaces the base and invalidates the
+        # one-way bias anchor accumulated against the old one.
+        clock.observe_handshake(20.0, 20.0, 20.0, 20.0)
+        assert clock.drift() == 0.0
+
+
+class TestRestampedMerge:
+    """Remote flight events restamped through ClockSync stay monotonic
+    in the coordinator's timebase and under the events_since cursor."""
+
+    def _restamp(self, coord, coord_clock, clock, remote_epoch):
+        # Same affine construction the TCP engine uses per merge batch.
+        anchor_rec = coord.now()
+        anchor_local = coord_clock()
+
+        def restamp(worker_host: float) -> float:
+            local_t = clock.to_local(remote_epoch + worker_host)
+            return anchor_rec - (anchor_local - local_t)
+
+        return restamp
+
+    def test_cross_host_events_monotonic_in_coordinator_time(self):
+        coord_clock = TickClock(100.0)
+        coord = FlightRecorder(capacity=64, clock=coord_clock)
+        remote_clock = TickClock(150.0)  # runs 50s ahead
+        remote = FlightRecorder(capacity=64, clock=remote_clock)
+
+        clock = ClockSync()
+        clock.observe_handshake(100.2, 150.2, 150.2, 100.2)
+        assert clock.offset() == pytest.approx(50.0)
+
+        coord_clock.t = 100.5
+        coord.record("superstep-open", superstep=0)
+        remote_clock.t = 151.0
+        remote.record("worker-compute", superstep=0, worker=2)
+        remote_clock.t = 152.0
+        remote.record("barrier-enter", superstep=0, worker=2)
+        shipped = [e.to_dict() for e in remote.snapshot()]
+
+        coord_clock.t = 103.0
+        coord.merge_remote(
+            2, shipped,
+            restamp=self._restamp(coord, coord_clock, clock, remote.epoch),
+        )
+        coord_clock.t = 104.0
+        coord.record("superstep-commit", superstep=0)
+
+        events, cursor = coord.events_since(-1)
+        # seq strictly increasing under the cursor protocol
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert cursor == seqs[-1]
+        # restamped host stamps land at true coordinator-clock positions:
+        # remote 151.0/152.0 are coordinator 101.0/102.0 -> host 1.0/2.0
+        by_kind = {e.kind: e.host for e in events}
+        assert by_kind["superstep-open"] == pytest.approx(0.5)
+        assert by_kind["worker-compute"] == pytest.approx(1.0)
+        assert by_kind["barrier-enter"] == pytest.approx(2.0)
+        assert by_kind["superstep-commit"] == pytest.approx(4.0)
+        # the merged trace is monotonic in one clock despite the +50s skew
+        hosts = sorted(events, key=lambda e: e.seq)
+        assert [e.host for e in hosts] == sorted(e.host for e in hosts)
+        # provenance rides along
+        merged = [e for e in events if e.worker == 2]
+        assert [e.attrs["worker_host"] for e in merged] == [1.0, 2.0]
+
+
+class TestWireEncoding:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", help="jobs").inc(3)
+        reg.gauge("depth", help="queue depth", worker="0").set(2.5)
+        reg.histogram(
+            "lat_seconds", help="latency", buckets=(0.1, 1.0)
+        ).observe(0.05)
+        return reg
+
+    def test_roundtrip_through_json(self):
+        snap = snapshot_registry(self._registry())
+        wire = json.loads(json.dumps(snapshot_to_wire(snap)))
+        assert wire_to_snapshot(wire) == snap
+
+    def test_decoded_snapshot_applies_cleanly(self):
+        from repro.obs import apply_snapshot, to_prometheus_text
+
+        snap = snapshot_registry(self._registry())
+        wire = json.loads(json.dumps(snapshot_to_wire(snap)))
+        merged = MetricsRegistry()
+        apply_snapshot(merged, wire_to_snapshot(wire))
+        text = to_prometheus_text(merged)
+        assert "jobs_total 3" in text
+        assert 'depth{worker="0"} 2.5' in text
+
+
+class TestClusterScraper:
+    def _wire_body(self, reg, health=None):
+        body = {"snapshot": snapshot_to_wire(snapshot_registry(reg))}
+        if health is not None:
+            body["health"] = health
+        return body
+
+    def test_merge_labels_each_member_host(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("sessions_total", help="s").inc(2)
+        b.counter("sessions_total", help="s").inc(5)
+        bodies = {
+            "http://a:1/sync": self._wire_body(a, health={"ok": True}),
+            "http://b:2/sync": self._wire_body(b),
+        }
+        local = MetricsRegistry()
+        local.gauge("sim_time", help="t").set(7.0)
+        scraper = ClusterScraper(
+            [ClusterMember("a", "http://a:1"),
+             ClusterMember("b", "http://b:2")],
+            local=local,
+            fetch=lambda url, timeout: bodies[url],
+        )
+        merged, summary = scraper.scrape()
+        from repro.obs import to_prometheus_text
+
+        text = to_prometheus_text(merged)
+        assert 'sessions_total{host="a"} 2' in text
+        assert 'sessions_total{host="b"} 5' in text
+        assert 'sim_time{host="coordinator"} 7' in text
+        assert summary["members"]["a"]["health"] == {"ok": True}
+        assert summary["errors"] == {}
+
+    def test_daemon_stamped_host_label_wins(self):
+        # A daemon that already labels its instruments with host= keeps
+        # its own label; the scraper's relabel must not rewrite origin.
+        reg = MetricsRegistry()
+        reg.counter("hb_total", help="h", host="10.0.0.7:9001").inc(4)
+        scraper = ClusterScraper(
+            [ClusterMember("proxy", "http://p:1")],
+            fetch=lambda url, timeout: self._wire_body(reg),
+        )
+        merged, _ = scraper.scrape()
+        from repro.obs import to_prometheus_text
+
+        assert 'hb_total{host="10.0.0.7:9001"} 4' in to_prometheus_text(
+            merged
+        )
+
+    def test_failed_member_degrades_not_dies(self):
+        good = MetricsRegistry()
+        good.counter("up", help="u").inc()
+
+        def fetch(url, timeout):
+            if "bad" in url:
+                raise OSError("connection refused")
+            return self._wire_body(good)
+
+        scraper = ClusterScraper(
+            [ClusterMember("good", "http://good:1"),
+             ClusterMember("bad", "http://bad:2")],
+            fetch=fetch,
+        )
+        merged, summary = scraper.scrape()
+        assert "good" in summary["members"]
+        assert "connection refused" in summary["errors"]["bad"]
+        status = scraper.status()
+        assert status["instruments"] == 1
+        assert "bad" in status["errors"]
+
+
+class TestHTTPFederation:
+    def test_sync_route_serves_lossless_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("demo_total", help="d").inc(9)
+        health_stub = type(
+            "H", (), {"snapshot": lambda self: {"ok": True, "state": "x"}}
+        )()
+        with LiveTelemetryServer(metrics=reg, health=health_stub) as srv:
+            code, body = get(f"{srv.url}/sync")
+        assert code == 200
+        data = json.loads(body)
+        snap = wire_to_snapshot(data["snapshot"])
+        assert snap == snapshot_registry(reg)
+        assert data["health"]["ok"] is True
+
+    def test_sync_route_503_without_metrics(self):
+        with LiveTelemetryServer() as srv:
+            assert get(f"{srv.url}/sync")[0] == 503
+            assert get(f"{srv.url}/cluster")[0] == 503
+
+    def test_cluster_route_end_to_end_over_http(self):
+        # Two "daemons" (real HTTP servers) + a coordinator federating
+        # them: /cluster returns one host-labelled Prometheus document.
+        d1, d2 = MetricsRegistry(), MetricsRegistry()
+        d1.counter("repro_daemon_sessions_total", help="s").inc(1)
+        d2.counter("repro_daemon_sessions_total", help="s").inc(2)
+        local = MetricsRegistry()
+        local.gauge("bsp_sim_time_seconds", help="t").set(3.5)
+        with LiveTelemetryServer(metrics=d1) as s1, \
+                LiveTelemetryServer(metrics=d2) as s2:
+            scraper = ClusterScraper(
+                [ClusterMember("w1", s1.url), ClusterMember("w2", s2.url)],
+                local=local,
+            )
+            with LiveTelemetryServer(metrics=local,
+                                     cluster=scraper) as coord:
+                code, text = get(f"{coord.url}/cluster")
+                assert code == 200
+                assert 'repro_daemon_sessions_total{host="w1"} 1' in text
+                assert 'repro_daemon_sessions_total{host="w2"} 2' in text
+                assert 'bsp_sim_time_seconds{host="coordinator"} 3.5' in text
+                code, body = get(f"{coord.url}/cluster?format=json")
+                assert code == 200
+                data = json.loads(body)
+                assert set(data["members"]) == {"coordinator", "w1", "w2"}
+                assert data["errors"] == {}
+                assert wire_to_snapshot(data["snapshot"])

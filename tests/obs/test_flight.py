@@ -108,6 +108,54 @@ class TestCursorTailing:
         assert seen == sorted(set(seen))
 
 
+class TestGapMarkers:
+    def test_wrap_between_polls_reports_explicit_gap(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(3):
+            rec.record("tick", i=i)
+        _, cursor = rec.events_since(-1)
+        for i in range(3, 10):  # wrap: seqs 3..5 evicted before the poll
+            rec.record("tick", i=i)
+        events, cursor2 = rec.events_since(cursor, mark_gaps=True)
+        assert events[0].kind == "gap"
+        assert events[0].attrs["missed"] == 3
+        # the marker borrows the following event's seq - 1, so the
+        # reader's cursor protocol stays monotonic
+        assert events[0].seq == events[1].seq - 1
+        assert [e.kind for e in events[1:]] == ["tick"] * 4
+        assert cursor2 == 9
+        # the marker is synthetic: the ring itself is unchanged
+        assert all(e.kind == "tick" for e in rec.snapshot())
+
+    def test_fresh_reader_sees_no_gap(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("tick", i=i)
+        events, _ = rec.events_since(-1, mark_gaps=True)
+        assert all(e.kind == "tick" for e in events)
+
+    def test_contiguous_poll_sees_no_gap(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("a")
+        _, cursor = rec.events_since(-1)
+        rec.record("b")
+        events, _ = rec.events_since(cursor, mark_gaps=True)
+        assert [e.kind for e in events] == ["b"]
+
+    def test_dropped_counter_mirrors_evictions(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        rec = FlightRecorder(capacity=4)
+        rec.bind_dropped_counter(
+            reg.counter("repro_flight_dropped_total", help="evictions")
+        )
+        for i in range(10):
+            rec.record("tick", i=i)
+        assert rec.dropped == 6
+        assert reg.counter("repro_flight_dropped_total").value == 6
+
+
 class TestMergeRemote:
     def test_merge_preserves_child_order_and_restamps(self):
         rec = FlightRecorder(capacity=32)

@@ -54,6 +54,80 @@ class TestEngineHealth:
     def test_stale_after_validated(self):
         with pytest.raises(ValueError):
             EngineHealth(stale_after=0)
+        with pytest.raises(ValueError):
+            EngineHealth(max_heartbeat_age=0)
+
+
+class FakeLivenessEngine:
+    """Engine stand-in with a controllable worker_liveness() truth."""
+
+    def __init__(self, liveness):
+        self.num_workers = len(liveness)
+        self._liveness = liveness
+
+    def worker_liveness(self):
+        return self._liveness
+
+
+class TestHeartbeatAge:
+    def _health(self, liveness, **kw):
+        health = EngineHealth(**kw)
+        health.on_job_start(FakeLivenessEngine(liveness))
+        return health
+
+    def test_ages_mirrored_into_gauges(self):
+        reg = MetricsRegistry()
+        health = self._health(
+            [
+                {"worker": 0, "alive": True, "heartbeat_age_seconds": 0.1},
+                {"worker": 1, "alive": True, "heartbeat_age_seconds": 2.0},
+            ],
+            metrics=reg,
+        )
+        snap = health.snapshot()
+        assert snap["ok"]  # no threshold set: ages are informational
+        g = reg.gauge("repro_heartbeat_age_seconds", worker="1")
+        assert g.value == pytest.approx(2.0)
+        assert reg.gauge(
+            "repro_heartbeat_age_seconds", worker="0"
+        ).value == pytest.approx(0.1)
+
+    def test_max_heartbeat_age_degrades_ok(self):
+        health = self._health(
+            [
+                {"worker": 0, "alive": True, "heartbeat_age_seconds": 0.1},
+                {"worker": 1, "alive": True, "heartbeat_age_seconds": 2.0},
+            ],
+            max_heartbeat_age=0.5,
+        )
+        snap = health.snapshot()
+        assert snap["workers_lagging"] == 1
+        assert not snap["ok"]
+        assert snap["workers_alive"] == 2  # lagging, not dead
+
+    def test_health_guard_vetoes_resize_while_lagging(self):
+        from repro.elastic import LiveHealthGuard
+
+        class WantsFive:
+            label = "wants-five"
+
+            def decide(self, engine, stats):
+                return 5
+
+        liveness = [
+            {"worker": 0, "alive": True, "heartbeat_age_seconds": 9.0},
+            {"worker": 1, "alive": True, "heartbeat_age_seconds": 0.0},
+        ]
+        engine = FakeLivenessEngine(liveness)
+        health = EngineHealth(max_heartbeat_age=1.0)
+        health.on_job_start(engine)
+        guard = LiveHealthGuard(inner=WantsFive(), health=health)
+        # one worker's heartbeat age is over threshold: resize vetoed
+        assert guard.decide(engine, None) == engine.num_workers
+        assert guard.vetoes == 1
+        # heartbeat recovers: the inner policy's decision passes through
+        liveness[0]["heartbeat_age_seconds"] = 0.2
+        assert guard.decide(engine, None) == 5
 
 
 class TestRoutes:
